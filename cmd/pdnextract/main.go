@@ -1,0 +1,151 @@
+// Command pdnextract runs the paper's extraction pipeline on a JSON board
+// description: geometry → quadrilateral mesh → BEM assembly → quasi-static
+// RLC equivalent circuit. Outputs a SPICE-style netlist of the equivalent
+// circuit, and optionally Touchstone S-parameters of the port network.
+//
+// Usage:
+//
+//	pdnextract [-netlist out.cir] [-touchstone out.sNp -fmin 0.1e9 -fmax 10e9 -nf 100] board.json
+//
+// A minimal board description:
+//
+//	{
+//	  "name": "demo plane",
+//	  "shape": {"type": "rect", "w_mm": 50, "h_mm": 40},
+//	  "plane_sep_mm": 0.4, "eps_r": 4.5, "sheet_res_ohm_sq": 0.0006,
+//	  "mesh_nx": 20, "mesh_ny": 16, "extra_nodes": 12,
+//	  "ports": [{"name": "U1", "x_mm": 40, "y_mm": 30},
+//	            {"name": "VRM", "x_mm": 5, "y_mm": 5}]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pdnsim/internal/bem"
+	"pdnsim/internal/core"
+	"pdnsim/internal/sparam"
+)
+
+func main() {
+	netlistOut := flag.String("netlist", "", "write the equivalent circuit netlist to this file ('-' for stdout)")
+	tsOut := flag.String("touchstone", "", "write port S-parameters in Touchstone format to this file")
+	fmin := flag.Float64("fmin", 0.1e9, "sweep start frequency (Hz)")
+	fmax := flag.Float64("fmax", 10e9, "sweep stop frequency (Hz)")
+	nf := flag.Int("nf", 100, "sweep points")
+	z0 := flag.Float64("z0", 50, "S-parameter reference impedance (Ω)")
+	irdrop := flag.String("irdrop", "", "DC IR-drop analysis: comma-separated PORT=amps load currents plus optional ref=PORT supply entry (default: first port)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pdnextract [flags] board.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := core.ParseBoard(data)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := spec.Extract()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s → %d-node equivalent circuit (%d ports), C_total = %.3g nF\n",
+		spec.Name, res.Mesh.Stats(), res.Network.NumNodes(), res.Network.NumPorts,
+		res.Network.TotalCapacitance()*1e9)
+
+	if *netlistOut != "" {
+		nl := res.Network.Netlist(spec.Name)
+		if *netlistOut == "-" {
+			fmt.Print(nl)
+		} else if err := os.WriteFile(*netlistOut, []byte(nl), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *tsOut != "" {
+		freqs := sparam.LinSpace(*fmin, *fmax, *nf)
+		sw, err := sparam.SweepZ(freqs, *z0, res.Network.PortZ)
+		if err != nil {
+			fatal(err)
+		}
+		ts, err := sw.Touchstone(spec.Name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*tsOut, []byte(ts), 0o644); err != nil {
+			fatal(err)
+		}
+		if !sw.Passive(1e-6) {
+			fmt.Fprintln(os.Stderr, "warning: extracted S-parameters fail the passivity screen")
+		}
+	}
+	if *irdrop != "" {
+		if err := runIRDrop(spec, res, *irdrop); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runIRDrop solves the plane's DC resistive network for the requested load
+// currents and reports the worst drop and current density.
+func runIRDrop(spec *core.BoardSpec, res *core.Result, arg string) error {
+	portCell := map[string]int{}
+	for _, p := range res.Mesh.Ports {
+		portCell[p.Name] = p.Cell
+	}
+	injections := map[int]float64{}
+	ref := res.Mesh.Ports[0].Cell
+	refName := res.Mesh.Ports[0].Name
+	for _, item := range strings.Split(arg, ",") {
+		kv := strings.SplitN(strings.TrimSpace(item), "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad -irdrop item %q (want PORT=amps or ref=PORT)", item)
+		}
+		if kv[0] == "ref" {
+			cell, ok := portCell[kv[1]]
+			if !ok {
+				return fmt.Errorf("-irdrop references unknown supply port %q", kv[1])
+			}
+			ref, refName = cell, kv[1]
+			continue
+		}
+		cell, ok := portCell[kv[0]]
+		if !ok {
+			return fmt.Errorf("-irdrop references unknown port %q", kv[0])
+		}
+		amps, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad current in %q", item)
+		}
+		injections[cell] = amps
+	}
+	v, err := res.Assembly.DCPotential(injections, ref)
+	if err != nil {
+		return err
+	}
+	cur, err := res.Assembly.DCCurrents(v)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("IR drop (supply reference: port %s):\n", refName)
+	for _, p := range res.Mesh.Ports {
+		fmt.Printf("  %-12s %8.3f mV\n", p.Name, v[p.Cell]*1e3)
+	}
+	fmt.Printf("  worst drop: %.3f mV, worst current density: %.1f A/m\n",
+		bem.WorstIRDrop(v)*1e3, res.Assembly.WorstCurrentDensity(cur))
+	_ = spec
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdnextract:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+// Command pdnsim runs a SPICE-flavoured netlist deck through the MNA engine:
+// the .tran and/or .ac directives in the deck select the analyses, and
+// .print directives select the output columns (tab-separated).
+//
+// Usage:
+//
+//	pdnsim deck.cir
+//
+// Example deck:
+//
+//	plane transient
+//	V1 src 0 PULSE(0 5 0 0.2n 0.2n 1n)
+//	Rs src p1 50
+//	T1 p1 0 p2 0 Z0=50 TD=1n
+//	Rl p2 0 50
+//	.tran 0.02n 5n
+//	.print v(p1) v(p2) i(V1)
+//	.end
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"os"
+	"strings"
+
+	"pdnsim/internal/circuit"
+	"pdnsim/internal/netlist"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: pdnsim deck.cir")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	deck, err := netlist.Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pdnsim: %s (%d nodes)\n", deck.Title, deck.Circuit.NumNodes())
+	if deck.Tran == nil && deck.AC == nil {
+		// Default: operating point.
+		if err := runOP(deck); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if deck.Tran != nil {
+		if err := runTran(deck); err != nil {
+			fatal(err)
+		}
+	}
+	if deck.AC != nil {
+		if err := runAC(deck); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func probeHeaders(deck *netlist.Deck) []string {
+	var out []string
+	for _, p := range deck.Probes {
+		out = append(out, fmt.Sprintf("%c(%s)", p.Kind, p.Name))
+	}
+	return out
+}
+
+func runOP(deck *netlist.Deck) error {
+	x, err := deck.Circuit.OP()
+	if err != nil {
+		return err
+	}
+	fmt.Println("operating point:")
+	if len(deck.Probes) == 0 {
+		for i := 1; i < deck.Circuit.NumNodes(); i++ {
+			fmt.Printf("  v(%s) = %.6g\n", deck.Circuit.NodeName(i), circuit.NodeVoltage(x, i))
+		}
+		return nil
+	}
+	for _, p := range deck.Probes {
+		if p.Kind == 'v' {
+			n, ok := deck.Circuit.LookupNode(p.Name)
+			if !ok {
+				return fmt.Errorf("unknown node %q", p.Name)
+			}
+			fmt.Printf("  v(%s) = %.6g\n", p.Name, circuit.NodeVoltage(x, n))
+		}
+	}
+	return nil
+}
+
+func runTran(deck *netlist.Deck) error {
+	res, err := deck.Circuit.Tran(*deck.Tran)
+	if err != nil {
+		return err
+	}
+	cols := make([][]float64, len(deck.Probes))
+	for i, p := range deck.Probes {
+		switch p.Kind {
+		case 'v':
+			w, err := res.VByName(p.Name)
+			if err != nil {
+				return err
+			}
+			cols[i] = w
+		case 'i':
+			w, err := res.SourceCurrent(p.Name)
+			if err != nil {
+				return err
+			}
+			cols[i] = w
+		}
+	}
+	fmt.Println("time\t" + strings.Join(probeHeaders(deck), "\t"))
+	for k, t := range res.Time {
+		row := []string{fmt.Sprintf("%.6g", t)}
+		for _, c := range cols {
+			row = append(row, fmt.Sprintf("%.6g", c[k]))
+		}
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	return nil
+}
+
+func runAC(deck *netlist.Deck) error {
+	spec := deck.AC
+	fmt.Println("freq\t" + strings.Join(magPhaseHeaders(deck), "\t"))
+	for k := 0; k < spec.N; k++ {
+		f := spec.F0
+		if spec.N > 1 {
+			f += (spec.F1 - spec.F0) * float64(k) / float64(spec.N-1)
+		}
+		res, err := deck.Circuit.AC(2 * math.Pi * f)
+		if err != nil {
+			return err
+		}
+		row := []string{fmt.Sprintf("%.6g", f)}
+		for _, p := range deck.Probes {
+			if p.Kind != 'v' {
+				row = append(row, "-", "-")
+				continue
+			}
+			v, err := res.VByName(p.Name)
+			if err != nil {
+				return err
+			}
+			row = append(row,
+				fmt.Sprintf("%.6g", cmplx.Abs(v)),
+				fmt.Sprintf("%.6g", cmplx.Phase(v)*180/math.Pi))
+		}
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	return nil
+}
+
+func magPhaseHeaders(deck *netlist.Deck) []string {
+	var out []string
+	for _, p := range deck.Probes {
+		out = append(out, fmt.Sprintf("|%c(%s)|", p.Kind, p.Name),
+			fmt.Sprintf("ph(%s)deg", p.Name))
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdnsim:", err)
+	os.Exit(1)
+}

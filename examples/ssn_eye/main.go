@@ -1,0 +1,101 @@
+// SSN eye closure: the paper's whole point in one picture — simultaneous
+// switching noise on the power network degrades the data eye of a signal
+// net sharing the same die rails. A PRBS driver sends data down a matched
+// line while neighbouring output drivers switch synchronously; the eye is
+// measured at the receiver with the aggressors quiet and active.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdnsim"
+)
+
+const (
+	bitPeriod = 2.5e-9 // 400 Mb/s
+	nBits     = 40
+	vdd       = 3.3
+)
+
+func main() {
+	fmt.Printf("400 Mb/s PRBS through a 50 Ω line; %d aggressor drivers share the rails\n\n", 12)
+	quiet := runEye(0)
+	noisy := runEye(12)
+	fmt.Printf("%-22s %12s %14s\n", "scenario", "eye height", "eye width")
+	fmt.Printf("%-22s %9.0f mV %11.2f ns\n", "aggressors quiet", quiet.EyeHeight*1e3, quiet.EyeWidth*1e9)
+	fmt.Printf("%-22s %9.0f mV %11.2f ns\n", "aggressors switching", noisy.EyeHeight*1e3, noisy.EyeWidth*1e9)
+	fmt.Printf("\nSSN costs %.0f mV of eye height (%.0f%% of the quiet opening)\n",
+		(quiet.EyeHeight-noisy.EyeHeight)*1e3,
+		100*(quiet.EyeHeight-noisy.EyeHeight)/quiet.EyeHeight)
+}
+
+// runEye builds the co-simulation with the given number of synchronous
+// aggressor drivers and returns the receiver eye.
+func runEye(aggressors int) *pdnsim.EyeResult {
+	sys, err := pdnsim.BuildSSN(
+		pdnsim.SSNBoard{
+			Shape:    pdnsim.RectShape(0, 0, 80e-3, 60e-3),
+			PlaneSep: 0.4e-3,
+			EpsR:     4.5,
+			SheetRes: 0.6e-3,
+			MeshNx:   14, MeshNy: 10,
+			ExtraNodes: 8,
+		},
+		pdnsim.SSNVRM{At: pdnsim.Point{X: 6e-3, Y: 6e-3}, V: vdd, R: 3e-3, L: 15e-9},
+		[]pdnsim.SSNChip{{
+			Name: "U1", At: pdnsim.Point{X: 60e-3, Y: 42e-3},
+			Drivers: 16, Switching: aggressors, Vdd: vdd,
+			Pin: pdnsim.QFPPin, VddPins: 4,
+			Kind:  pdnsim.SSNRampDriver,
+			LoadC: 25e-12,
+			// Aggressors toggle every bit period, aligned with the data.
+			Delay: 10e-9, Width: bitPeriod / 2,
+		}},
+		nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The data path: one more driver on the same die rails, a 1 ns matched
+	// line, and a terminated receiver. The aggressor burst starting at
+	// 10 ns stresses the mid-stream bits.
+	c := sys.Circuit
+	die := sys.Chips[0]
+	out := c.Node("data_out")
+	far := c.Node("data_far")
+	bits := pdnsim.PRBS(nBits, 42)
+	schedule := func(t float64) bool {
+		idx := int(t / bitPeriod)
+		if idx < 0 || idx >= len(bits) {
+			return false
+		}
+		return bits[idx]
+	}
+	p := pdnsim.RampParams{Ron: 25, Roff: 1e9, CLoad: 2e-12}
+	if err := pdnsim.AddRampDriver(c, "data_drv", out, die.DieVdd, die.DieGnd, schedule, p); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.AddResistor("data_rs", out, c.Node("data_in"), 25); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.AddTLine("data_line", c.Node("data_in"), pdnsim.Ground, far, pdnsim.Ground, 50, 1e-9); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.AddResistor("data_rt", far, pdnsim.Ground, 50); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := c.Tran(pdnsim.TranOptions{
+		Dt: 0.05e-9, Tstop: float64(nBits) * bitPeriod, Method: pdnsim.Trapezoidal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The 25 Ω driver + 25 Ω series resistor form a matched source, so the
+	// receiver swings 0 … Vdd/2.
+	eyeRes, err := pdnsim.AnalyzeEye(res.Time, res.V(far), bitPeriod, 0, vdd/2, 5e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return eyeRes
+}

@@ -1,0 +1,3 @@
+module pdnsim
+
+go 1.24

@@ -1,0 +1,425 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"pdnsim/internal/mat"
+)
+
+// OP computes the DC operating point. The returned vector is the full MNA
+// solution: node k > 0 at index k−1, followed by branch currents. Use
+// NodeVoltage to read node voltages.
+//
+// Transmission lines are handled by waveform relaxation on their
+// characteristics (each iteration re-solves the DC system with updated line
+// histories); nonlinear devices by Newton-Raphson with source stepping as a
+// fallback.
+func (c *Circuit) OP() ([]float64, error) {
+	s := newSolver(c)
+	return s.op()
+}
+
+func (s *solver) op() ([]float64, error) {
+	for _, tl := range s.c.mtls {
+		tl.resetDC()
+	}
+	st := assembleState{t: 0, dt: 0, srcScale: 1}
+	x := make([]float64, s.dim)
+	var dcLU *mat.LU // cached factorisation for linear relaxation iterations
+	for iter := 0; iter < maxDCRelax; iter++ {
+		var xn []float64
+		var err error
+		if s.c.HasNonlinear() {
+			xn, err = s.solveNewtonStep(st, x)
+			if err != nil {
+				// Source stepping: ramp the sources, reusing each solution
+				// as the next guess.
+				xn = make([]float64, s.dim)
+				for _, alpha := range []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
+					stA := st
+					stA.srcScale = alpha
+					xn, err = s.solveNewtonStep(stA, xn)
+					if err != nil {
+						return nil, fmt.Errorf("circuit: OP failed at source scale %g: %w", alpha, err)
+					}
+				}
+			}
+		} else {
+			// Linear DC: the matrix is iteration independent (only the
+			// line histories move the RHS), so factor it once.
+			if dcLU == nil {
+				a := s.assembleMatrix(st)
+				dcLU, err = mat.NewLU(a)
+				if err != nil {
+					return nil, fmt.Errorf("circuit: singular DC matrix: %w", err)
+				}
+			}
+			xn, err = dcLU.Solve(s.assembleRHS(st))
+			if err != nil {
+				return nil, err
+			}
+		}
+		x = xn
+		if len(s.c.mtls) == 0 {
+			return x, nil
+		}
+		var maxDelta, scale float64
+		for _, tl := range s.c.mtls {
+			maxDelta = math.Max(maxDelta, tl.updateDC(x))
+		}
+		for i := 0; i < s.nv; i++ {
+			scale = math.Max(scale, math.Abs(x[i]))
+		}
+		if maxDelta <= 1e-9*(1+scale) {
+			return x, nil
+		}
+	}
+	return nil, errors.New("circuit: transmission-line DC relaxation did not converge")
+}
+
+// TranOptions configure a transient analysis.
+type TranOptions struct {
+	Dt     float64 // uniform time step (s)
+	Tstop  float64 // final time (s)
+	Method Method  // integration scheme
+	UIC    bool    // skip the OP and start from zero state / element ICs
+}
+
+// Result holds a transient analysis output: the time axis, every node
+// voltage, and every voltage-source branch current.
+type Result struct {
+	Time []float64
+	c    *Circuit
+	v    [][]float64          // per time point: node voltages (index node-1)
+	isrc map[string][]float64 // vsource name → current waveform
+}
+
+// V returns the waveform of the given node index.
+func (r *Result) V(node int) []float64 {
+	out := make([]float64, len(r.Time))
+	if node == Ground {
+		return out
+	}
+	for i, xv := range r.v {
+		out[i] = xv[node-1]
+	}
+	return out
+}
+
+// VByName returns the waveform of the named node.
+func (r *Result) VByName(name string) ([]float64, error) {
+	n, ok := r.c.LookupNode(name)
+	if !ok {
+		return nil, fmt.Errorf("circuit: unknown node %q", name)
+	}
+	return r.V(n), nil
+}
+
+// SourceCurrent returns the branch-current waveform of a named voltage
+// source (positive current flows from its + terminal through the source).
+func (r *Result) SourceCurrent(name string) ([]float64, error) {
+	w, ok := r.isrc[name]
+	if !ok {
+		return nil, fmt.Errorf("circuit: unknown voltage source %q", name)
+	}
+	return w, nil
+}
+
+// Tran runs a fixed-step transient analysis.
+func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
+	if opts.Dt <= 0 || opts.Tstop <= 0 || opts.Tstop < opts.Dt {
+		return nil, fmt.Errorf("circuit: invalid transient window dt=%g tstop=%g", opts.Dt, opts.Tstop)
+	}
+	for _, tl := range c.mtls {
+		if td := tl.MinDelay(); td < opts.Dt {
+			return nil, fmt.Errorf("circuit: time step %g exceeds line %s delay %g", opts.Dt, tl.Name(), td)
+		}
+	}
+	s := newSolver(c)
+	var x []float64
+	if opts.UIC {
+		x = make([]float64, s.dim)
+		for _, tl := range c.mtls {
+			tl.resetDC()
+		}
+		for _, l := range c.inductors {
+			x[l.branch] = l.IC
+		}
+	} else {
+		var err error
+		x, err = s.op()
+		if err != nil {
+			return nil, fmt.Errorf("circuit: transient OP: %w", err)
+		}
+	}
+	for _, tl := range c.mtls {
+		tl.startTran()
+	}
+	// Companion state.
+	capCurr := make([]float64, len(c.capacitors))
+	indVolt := make([]float64, len(c.inductors))
+
+	nSteps := int(math.Round(opts.Tstop / opts.Dt))
+	res := &Result{c: c, isrc: make(map[string][]float64)}
+	record := func(t float64, xv []float64) {
+		res.Time = append(res.Time, t)
+		nv := make([]float64, s.nv)
+		copy(nv, xv[:s.nv])
+		res.v = append(res.v, nv)
+		for _, vs := range c.vsources {
+			res.isrc[vs.name] = append(res.isrc[vs.name], xv[vs.branch])
+		}
+	}
+	record(0, x)
+
+	s.lu = nil // force matrix assembly with transient companions
+	for n := 1; n <= nSteps; n++ {
+		t := float64(n) * opts.Dt
+		st := assembleState{
+			t: t, dt: opts.Dt, method: opts.Method, srcScale: 1,
+			prevX: x, capCurr: capCurr, indVolt: indVolt,
+		}
+		var xn []float64
+		var err error
+		if c.HasNonlinear() {
+			xn, err = s.solveNewtonStep(st, x)
+		} else {
+			xn, err = s.solveLinearStep(st)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("circuit: transient failed at t=%g: %w", t, err)
+		}
+		// Update companion state.
+		for i, cp := range c.capacitors {
+			vNew := NodeVoltage(xn, cp.A) - NodeVoltage(xn, cp.B)
+			vOld := NodeVoltage(x, cp.A) - NodeVoltage(x, cp.B)
+			if opts.Method == Trapezoidal {
+				capCurr[i] = 2*cp.C/opts.Dt*(vNew-vOld) - capCurr[i]
+			} else {
+				capCurr[i] = cp.C / opts.Dt * (vNew - vOld)
+			}
+		}
+		for i, l := range c.inductors {
+			indVolt[i] = NodeVoltage(xn, l.A) - NodeVoltage(xn, l.B)
+		}
+		for _, tl := range c.mtls {
+			tl.recordStep(xn, t, opts.Dt)
+		}
+		record(t, xn)
+		x = xn
+	}
+	return res, nil
+}
+
+// ACResult is the complex solution of one AC frequency point.
+type ACResult struct {
+	Omega float64
+	c     *Circuit
+	x     []complex128
+}
+
+// V returns the complex node voltage.
+func (r *ACResult) V(node int) complex128 {
+	if node == Ground {
+		return 0
+	}
+	return r.x[node-1]
+}
+
+// VByName returns the complex voltage of a named node.
+func (r *ACResult) VByName(name string) (complex128, error) {
+	n, ok := r.c.LookupNode(name)
+	if !ok {
+		return 0, fmt.Errorf("circuit: unknown node %q", name)
+	}
+	return r.V(n), nil
+}
+
+// AC solves the small-signal frequency response at angular frequency omega.
+// Sources contribute their AC magnitudes; switches take their t = 0 state;
+// nonlinear devices are linearised around the DC operating point.
+func (c *Circuit) AC(omega float64) (*ACResult, error) {
+	if omega <= 0 {
+		return nil, errors.New("circuit: AC requires a positive frequency")
+	}
+	s := newSolver(c)
+	a := mat.CNew(s.dim, s.dim)
+	rhs := make([]complex128, s.dim)
+	jw := complex(0, omega)
+
+	cstamp := func(i, j int, v complex128) {
+		if i >= 0 && j >= 0 {
+			a.Add(i, j, v)
+		}
+	}
+	cond := func(na, nb int, g complex128) {
+		i, j := nodeRow(na), nodeRow(nb)
+		cstamp(i, i, g)
+		cstamp(j, j, g)
+		cstamp(i, j, -g)
+		cstamp(j, i, -g)
+	}
+	for i := 0; i < s.nv; i++ {
+		a.Add(i, i, complex(gshunt, 0))
+	}
+	for _, r := range c.resistors {
+		cond(r.A, r.B, complex(1/r.R, 0))
+	}
+	for _, sw := range c.switches {
+		cond(sw.A, sw.B, complex(sw.Conductance(0), 0))
+	}
+	for _, cp := range c.capacitors {
+		cond(cp.A, cp.B, jw*complex(cp.C, 0))
+	}
+	for _, l := range c.inductors {
+		i, j, b := nodeRow(l.A), nodeRow(l.B), l.branch
+		cstamp(i, b, 1)
+		cstamp(j, b, -1)
+		cstamp(b, i, 1)
+		cstamp(b, j, -1)
+		a.Add(b, b, -jw*complex(l.L, 0))
+	}
+	for _, m := range c.mutuals {
+		a.Add(m.L1.branch, m.L2.branch, -jw*complex(m.M, 0))
+		a.Add(m.L2.branch, m.L1.branch, -jw*complex(m.M, 0))
+	}
+	for _, v := range c.vsources {
+		i, j, b := nodeRow(v.A), nodeRow(v.B), v.branch
+		cstamp(i, b, 1)
+		cstamp(j, b, -1)
+		cstamp(b, i, 1)
+		cstamp(b, j, -1)
+		rhs[b] = complex(v.W.AC(), 0)
+	}
+	for _, src := range c.isources {
+		iv := complex(src.W.AC(), 0)
+		if r := nodeRow(src.A); r >= 0 {
+			rhs[r] -= iv
+		}
+		if r := nodeRow(src.B); r >= 0 {
+			rhs[r] += iv
+		}
+	}
+	for _, g := range c.vccs {
+		ia, ib := nodeRow(g.A), nodeRow(g.B)
+		cp, cn := nodeRow(g.CP), nodeRow(g.CN)
+		cstamp(ia, cp, complex(g.Gm, 0))
+		cstamp(ia, cn, complex(-g.Gm, 0))
+		cstamp(ib, cp, complex(-g.Gm, 0))
+		cstamp(ib, cn, complex(g.Gm, 0))
+	}
+	for _, e := range c.vcvs {
+		ia, ib, bb := nodeRow(e.A), nodeRow(e.B), e.branch
+		cp, cn := nodeRow(e.CP), nodeRow(e.CN)
+		cstamp(ia, bb, 1)
+		cstamp(ib, bb, -1)
+		cstamp(bb, ia, 1)
+		cstamp(bb, ib, -1)
+		cstamp(bb, cp, complex(-e.Gain, 0))
+		cstamp(bb, cn, complex(e.Gain, 0))
+	}
+	for _, tl := range c.mtls {
+		stampMTLAC(a, s.dim, tl, omega)
+	}
+	if c.HasNonlinear() {
+		// Linearise the devices around the operating point.
+		op, err := c.OP()
+		if err != nil {
+			return nil, fmt.Errorf("circuit: AC operating point: %w", err)
+		}
+		g := mat.New(s.dim, s.dim)
+		scratch := make([]float64, s.dim)
+		stp := &Stamper{n: s.dim, a: g.Data, rhs: scratch}
+		for _, d := range c.devices {
+			d.Load(stp, op)
+		}
+		for i := 0; i < s.dim; i++ {
+			for j := 0; j < s.dim; j++ {
+				if v := g.At(i, j); v != 0 {
+					a.Add(i, j, complex(v, 0))
+				}
+			}
+		}
+	}
+	x, err := mat.CSolve(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: AC solve at ω=%g: %w", omega, err)
+	}
+	return &ACResult{Omega: omega, c: c, x: x}, nil
+}
+
+// stampMTLAC stamps the exact frequency-domain admittance of a lossless MTL:
+// per mode, Y11 = −j·cot(ωτ)/Z, Y12 = j/(Z·sin(ωτ)), transformed to terminal
+// coordinates with TI and TVInv.
+func stampMTLAC(a *mat.CMatrix, dim int, tl *MTL, omega float64) {
+	n := tl.Modes()
+	y11 := make([]complex128, n)
+	y12 := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		theta := omega * tl.Td[k]
+		s := math.Sin(theta)
+		if math.Abs(s) < 1e-9 {
+			// Perturb away from the internal resonance singularity.
+			theta += 1e-9
+			s = math.Sin(theta)
+		}
+		ct := math.Cos(theta) / s
+		y11[k] = complex(0, -ct/tl.Z[k])
+		y12[k] = complex(0, 1/(tl.Z[k]*s))
+	}
+	t11 := transformModalY(tl, y11)
+	t12 := transformModalY(tl, y12)
+	stampPortYBlockC(a, dim, tl.End1, tl.Ref1, tl.End1, tl.Ref1, t11)
+	stampPortYBlockC(a, dim, tl.End2, tl.Ref2, tl.End2, tl.Ref2, t11)
+	stampPortYBlockC(a, dim, tl.End1, tl.Ref1, tl.End2, tl.Ref2, t12)
+	stampPortYBlockC(a, dim, tl.End2, tl.Ref2, tl.End1, tl.Ref1, t12)
+}
+
+// transformModalY returns TI·diag(ym)·TVInv as a complex matrix.
+func transformModalY(tl *MTL, ym []complex128) [][]complex128 {
+	n := tl.Modes()
+	out := make([][]complex128, n)
+	for j := 0; j < n; j++ {
+		out[j] = make([]complex128, n)
+		for k := 0; k < n; k++ {
+			var v complex128
+			for m := 0; m < n; m++ {
+				v += complex(tl.TI[j][m], 0) * ym[m] * complex(tl.TVInv[m][k], 0)
+			}
+			out[j][k] = v
+		}
+	}
+	return out
+}
+
+// stampPortYBlockC stamps current into (rowNodes, rowRef) ports driven by the
+// voltages of (colNodes, colRef) ports through the port matrix y.
+func stampPortYBlockC(a *mat.CMatrix, dim int, rowNodes []int, rowRef int,
+	colNodes []int, colRef int, y [][]complex128) {
+	_ = dim
+	rr := nodeRow(rowRef)
+	cr := nodeRow(colRef)
+	add := func(i, j int, v complex128) {
+		if i >= 0 && j >= 0 {
+			a.Add(i, j, v)
+		}
+	}
+	for j := range rowNodes {
+		nj := nodeRow(rowNodes[j])
+		var rowSum complex128
+		for k := range colNodes {
+			nk := nodeRow(colNodes[k])
+			add(nj, nk, y[j][k])
+			add(rr, nk, -y[j][k])
+			rowSum += y[j][k]
+		}
+		add(nj, cr, -rowSum)
+		add(rr, cr, rowSum)
+	}
+}
+
+// MagDB converts a complex ratio to decibels.
+func MagDB(v complex128) float64 { return 20 * math.Log10(cmplx.Abs(v)) }

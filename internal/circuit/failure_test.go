@@ -1,0 +1,75 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// divergingDevice never converges: it reports a different linearisation
+// voltage every iteration.
+type divergingDevice struct{ n int }
+
+func (d *divergingDevice) Name() string { return "diverge" }
+func (d *divergingDevice) Load(st *Stamper, x []float64) {
+	st.StampConductance(d.n, Ground, 1e-3)
+}
+func (d *divergingDevice) Converged([]float64) bool { return false }
+
+func TestNewtonNonConvergenceSurfaces(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddVSource("V1", n, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.AddDevice(&divergingDevice{n: n})
+	_, err := c.OP()
+	if err == nil || !strings.Contains(err.Error(), "converge") {
+		t.Fatalf("expected Newton convergence error, got %v", err)
+	}
+	// The transient path fails during its initial operating point and says
+	// so in the error chain.
+	_, err = c.Tran(TranOptions{Dt: 1e-9, Tstop: 3e-9})
+	if err == nil || !strings.Contains(err.Error(), "transient OP") {
+		t.Fatalf("expected transient OP failure, got %v", err)
+	}
+}
+
+func TestParallelVoltageSourcesSingular(t *testing.T) {
+	// Two ideal sources forcing different voltages on the same node pair is
+	// an inconsistent (singular) system and must error, not crash.
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddVSource("V1", n, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddVSource("V2", n, Ground, DC(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OP(); err == nil {
+		t.Fatal("parallel conflicting sources must report a singular matrix")
+	}
+}
+
+func TestInductorLoopSingularAtDC(t *testing.T) {
+	// A loop of ideal inductors has an indeterminate circulating current at
+	// DC; the solver must refuse rather than return garbage. (The extraction
+	// layer inserts series resistances exactly to avoid this.)
+	c := New()
+	a := c.Node("a")
+	b := c.Node("b")
+	if _, err := c.AddInductor("L1", a, b, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddInductor("L2", a, b, 2e-9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddISource("I1", Ground, a, DC(1e-3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResistor("R1", b, Ground, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OP(); err == nil {
+		t.Fatal("ideal inductor loop must report a singular DC matrix")
+	}
+}

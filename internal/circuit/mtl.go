@@ -1,0 +1,144 @@
+package circuit
+
+import "math"
+
+// MTL is a lossless N-conductor transmission line solved by the method of
+// characteristics (Bergeron) in the modal domain. A 2-conductor line
+// (signal over reference) is the special case N = 1.
+//
+// Modal decomposition: terminal voltages V = TV·V_m, terminal currents
+// I = TI·I_m, and each mode k propagates independently with characteristic
+// impedance Z[k] and one-way delay Td[k]. Package tline derives TV, TVInv,
+// TI, Z and Td from the per-unit-length L and C matrices.
+//
+// At each end the line is a Norton equivalent: the characteristic
+// admittance matrix TI·diag(1/Z)·TVInv in parallel with history current
+// sources TI·diag(1/Z)·E(t), where E_k(t) is the backward characteristic
+// arriving from the far end: E1_k(t) = w2_k(t − Td_k) with
+// w_k = V_mk + Z_k·I_mk recorded after every accepted time step.
+type MTL struct {
+	name       string
+	End1, End2 []int
+	Ref1, Ref2 int
+	Z, Td      []float64
+	TV, TVInv  [][]float64
+	TI         [][]float64
+
+	// Transient history: w[i][k] is the modal wave at sample time i·dt.
+	w1, w2     [][]float64
+	dcW1, dcW2 []float64
+}
+
+// Name returns the element name.
+func (tl *MTL) Name() string { return tl.name }
+
+// Modes returns the number of propagating modes (conductors).
+func (tl *MTL) Modes() int { return len(tl.Z) }
+
+// MinDelay returns the smallest modal delay (the transient step bound).
+func (tl *MTL) MinDelay() float64 {
+	td := math.Inf(1)
+	for _, t := range tl.Td {
+		td = math.Min(td, t)
+	}
+	return td
+}
+
+// resetDC clears the steady-state characteristics before OP relaxation.
+func (tl *MTL) resetDC() {
+	n := tl.Modes()
+	tl.dcW1 = make([]float64, n)
+	tl.dcW2 = make([]float64, n)
+}
+
+// startTran seeds the transient history with the operating point: for all
+// t ≤ 0 the line carried its DC waves.
+func (tl *MTL) startTran() {
+	tl.w1 = [][]float64{append([]float64{}, tl.dcW1...)}
+	tl.w2 = [][]float64{append([]float64{}, tl.dcW2...)}
+}
+
+// historyAt returns the incident characteristics E1, E2 (per mode) for a
+// solve at time t. dt == 0 denotes DC relaxation.
+func (tl *MTL) historyAt(t, dt float64) (e1, e2 []float64) {
+	n := tl.Modes()
+	e1 = make([]float64, n)
+	e2 = make([]float64, n)
+	if dt == 0 {
+		copy(e1, tl.dcW2)
+		copy(e2, tl.dcW1)
+		return e1, e2
+	}
+	for k := 0; k < n; k++ {
+		e1[k] = sampleHistory(tl.w2, k, (t-tl.Td[k])/dt, tl.dcW2[k])
+		e2[k] = sampleHistory(tl.w1, k, (t-tl.Td[k])/dt, tl.dcW1[k])
+	}
+	return e1, e2
+}
+
+// sampleHistory linearly interpolates the recorded modal wave at fractional
+// sample position p (p ≤ 0 returns the DC pre-history).
+func sampleHistory(w [][]float64, mode int, p, dc float64) float64 {
+	if p <= 0 || len(w) == 0 {
+		return dc
+	}
+	i := int(math.Floor(p))
+	if i >= len(w)-1 {
+		return w[len(w)-1][mode]
+	}
+	f := p - float64(i)
+	return w[i][mode]*(1-f) + w[i+1][mode]*f
+}
+
+// portVoltages extracts the modal voltages at one end from an MNA solution.
+func (tl *MTL) modalVoltages(x []float64, nodes []int, ref int) []float64 {
+	n := tl.Modes()
+	vp := make([]float64, n)
+	vr := NodeVoltage(x, ref)
+	for j := 0; j < n; j++ {
+		vp[j] = NodeVoltage(x, nodes[j]) - vr
+	}
+	vm := make([]float64, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			vm[k] += tl.TVInv[k][j] * vp[j]
+		}
+	}
+	return vm
+}
+
+// recordStep computes and appends the outgoing characteristics for the
+// accepted solution x at time t: w = 2·V_m − E.
+func (tl *MTL) recordStep(x []float64, t, dt float64) {
+	e1, e2 := tl.historyAt(t, dt)
+	vm1 := tl.modalVoltages(x, tl.End1, tl.Ref1)
+	vm2 := tl.modalVoltages(x, tl.End2, tl.Ref2)
+	n := tl.Modes()
+	nw1 := make([]float64, n)
+	nw2 := make([]float64, n)
+	for k := 0; k < n; k++ {
+		nw1[k] = 2*vm1[k] - e1[k]
+		nw2[k] = 2*vm2[k] - e2[k]
+	}
+	tl.w1 = append(tl.w1, nw1)
+	tl.w2 = append(tl.w2, nw2)
+}
+
+// updateDC refreshes the steady-state characteristics from a DC solution and
+// returns the largest change (the OP relaxation residual).
+func (tl *MTL) updateDC(x []float64) float64 {
+	vm1 := tl.modalVoltages(x, tl.End1, tl.Ref1)
+	vm2 := tl.modalVoltages(x, tl.End2, tl.Ref2)
+	n := tl.Modes()
+	var maxDelta float64
+	for k := 0; k < n; k++ {
+		nw1 := 2*vm1[k] - tl.dcW2[k]
+		nw2 := 2*vm2[k] - tl.dcW1[k]
+		maxDelta = math.Max(maxDelta, math.Abs(nw1-tl.dcW1[k]))
+		maxDelta = math.Max(maxDelta, math.Abs(nw2-tl.dcW2[k]))
+		// Damped update for robust convergence with reflective terminations.
+		tl.dcW1[k] = 0.5*tl.dcW1[k] + 0.5*nw1
+		tl.dcW2[k] = 0.5*tl.dcW2[k] + 0.5*nw2
+	}
+	return maxDelta
+}

@@ -1,0 +1,399 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pdnsim/internal/mat"
+)
+
+// Method selects the transient integration scheme (paper §5.1: "both first
+// order and second order integration methods are used").
+type Method int
+
+const (
+	// Trapezoidal is the second-order scheme (default).
+	Trapezoidal Method = iota
+	// BackwardEuler is the first-order scheme.
+	BackwardEuler
+)
+
+func (m Method) String() string {
+	if m == BackwardEuler {
+		return "backward-euler"
+	}
+	return "trapezoidal"
+}
+
+// Newton/solver tolerances.
+const (
+	vAbsTol    = 1e-6
+	vRelTol    = 1e-3
+	maxNewton  = 100
+	maxDCRelax = 400
+)
+
+// solver holds the sized MNA system for one circuit.
+type solver struct {
+	c   *Circuit
+	nv  int // node unknowns (nodes minus ground)
+	dim int // nv + branch unknowns
+
+	// Cached factorisation of the linear system matrix; invalidated when
+	// switch states change.
+	lu        *mat.LU
+	luSwState []bool
+
+	dt     float64
+	method Method
+}
+
+func newSolver(c *Circuit) *solver {
+	s := &solver{c: c, nv: c.NumNodes() - 1}
+	nb := 0
+	for _, l := range c.inductors {
+		l.branch = s.nv + nb
+		nb++
+	}
+	for _, v := range c.vsources {
+		v.branch = s.nv + nb
+		nb++
+	}
+	for _, e := range c.vcvs {
+		e.branch = s.nv + nb
+		nb++
+	}
+	s.dim = s.nv + nb
+	return s
+}
+
+// nodeRow maps a circuit node index to its MNA row (-1 for ground).
+func nodeRow(node int) int { return node - 1 }
+
+// stampNode adds v to a[row][col] when both indices are non-ground.
+func stamp(a []float64, dim, r, c int, v float64) {
+	if r >= 0 && c >= 0 {
+		a[r*dim+c] += v
+	}
+}
+
+// assembleState carries the per-step context for matrix/RHS assembly.
+type assembleState struct {
+	t        float64 // evaluation time
+	dt       float64 // 0 ⇒ DC (caps open, inductors short)
+	method   Method
+	srcScale float64 // source continuation factor (1 normally)
+
+	// previous-step state for companion models
+	prevX   []float64
+	capCurr []float64 // previous capacitor currents (trapezoidal)
+	indVolt []float64 // previous inductor branch voltages (trapezoidal)
+}
+
+// assembleMatrix fills the dense MNA matrix for the current switch states
+// and integration step. Devices are NOT included (they are stamped per
+// Newton iteration).
+// gshunt is a tiny conductance from every node to ground that keeps the DC
+// matrix non-singular for capacitively floating nodes (the standard SPICE
+// GSHUNT convergence aid).
+const gshunt = 1e-12
+
+func (s *solver) assembleMatrix(st assembleState) *mat.Matrix {
+	a := mat.New(s.dim, s.dim)
+	ad := a.Data
+	for i := 0; i < s.nv; i++ {
+		ad[i*s.dim+i] += gshunt
+	}
+	// Resistors.
+	for _, r := range s.c.resistors {
+		g := 1 / r.R
+		i, j := nodeRow(r.A), nodeRow(r.B)
+		stamp(ad, s.dim, i, i, g)
+		stamp(ad, s.dim, j, j, g)
+		stamp(ad, s.dim, i, j, -g)
+		stamp(ad, s.dim, j, i, -g)
+	}
+	// Switches at time t.
+	for _, sw := range s.c.switches {
+		g := sw.Conductance(st.t)
+		i, j := nodeRow(sw.A), nodeRow(sw.B)
+		stamp(ad, s.dim, i, i, g)
+		stamp(ad, s.dim, j, j, g)
+		stamp(ad, s.dim, i, j, -g)
+		stamp(ad, s.dim, j, i, -g)
+	}
+	// Capacitors: companion conductance (transient only).
+	if st.dt > 0 {
+		for _, cp := range s.c.capacitors {
+			geq := cp.C / st.dt
+			if st.method == Trapezoidal {
+				geq = 2 * cp.C / st.dt
+			}
+			i, j := nodeRow(cp.A), nodeRow(cp.B)
+			stamp(ad, s.dim, i, i, geq)
+			stamp(ad, s.dim, j, j, geq)
+			stamp(ad, s.dim, i, j, -geq)
+			stamp(ad, s.dim, j, i, -geq)
+		}
+	}
+	// Inductors: KCL incidence and branch equations.
+	mcoef := 1.0
+	if st.dt > 0 {
+		mcoef = 1 / st.dt
+		if st.method == Trapezoidal {
+			mcoef = 2 / st.dt
+		}
+	}
+	for _, l := range s.c.inductors {
+		i, j, b := nodeRow(l.A), nodeRow(l.B), l.branch
+		stamp(ad, s.dim, i, b, 1)
+		stamp(ad, s.dim, j, b, -1)
+		stamp(ad, s.dim, b, i, 1)
+		stamp(ad, s.dim, b, j, -1)
+		if st.dt > 0 {
+			ad[b*s.dim+b] -= mcoef * l.L
+		}
+		// DC: branch row is v_a − v_b = 0 (short) — no self term.
+	}
+	if st.dt > 0 {
+		for _, m := range s.c.mutuals {
+			b1, b2 := m.L1.branch, m.L2.branch
+			ad[b1*s.dim+b2] -= mcoef * m.M
+			ad[b2*s.dim+b1] -= mcoef * m.M
+		}
+	}
+	// Voltage sources.
+	for _, v := range s.c.vsources {
+		i, j, b := nodeRow(v.A), nodeRow(v.B), v.branch
+		stamp(ad, s.dim, i, b, 1)
+		stamp(ad, s.dim, j, b, -1)
+		stamp(ad, s.dim, b, i, 1)
+		stamp(ad, s.dim, b, j, -1)
+	}
+	// Controlled sources.
+	for _, g := range s.c.vccs {
+		ia, ib := nodeRow(g.A), nodeRow(g.B)
+		cp, cn := nodeRow(g.CP), nodeRow(g.CN)
+		stamp(ad, s.dim, ia, cp, g.Gm)
+		stamp(ad, s.dim, ia, cn, -g.Gm)
+		stamp(ad, s.dim, ib, cp, -g.Gm)
+		stamp(ad, s.dim, ib, cn, g.Gm)
+	}
+	for _, e := range s.c.vcvs {
+		ia, ib, b := nodeRow(e.A), nodeRow(e.B), e.branch
+		cp, cn := nodeRow(e.CP), nodeRow(e.CN)
+		stamp(ad, s.dim, ia, b, 1)
+		stamp(ad, s.dim, ib, b, -1)
+		stamp(ad, s.dim, b, ia, 1)
+		stamp(ad, s.dim, b, ib, -1)
+		stamp(ad, s.dim, b, cp, -e.Gain)
+		stamp(ad, s.dim, b, cn, e.Gain)
+	}
+	// Transmission lines: Norton conductance at both ends.
+	for _, tl := range s.c.mtls {
+		s.stampMTLMatrix(ad, tl)
+	}
+	return a
+}
+
+// stampMTLMatrix stamps the characteristic-admittance matrix of an MTL at
+// both ends: Y0 = TI·diag(1/Z)·TVinv, referenced to the end's reference
+// node.
+func (s *solver) stampMTLMatrix(ad []float64, tl *MTL) {
+	n := len(tl.End1)
+	y0 := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		y0[j] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			var v float64
+			for m := 0; m < n; m++ {
+				v += tl.TI[j][m] / tl.Z[m] * tl.TVInv[m][k]
+			}
+			y0[j][k] = v
+		}
+	}
+	s.stampPortY(ad, tl.End1, tl.Ref1, y0)
+	s.stampPortY(ad, tl.End2, tl.Ref2, y0)
+}
+
+// stampPortY stamps an N×N port-referenced conductance matrix: current into
+// conductor j is Σ_k Y[j][k]·(V(nodes[k]) − V(ref)).
+func (s *solver) stampPortY(ad []float64, nodes []int, ref int, y [][]float64) {
+	r := nodeRow(ref)
+	for j := range nodes {
+		nj := nodeRow(nodes[j])
+		var rowSum float64
+		for k := range nodes {
+			nk := nodeRow(nodes[k])
+			stamp(ad, s.dim, nj, nk, y[j][k])
+			stamp(ad, s.dim, r, nk, -y[j][k])
+			rowSum += y[j][k]
+		}
+		stamp(ad, s.dim, nj, r, -rowSum)
+		stamp(ad, s.dim, r, r, rowSum)
+	}
+}
+
+// assembleRHS fills the right-hand side for the current time/history.
+func (s *solver) assembleRHS(st assembleState) []float64 {
+	rhs := make([]float64, s.dim)
+	for _, src := range s.c.isources {
+		iv := src.W.At(st.t) * st.srcScale
+		if r := nodeRow(src.A); r >= 0 {
+			rhs[r] -= iv
+		}
+		if r := nodeRow(src.B); r >= 0 {
+			rhs[r] += iv
+		}
+	}
+	for _, v := range s.c.vsources {
+		rhs[v.branch] = v.W.At(st.t) * st.srcScale
+	}
+	if st.dt > 0 {
+		// Capacitor companion currents.
+		for ci, cp := range s.c.capacitors {
+			vPrev := NodeVoltage(st.prevX, cp.A) - NodeVoltage(st.prevX, cp.B)
+			var ieq float64
+			if st.method == Trapezoidal {
+				geq := 2 * cp.C / st.dt
+				ieq = geq*vPrev + st.capCurr[ci]
+			} else {
+				ieq = cp.C / st.dt * vPrev
+			}
+			if r := nodeRow(cp.A); r >= 0 {
+				rhs[r] += ieq
+			}
+			if r := nodeRow(cp.B); r >= 0 {
+				rhs[r] -= ieq
+			}
+		}
+		// Inductor branch histories.
+		for li, l := range s.c.inductors {
+			var hist float64
+			if st.method == Trapezoidal {
+				hist = -st.indVolt[li] - (2/st.dt)*s.fluxPrev(l, st.prevX)
+			} else {
+				hist = -(1 / st.dt) * s.fluxPrev(l, st.prevX)
+			}
+			rhs[l.branch] = hist
+		}
+	}
+	// Transmission-line history currents.
+	for _, tl := range s.c.mtls {
+		s.stampMTLRHS(rhs, tl, st)
+	}
+	return rhs
+}
+
+// fluxPrev returns Σ_j M_ij · i_j at the previous step for inductor l
+// (including its own L·i term).
+func (s *solver) fluxPrev(l *Inductor, prevX []float64) float64 {
+	flux := l.L * prevX[l.branch]
+	for _, m := range s.c.mutuals {
+		if m.L1 == l {
+			flux += m.M * prevX[m.L2.branch]
+		} else if m.L2 == l {
+			flux += m.M * prevX[m.L1.branch]
+		}
+	}
+	return flux
+}
+
+// stampMTLRHS injects the Bergeron history currents J = TI·diag(1/Z)·E at
+// both ends of the line.
+func (s *solver) stampMTLRHS(rhs []float64, tl *MTL, st assembleState) {
+	n := len(tl.End1)
+	e1, e2 := tl.historyAt(st.t, st.dt)
+	inject := func(nodes []int, ref int, e []float64) {
+		for j := 0; j < n; j++ {
+			var ij float64
+			for m := 0; m < n; m++ {
+				ij += tl.TI[j][m] / tl.Z[m] * e[m]
+			}
+			// +i enters the node from the history source.
+			if r := nodeRow(nodes[j]); r >= 0 {
+				rhs[r] += ij
+			}
+			if r := nodeRow(ref); r >= 0 {
+				rhs[r] -= ij
+			}
+		}
+	}
+	inject(tl.End1, tl.Ref1, e1)
+	inject(tl.End2, tl.Ref2, e2)
+}
+
+// solveLinearStep solves one time point of a linear circuit, reusing the LU
+// factorisation while switch states are unchanged.
+func (s *solver) solveLinearStep(st assembleState) ([]float64, error) {
+	states := make([]bool, len(s.c.switches))
+	for i, sw := range s.c.switches {
+		states[i] = sw.Ctrl(st.t)
+	}
+	if s.lu == nil || !equalBools(states, s.luSwState) ||
+		st.dt != s.dt || st.method != s.method {
+		a := s.assembleMatrix(st)
+		lu, err := mat.NewLU(a)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: singular MNA matrix: %w", err)
+		}
+		s.lu = lu
+		s.luSwState = states
+		s.dt = st.dt
+		s.method = st.method
+	}
+	return s.lu.Solve(s.assembleRHS(st))
+}
+
+// solveNewtonStep solves one (DC or transient) time point with Newton
+// iterations over the nonlinear devices. x0 is the initial guess.
+func (s *solver) solveNewtonStep(st assembleState, x0 []float64) ([]float64, error) {
+	x := append([]float64{}, x0...)
+	base := s.assembleMatrix(st)
+	rhs0 := s.assembleRHS(st)
+	for iter := 0; iter < maxNewton; iter++ {
+		a := base.Clone()
+		rhs := append([]float64{}, rhs0...)
+		stp := &Stamper{n: s.dim, a: a.Data, rhs: rhs, T: st.t}
+		for _, d := range s.c.devices {
+			d.Load(stp, x)
+		}
+		xn, err := mat.Solve(a, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: Newton matrix singular: %w", err)
+		}
+		conv := true
+		for i := 0; i < s.nv; i++ {
+			if math.Abs(xn[i]-x[i]) > vAbsTol+vRelTol*math.Abs(xn[i]) {
+				conv = false
+				break
+			}
+		}
+		x = xn
+		if conv {
+			for _, d := range s.c.devices {
+				if !d.Converged(x) {
+					conv = false
+					break
+				}
+			}
+		}
+		if conv && iter > 0 {
+			return x, nil
+		}
+	}
+	return nil, errors.New("circuit: Newton iteration did not converge")
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,146 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Waveform is a time-dependent source value. Implementations must be safe
+// for repeated evaluation at arbitrary (non-monotonic) times: the transient
+// solver evaluates them during Newton iterations and the operating-point
+// solver evaluates them at t = 0.
+type Waveform interface {
+	// At returns the source value at time t (seconds).
+	At(t float64) float64
+	// AC returns the small-signal magnitude used by the AC sweep.
+	AC() float64
+}
+
+// DC is a constant source.
+type DC float64
+
+// At returns the constant value.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// AC returns 0: DC supplies are AC grounds.
+func (d DC) AC() float64 { return 0 }
+
+// ACSource is a unit (or scaled) small-signal stimulus: zero in time domain,
+// magnitude Mag in AC analysis.
+type ACSource struct{ Mag float64 }
+
+// At returns 0; AC sources do not drive transient analyses.
+func (a ACSource) At(float64) float64 { return 0 }
+
+// AC returns the stimulus magnitude.
+func (a ACSource) AC() float64 { return a.Mag }
+
+// Pulse is the SPICE PULSE source: V1 → V2 with the given delay, rise, fall,
+// width, and optional period (0 disables repetition).
+type Pulse struct {
+	V1, V2                   float64
+	Delay, Rise, Fall, Width float64
+	Period                   float64
+}
+
+// At evaluates the pulse at time t.
+func (p Pulse) At(t float64) float64 {
+	t -= p.Delay
+	if p.Period > 0 {
+		t = math.Mod(t, p.Period)
+		if t < 0 {
+			t += p.Period
+		}
+	}
+	switch {
+	case t < 0:
+		return p.V1
+	case t < p.Rise:
+		if p.Rise == 0 {
+			return p.V2
+		}
+		return p.V1 + (p.V2-p.V1)*t/p.Rise
+	case t < p.Rise+p.Width:
+		return p.V2
+	case t < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(t-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V1
+	}
+}
+
+// AC returns the pulse swing, a convenient small-signal magnitude.
+func (p Pulse) AC() float64 { return p.V2 - p.V1 }
+
+// PWL is a piecewise-linear source through the given (time, value) points.
+type PWL struct {
+	T, V []float64
+}
+
+// NewPWL validates and constructs a PWL waveform; times must be strictly
+// increasing.
+func NewPWL(t, v []float64) (PWL, error) {
+	if len(t) != len(v) || len(t) == 0 {
+		return PWL{}, fmt.Errorf("circuit: PWL needs equal, non-empty time/value slices")
+	}
+	if !sort.Float64sAreSorted(t) {
+		return PWL{}, fmt.Errorf("circuit: PWL times must be sorted")
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i] == t[i-1] {
+			return PWL{}, fmt.Errorf("circuit: PWL times must be strictly increasing")
+		}
+	}
+	return PWL{T: append([]float64{}, t...), V: append([]float64{}, v...)}, nil
+}
+
+// At evaluates the PWL at time t, clamping outside the defined range.
+func (p PWL) At(t float64) float64 {
+	n := len(p.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	if t >= p.T[n-1] {
+		return p.V[n-1]
+	}
+	i := sort.SearchFloat64s(p.T, t)
+	// p.T[i-1] < t ≤ p.T[i]
+	f := (t - p.T[i-1]) / (p.T[i] - p.T[i-1])
+	return p.V[i-1] + f*(p.V[i]-p.V[i-1])
+}
+
+// AC returns the peak-to-peak swing of the PWL.
+func (p PWL) AC() float64 {
+	if len(p.V) == 0 {
+		return 0
+	}
+	lo, hi := p.V[0], p.V[0]
+	for _, v := range p.V {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// Sine is offset + amp·sin(2πf(t−delay)) for t ≥ delay.
+type Sine struct {
+	Offset, Amp, Freq, Delay float64
+}
+
+// At evaluates the sine at time t.
+func (s Sine) At(t float64) float64 {
+	if t < s.Delay {
+		return s.Offset
+	}
+	return s.Offset + s.Amp*math.Sin(2*math.Pi*s.Freq*(t-s.Delay))
+}
+
+// AC returns the sine amplitude.
+func (s Sine) AC() float64 { return s.Amp }

@@ -1,0 +1,131 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDCWaveform(t *testing.T) {
+	w := DC(3.3)
+	if w.At(0) != 3.3 || w.At(1e-9) != 3.3 {
+		t.Fatal("DC must be constant")
+	}
+	if w.AC() != 0 {
+		t.Fatal("DC supplies are AC grounds")
+	}
+}
+
+func TestACSource(t *testing.T) {
+	w := ACSource{Mag: 1}
+	if w.At(1e-9) != 0 || w.AC() != 1 {
+		t.Fatal("ACSource semantics")
+	}
+}
+
+func TestPulseShape(t *testing.T) {
+	// The paper's Fig. 5 stimulus: 5 V, 0.3 ns rise/fall, 1 ns width.
+	p := Pulse{V1: 0, V2: 5, Delay: 1e-9, Rise: 0.3e-9, Fall: 0.3e-9, Width: 1e-9}
+	cases := []struct{ t, v float64 }{
+		{0, 0},
+		{1e-9, 0},
+		{1.15e-9, 2.5},
+		{1.3e-9, 5},
+		{2.0e-9, 5},
+		{2.3e-9, 5},
+		{2.45e-9, 2.5},
+		{2.6e-9, 0},
+		{10e-9, 0},
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); math.Abs(got-c.v) > 1e-9 {
+			t.Fatalf("pulse at %g: got %g want %g", c.t, got, c.v)
+		}
+	}
+	if p.AC() != 5 {
+		t.Fatalf("pulse AC magnitude = %g", p.AC())
+	}
+}
+
+func TestPulsePeriodic(t *testing.T) {
+	p := Pulse{V1: 0, V2: 1, Rise: 1e-9, Fall: 1e-9, Width: 2e-9, Period: 10e-9}
+	for _, tt := range []float64{0.5e-9, 10.5e-9, 20.5e-9} {
+		if got := p.At(tt); math.Abs(got-0.5) > 1e-12 {
+			t.Fatalf("periodic pulse at %g: %g", tt, got)
+		}
+	}
+}
+
+func TestPulseZeroRise(t *testing.T) {
+	p := Pulse{V1: 0, V2: 1, Width: 1e-9}
+	if p.At(0) != 1 {
+		t.Fatal("zero-rise pulse should jump immediately")
+	}
+}
+
+func TestPWLValidation(t *testing.T) {
+	if _, err := NewPWL([]float64{0, 1}, []float64{0}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := NewPWL([]float64{1, 0}, []float64{0, 1}); err == nil {
+		t.Fatal("unsorted times must error")
+	}
+	if _, err := NewPWL([]float64{0, 0}, []float64{0, 1}); err == nil {
+		t.Fatal("duplicate times must error")
+	}
+	if _, err := NewPWL(nil, nil); err == nil {
+		t.Fatal("empty PWL must error")
+	}
+}
+
+func TestPWLInterpolation(t *testing.T) {
+	p, err := NewPWL([]float64{0, 1e-9, 3e-9}, []float64{0, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, v float64 }{
+		{-1e-9, 0}, {0, 0}, {0.5e-9, 1}, {1e-9, 2}, {2e-9, 1.5}, {3e-9, 1}, {5e-9, 1},
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); math.Abs(got-c.v) > 1e-12 {
+			t.Fatalf("PWL at %g: got %g want %g", c.t, got, c.v)
+		}
+	}
+	if math.Abs(p.AC()-2) > 1e-12 {
+		t.Fatalf("PWL AC = %g", p.AC())
+	}
+}
+
+func TestPWLMonotoneBetweenKnotsProperty(t *testing.T) {
+	p, err := NewPWL([]float64{0, 1, 2}, []float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x float64) bool {
+		x = math.Mod(math.Abs(x), 2)
+		v := p.At(x)
+		return v >= -1e-12 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSineWaveform(t *testing.T) {
+	s := Sine{Offset: 1, Amp: 2, Freq: 1e9, Delay: 1e-9}
+	if s.At(0.5e-9) != 1 {
+		t.Fatal("sine must hold offset before delay")
+	}
+	if got := s.At(1e-9 + 0.25e-9); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("sine quarter period: %g", got)
+	}
+	if s.AC() != 2 {
+		t.Fatal("sine AC magnitude")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Trapezoidal.String() != "trapezoidal" || BackwardEuler.String() != "backward-euler" {
+		t.Fatal("method labels")
+	}
+}

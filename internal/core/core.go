@@ -1,0 +1,195 @@
+// Package core orchestrates the full extraction pipeline of the paper —
+// geometry → quadrilateral mesh → BEM assembly → quasi-static equivalent
+// circuit — behind a single board description that the command-line tools
+// read as JSON. Dimensions in the JSON are millimetres (the natural unit of
+// the paper's structures); everything internal is SI.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"pdnsim/internal/bem"
+	"pdnsim/internal/extract"
+	"pdnsim/internal/geom"
+	"pdnsim/internal/greens"
+	"pdnsim/internal/mesh"
+)
+
+// PortSpec places a named external connection (power/ground pin, via,
+// probe pad) on the plane. Coordinates in mm.
+type PortSpec struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x_mm"`
+	Y    float64 `json:"y_mm"`
+}
+
+// ShapeSpec describes the plane outline. Type is "rect", "lshape" or
+// "polygon"; dimensions in mm.
+type ShapeSpec struct {
+	Type   string         `json:"type"`
+	W      float64        `json:"w_mm"`
+	H      float64        `json:"h_mm"`
+	NotchW float64        `json:"notch_w_mm,omitempty"`
+	NotchH float64        `json:"notch_h_mm,omitempty"`
+	Points [][2]float64   `json:"points_mm,omitempty"`
+	Holes  [][][2]float64 `json:"holes_mm,omitempty"`
+}
+
+// BoardSpec is the JSON-facing description of one plane-pair extraction.
+type BoardSpec struct {
+	Name       string     `json:"name"`
+	Shape      ShapeSpec  `json:"shape"`
+	PlaneSepMM float64    `json:"plane_sep_mm"`
+	EpsR       float64    `json:"eps_r"`
+	SheetRes   float64    `json:"sheet_res_ohm_sq"`  // per plane
+	Kernel     string     `json:"kernel,omitempty"`  // "over-ground" (default) or "microstrip"
+	Testing    string     `json:"testing,omitempty"` // "collocation" (default) or "galerkin"
+	MeshNx     int        `json:"mesh_nx"`
+	MeshNy     int        `json:"mesh_ny"`
+	ExtraNodes int        `json:"extra_nodes"`
+	NImages    int        `json:"n_images,omitempty"`
+	Ports      []PortSpec `json:"ports"`
+}
+
+const mm = 1e-3
+
+// ParseBoard decodes and validates a JSON board description.
+func ParseBoard(data []byte) (*BoardSpec, error) {
+	var b BoardSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("core: parsing board: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Validate checks the specification for completeness.
+func (b *BoardSpec) Validate() error {
+	if b.PlaneSepMM <= 0 {
+		return errors.New("core: plane_sep_mm must be positive")
+	}
+	if b.EpsR < 1 {
+		return errors.New("core: eps_r must be ≥ 1")
+	}
+	if b.SheetRes < 0 {
+		return errors.New("core: sheet_res_ohm_sq must be non-negative")
+	}
+	if len(b.Ports) == 0 {
+		return errors.New("core: at least one port is required")
+	}
+	switch b.Shape.Type {
+	case "rect":
+		if b.Shape.W <= 0 || b.Shape.H <= 0 {
+			return errors.New("core: rect shape needs positive w_mm and h_mm")
+		}
+	case "lshape":
+		if b.Shape.W <= 0 || b.Shape.H <= 0 || b.Shape.NotchW <= 0 || b.Shape.NotchH <= 0 {
+			return errors.New("core: lshape needs positive outline and notch")
+		}
+		if b.Shape.NotchW >= b.Shape.W || b.Shape.NotchH >= b.Shape.H {
+			return errors.New("core: lshape notch must be smaller than the outline")
+		}
+	case "polygon":
+		if len(b.Shape.Points) < 3 {
+			return errors.New("core: polygon needs at least 3 points")
+		}
+	default:
+		return fmt.Errorf("core: unknown shape type %q", b.Shape.Type)
+	}
+	switch b.Kernel {
+	case "", "over-ground", "microstrip":
+	default:
+		return fmt.Errorf("core: unknown kernel %q", b.Kernel)
+	}
+	switch b.Testing {
+	case "", "collocation", "galerkin":
+	default:
+		return fmt.Errorf("core: unknown testing scheme %q", b.Testing)
+	}
+	return nil
+}
+
+// BuildShape converts the spec geometry to SI metres.
+func (b *BoardSpec) BuildShape() geom.Shape {
+	var s geom.Shape
+	switch b.Shape.Type {
+	case "rect":
+		s = geom.RectShape(0, 0, b.Shape.W*mm, b.Shape.H*mm)
+	case "lshape":
+		s = geom.LShape(b.Shape.W*mm, b.Shape.H*mm, b.Shape.NotchW*mm, b.Shape.NotchH*mm)
+	case "polygon":
+		var pg geom.Polygon
+		for _, p := range b.Shape.Points {
+			pg = append(pg, geom.Point{X: p[0] * mm, Y: p[1] * mm})
+		}
+		s = geom.Shape{Outline: pg}
+	}
+	for _, h := range b.Shape.Holes {
+		var pg geom.Polygon
+		for _, p := range h {
+			pg = append(pg, geom.Point{X: p[0] * mm, Y: p[1] * mm})
+		}
+		s.Holes = append(s.Holes, pg)
+	}
+	return s
+}
+
+// Result bundles the artefacts of one extraction run.
+type Result struct {
+	Mesh     *mesh.Mesh
+	Assembly *bem.Assembly
+	Network  *extract.Network
+}
+
+// Extract runs the full pipeline: mesh, BEM assembly, port reduction.
+func (b *BoardSpec) Extract() (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	nx, ny := b.MeshNx, b.MeshNy
+	if nx <= 0 {
+		nx = 16
+	}
+	if ny <= 0 {
+		ny = 16
+	}
+	m, err := mesh.Grid(b.BuildShape(), nx, ny)
+	if err != nil {
+		return nil, fmt.Errorf("core: meshing: %w", err)
+	}
+	for _, p := range b.Ports {
+		if _, err := m.AddPort(p.Name, geom.Point{X: p.X * mm, Y: p.Y * mm}); err != nil {
+			return nil, fmt.Errorf("core: port %s: %w", p.Name, err)
+		}
+	}
+	mode := greens.OverGround
+	if b.Kernel == "microstrip" {
+		mode = greens.Microstrip
+	}
+	k, err := greens.NewKernel(mode, b.PlaneSepMM*mm, b.EpsR, b.NImages)
+	if err != nil {
+		return nil, err
+	}
+	opts := bem.DefaultOptions()
+	if b.Testing == "galerkin" {
+		opts.Testing = bem.Galerkin
+	}
+	opts.SheetResistance = b.SheetRes
+	opts.ReturnSheetResistance = b.SheetRes
+	asm, err := bem.Assemble(m, k, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: BEM assembly: %w", err)
+	}
+	nw, err := extract.Extract(asm, extract.Options{ExtraNodes: b.ExtraNodes})
+	if err != nil {
+		return nil, fmt.Errorf("core: extraction: %w", err)
+	}
+	return &Result{Mesh: m, Assembly: asm, Network: nw}, nil
+}

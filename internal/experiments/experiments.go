@@ -1,0 +1,102 @@
+// Package experiments reproduces every figure and quantitative claim of the
+// paper's evaluation (§6). Each experiment is a plain function returning the
+// data series the paper plots, so the same code backs the cmd/experiments
+// regeneration tool and the root benchmark harness.
+//
+// Where the paper used artefacts we cannot have (HP Lab measurements, a
+// commercial line simulator, Mosig's full-wave solver, a customer board),
+// the DESIGN.md substitution table applies: the references here are the
+// analytic cavity model, our 2-D FDTD solver, and closed-form line theory.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table renders aligned columns for terminal output.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// rmsDiff returns the RMS difference between two equally sampled waveforms,
+// normalised by the peak magnitude of the reference.
+func rmsDiff(a, ref []float64) float64 {
+	n := len(a)
+	if len(ref) < n {
+		n = len(ref)
+	}
+	if n == 0 {
+		return 0
+	}
+	var ss, peak float64
+	for i := 0; i < n; i++ {
+		d := a[i] - ref[i]
+		ss += d * d
+		peak = math.Max(peak, math.Abs(ref[i]))
+	}
+	if peak == 0 {
+		return 0
+	}
+	return math.Sqrt(ss/float64(n)) / peak
+}
+
+// resample linearly interpolates waveform (t, v) onto the target axis.
+func resample(t, v, target []float64) []float64 {
+	out := make([]float64, len(target))
+	j := 0
+	for i, tt := range target {
+		for j < len(t)-2 && t[j+1] < tt {
+			j++
+		}
+		if tt <= t[0] {
+			out[i] = v[0]
+			continue
+		}
+		if tt >= t[len(t)-1] {
+			out[i] = v[len(v)-1]
+			continue
+		}
+		f := (tt - t[j]) / (t[j+1] - t[j])
+		out[i] = v[j]*(1-f) + v[j+1]*f
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pdnsim/internal/circuit"
+	"pdnsim/internal/geom"
+	"pdnsim/internal/pkgmodel"
+	"pdnsim/internal/ssn"
+)
+
+// ---------------------------------------------------------------------------
+// SSN1 — pre-layout study (paper §6.2, first example): 7×10 inch six-layer
+// FR4 board, power/ground planes separated by 30 mil, one chip with sixteen
+// CMOS drivers. Ground noise versus the number of simultaneously switching
+// drivers, and decap effectiveness.
+// ---------------------------------------------------------------------------
+
+const inch = 25.4e-3
+
+// SSN1Config sizes the pre-layout study; the zero value reproduces the
+// paper's scenario at a bench-friendly mesh.
+type SSN1Config struct {
+	MeshNx, MeshNy  int
+	SwitchingCounts []int
+	DecapCounts     []int
+	Tstop, Dt       float64
+}
+
+func (c *SSN1Config) defaults() {
+	if c.MeshNx == 0 {
+		c.MeshNx = 20
+	}
+	if c.MeshNy == 0 {
+		c.MeshNy = 14
+	}
+	if len(c.SwitchingCounts) == 0 {
+		c.SwitchingCounts = []int{1, 2, 4, 8, 16}
+	}
+	if len(c.DecapCounts) == 0 {
+		c.DecapCounts = []int{0, 2, 4, 8}
+	}
+	if c.Tstop == 0 {
+		c.Tstop = 8e-9
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.025e-9
+	}
+}
+
+// SSN1Result tabulates the two §6.2 sweeps.
+type SSN1Result struct {
+	SwitchingCounts []int
+	BouncePerCount  []float64 // die ground bounce, no decaps (V)
+	DroopPerCount   []float64 // die rail droop, no decaps (V)
+
+	DecapCounts   []int
+	DroopPerDecap []float64 // plane droop at the chip, 16 drivers switching (V)
+}
+
+func ssn1Board(cfg SSN1Config) ssn.Board {
+	return ssn.Board{
+		Shape:      geom.RectShape(0, 0, 10*inch, 7*inch),
+		PlaneSep:   30 * 25.4e-6, // 30 mil
+		EpsR:       4.5,
+		SheetRes:   0.6e-3, // 1 oz copper
+		MeshNx:     cfg.MeshNx,
+		MeshNy:     cfg.MeshNy,
+		ExtraNodes: 12,
+		BranchTol:  1e-4,
+	}
+}
+
+func ssn1Chip(switching int) ssn.Chip {
+	return ssn.Chip{
+		Name: "U1", At: geom.Point{X: 6.5 * inch, Y: 3.5 * inch},
+		Drivers: 16, Switching: switching, Vdd: 3.3,
+		Pin: pkgmodel.QFPPin, VddPins: 4,
+		Kind:  ssn.RampDriver,
+		LoadC: 30e-12, Delay: 1e-9, Width: 4e-9,
+	}
+}
+
+func ssn1VRM() ssn.VRM {
+	return ssn.VRM{At: geom.Point{X: 0.8 * inch, Y: 0.8 * inch}, V: 3.3, R: 2e-3, L: 20e-9}
+}
+
+// ssn1Decaps places n 100 nF decaps in a ring around the chip.
+func ssn1Decaps(n int) []ssn.Decap {
+	center := geom.Point{X: 6.5 * inch, Y: 3.5 * inch}
+	var out []ssn.Decap
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(maxInt(n, 1))
+		r := 1.2 * inch
+		out = append(out, ssn.Decap{
+			Name: fmt.Sprintf("C%d", i+1),
+			At:   geom.Point{X: center.X + r*math.Cos(ang), Y: center.Y + r*math.Sin(ang)},
+			C:    100e-9, ESR: 20e-3, ESL: 1e-9,
+		})
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SSN1Prelayout runs both sweeps of the pre-layout study.
+func SSN1Prelayout(cfg SSN1Config) (*SSN1Result, error) {
+	cfg.defaults()
+	res := &SSN1Result{SwitchingCounts: cfg.SwitchingCounts, DecapCounts: cfg.DecapCounts}
+	for _, n := range cfg.SwitchingCounts {
+		sys, err := ssn.Build(ssn1Board(cfg), ssn1VRM(), []ssn.Chip{ssn1Chip(n)}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: SSN1 n=%d: %w", n, err)
+		}
+		rep, err := sys.Run(cfg.Dt, cfg.Tstop, circuit.Trapezoidal)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: SSN1 n=%d run: %w", n, err)
+		}
+		res.BouncePerCount = append(res.BouncePerCount, rep.GroundBounce["U1"])
+		res.DroopPerCount = append(res.DroopPerCount, rep.RailDroop["U1"])
+	}
+	for _, nd := range cfg.DecapCounts {
+		sys, err := ssn.Build(ssn1Board(cfg), ssn1VRM(), []ssn.Chip{ssn1Chip(16)}, ssn1Decaps(nd))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: SSN1 decaps=%d: %w", nd, err)
+		}
+		rep, err := sys.Run(cfg.Dt, cfg.Tstop, circuit.Trapezoidal)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: SSN1 decaps=%d run: %w", nd, err)
+		}
+		res.DroopPerDecap = append(res.DroopPerDecap, rep.PlaneDroop["U1"])
+	}
+	return res, nil
+}
+
+// String renders both SSN1 tables.
+func (r *SSN1Result) String() string {
+	var rows [][]string
+	for i, n := range r.SwitchingCounts {
+		rows = append(rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprintf("%.0f mV", r.BouncePerCount[i]*1e3),
+			fmt.Sprintf("%.0f mV", r.DroopPerCount[i]*1e3),
+		})
+	}
+	s := "SSN vs simultaneously switching drivers (no decoupling):\n"
+	s += Table([]string{"switching", "ground bounce", "rail droop"}, rows)
+	rows = rows[:0]
+	for i, n := range r.DecapCounts {
+		rows = append(rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprintf("%.0f mV", r.DroopPerDecap[i]*1e3),
+		})
+	}
+	s += "\nDecap effectiveness (16 drivers switching):\n"
+	s += Table([]string{"decaps", "plane droop at chip"}, rows)
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// SSN2 — post-layout study (paper §6.2, second example): four-layer board,
+// 26 chips, planes at 10 mil, 155 Vcc and 80 Gnd pins. The customer layout
+// was never published, so a synthetic board with the published counts
+// substitutes (see DESIGN.md).
+// ---------------------------------------------------------------------------
+
+// SSN2Config sizes the post-layout study.
+type SSN2Config struct {
+	MeshNx, MeshNy int
+	Chips          int
+	Tstop, Dt      float64
+}
+
+func (c *SSN2Config) defaults() {
+	if c.MeshNx == 0 {
+		c.MeshNx = 24
+	}
+	if c.MeshNy == 0 {
+		c.MeshNy = 18
+	}
+	if c.Chips == 0 {
+		c.Chips = 26
+	}
+	if c.Tstop == 0 {
+		c.Tstop = 6e-9
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.05e-9
+	}
+}
+
+// SSN2Result summarises the board-wide evaluation.
+type SSN2Result struct {
+	Chips            int
+	VccPins, GndPins int
+	WorstBounce      float64
+	WorstDroop       float64
+	WorstChip        string
+	MeanBounce       float64
+}
+
+// SSN2Postlayout builds and runs the 26-chip board.
+func SSN2Postlayout(cfg SSN2Config) (*SSN2Result, error) {
+	cfg.defaults()
+	board := ssn.Board{
+		Shape:      geom.RectShape(0, 0, 240e-3, 180e-3),
+		PlaneSep:   10 * 25.4e-6, // 10 mil
+		EpsR:       4.5,
+		SheetRes:   0.6e-3,
+		MeshNx:     cfg.MeshNx,
+		MeshNy:     cfg.MeshNy,
+		ExtraNodes: 8,
+		BranchTol:  2e-3,
+	}
+	vrm := ssn.VRM{At: geom.Point{X: 8e-3, Y: 8e-3}, V: 3.3, R: 2e-3, L: 15e-9}
+	// 26 chips on a jittered grid; 6 Vcc pin pairs each → 156 ≈ 155 Vcc
+	// pins; 3 of the pairs share ground returns → 26×3 ≈ 78 ≈ 80 Gnd pins.
+	var chips []ssn.Chip
+	cols, rows := 7, 4
+	idx := 0
+	for r := 0; r < rows && idx < cfg.Chips; r++ {
+		for c := 0; c < cols && idx < cfg.Chips; c++ {
+			x := 30e-3 + float64(c)*30e-3
+			y := 30e-3 + float64(r)*40e-3
+			chips = append(chips, ssn.Chip{
+				Name:    fmt.Sprintf("U%02d", idx+1),
+				At:      geom.Point{X: x, Y: y},
+				Drivers: 8, Switching: 4, Vdd: 3.3,
+				Pin: pkgmodel.BGAPin, VddPins: 6,
+				Kind:  ssn.RampDriver,
+				LoadC: 20e-12,
+				// Three staggered switching groups bound the number of
+				// matrix refactorisations.
+				Delay: 1e-9 + float64(idx%3)*0.5e-9,
+				Width: 3e-9,
+			})
+			idx++
+		}
+	}
+	sys, err := ssn.Build(board, vrm, chips, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: SSN2 build: %w", err)
+	}
+	rep, err := sys.Run(cfg.Dt, cfg.Tstop, circuit.Trapezoidal)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: SSN2 run: %w", err)
+	}
+	res := &SSN2Result{Chips: len(chips), VccPins: len(chips) * 6, GndPins: len(chips) * 3}
+	var sum float64
+	for name, b := range rep.GroundBounce {
+		sum += b
+		if b > res.WorstBounce {
+			res.WorstBounce = b
+			res.WorstChip = name
+		}
+	}
+	for _, d := range rep.RailDroop {
+		res.WorstDroop = math.Max(res.WorstDroop, d)
+	}
+	res.MeanBounce = sum / float64(len(rep.GroundBounce))
+	return res, nil
+}
+
+// String renders the SSN2 summary.
+func (r *SSN2Result) String() string {
+	return fmt.Sprintf(
+		"post-layout board: %d chips, %d Vcc pins, %d Gnd pins (paper: 26 chips, 155 Vcc, 80 Gnd)\n"+
+			"worst ground bounce: %.0f mV at %s\n"+
+			"mean ground bounce:  %.0f mV\n"+
+			"worst rail droop:    %.0f mV\n",
+		r.Chips, r.VccPins, r.GndPins,
+		r.WorstBounce*1e3, r.WorstChip, r.MeanBounce*1e3, r.WorstDroop*1e3)
+}

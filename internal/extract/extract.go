@@ -1,0 +1,537 @@
+// Package extract implements the paper's §4: reduction of the assembled BEM
+// system to an N-node distributed equivalent circuit with frequency
+// independent R, L, C elements.
+//
+// The full cell/link system is reduced to a chosen node set (every external
+// power/ground connection, plus optionally a number of interior cells that
+// preserve the distributed resonant behaviour — the paper's third example
+// keeps 42 nodes for a 5-port structure). Reduction is exact Kron/Schur
+// elimination performed independently on the three constituent networks:
+//
+//   - Γ = A·L⁻¹·Aᵀ — the nodal inverse-inductance Laplacian,
+//   - G = A·R⁻¹·Aᵀ — the nodal DC-conductance Laplacian,
+//   - C = P⁻¹       — the Maxwell capacitance matrix.
+//
+// Branch values then follow the paper's Eq. 22–27: every node pair (m,n)
+// carries L_mn = −1/Γ_mn in series with R_mn = −1/G_mn, in parallel with
+// C_mn = −C[m][n]; each node additionally carries the row-sum capacitance to
+// the reference plane. L_mm = 0 (no inductive branch to the reference,
+// Eq. 26).
+package extract
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pdnsim/internal/bem"
+	"pdnsim/internal/circuit"
+	"pdnsim/internal/mat"
+)
+
+// Network is an extracted N-node distributed equivalent circuit. The first
+// NumPorts nodes are external ports (in mesh port order); the remainder are
+// interior nodes kept to preserve distributed behaviour.
+type Network struct {
+	NodeCells []int    // mesh cell index of each node
+	PortNames []string // names of the first NumPorts nodes
+	NumPorts  int
+
+	Gamma *mat.Matrix // nodes×nodes reduced inverse-inductance Laplacian (1/H)
+	G     *mat.Matrix // nodes×nodes reduced conductance Laplacian (S); nil if lossless
+	C     *mat.Matrix // nodes×nodes reduced Maxwell capacitance (F)
+
+	// LossTan adds dielectric loss to frequency-domain evaluations: every
+	// capacitive coupling acquires a parallel conductance ω·tanδ·C. Zero
+	// disables it. Like the skin correction, it affects Y/Zin/PortZ only;
+	// time-domain realisations stay lossless-dielectric.
+	LossTan float64
+
+	// SkinCrossoverHz enables the frequency-dependent surface-resistance
+	// correction in frequency-domain evaluations (Y, Zin, PortZ): above
+	// this frequency the branch resistances scale as √(f/f_c), the skin
+	// regime of a conductor whose thickness equals one skin depth at f_c.
+	// Zero disables the correction (the paper's first-order DC resistance,
+	// Eq. 13); §4.1 notes the "more sophisticated expansion" this
+	// implements. Time-domain realisations (Attach) always use the DC
+	// value. Use SkinCrossover to compute f_c from the conductor stackup.
+	SkinCrossoverHz float64
+}
+
+// SkinCrossover returns the frequency at which the skin depth of a
+// conductor with resistivity rho (Ω·m) equals its thickness t (m):
+// f_c = ρ/(π·μ0·t²). Below f_c current fills the conductor and the DC sheet
+// resistance holds; above it the effective resistance grows as √(f/f_c).
+func SkinCrossover(rho, thickness float64) float64 {
+	if rho <= 0 || thickness <= 0 {
+		return 0
+	}
+	return rho / (math.Pi * 4e-7 * math.Pi * thickness * thickness)
+}
+
+// skinFactor returns the resistance multiplier at angular frequency omega.
+func (n *Network) skinFactor(omega float64) float64 {
+	if n.SkinCrossoverHz <= 0 {
+		return 1
+	}
+	f := omega / (2 * math.Pi)
+	if f <= n.SkinCrossoverHz {
+		return 1
+	}
+	return math.Sqrt(f / n.SkinCrossoverHz)
+}
+
+// Branch is one equivalent-circuit branch: a series R-L in parallel with a
+// capacitance, between nodes M and N. N == -1 denotes the reference plane
+// (such branches are purely capacitive, paper Eq. 26).
+type Branch struct {
+	M, N    int
+	R, L, C float64
+}
+
+// Options tune the extraction.
+type Options struct {
+	// ExtraNodes is the number of interior cells (beyond the ports) kept as
+	// circuit nodes, uniformly subsampled over the mesh. More nodes extend
+	// the upper frequency limit of the macromodel.
+	ExtraNodes int
+	// BranchTol drops inductive/resistive branches whose reduced matrix
+	// entry is smaller than BranchTol times the matrix diagonal — Kron
+	// reduction produces a complete graph with many negligible couplings.
+	// Default 1e-9.
+	BranchTol float64
+}
+
+// Extract reduces an assembled plane to an equivalent circuit on the mesh
+// ports plus opts.ExtraNodes interior nodes.
+func Extract(a *bem.Assembly, opts Options) (*Network, error) {
+	if a == nil {
+		return nil, errors.New("extract: nil assembly")
+	}
+	ports := a.Mesh.PortCells()
+	if len(ports) == 0 {
+		return nil, errors.New("extract: mesh has no ports; call AddPort first")
+	}
+	if opts.BranchTol <= 0 {
+		opts.BranchTol = 1e-9
+	}
+	nodeCells := selectNodes(ports, len(a.Mesh.Cells), opts.ExtraNodes)
+
+	internal := mat.Complement(len(a.Mesh.Cells), nodeCells)
+
+	gamma, err := a.InverseInductanceLaplacian()
+	if err != nil {
+		return nil, fmt.Errorf("extract: inductance system: %w", err)
+	}
+	gammaRed, err := mat.SchurReduce(gamma, nodeCells, internal)
+	if err != nil {
+		return nil, fmt.Errorf("extract: inductance reduction: %w", err)
+	}
+	cFull, err := a.CellCapacitance()
+	if err != nil {
+		return nil, fmt.Errorf("extract: capacitance system: %w", err)
+	}
+	// Capacitance is reduced by Guyan congruence, C_red = Wᵀ·C·W, where W
+	// interpolates eliminated cells from the kept nodes through the
+	// inductive network (W_i = −Γ_ii⁻¹·Γ_ik). A plain Schur complement of C
+	// would treat eliminated cells as electrically floating and lose their
+	// charge; physically they are tied to the kept nodes through the plane's
+	// inductive links, which are shorts at low frequency. Guyan reduction
+	// preserves the total plane capacitance exactly (W maps the all-ones
+	// vector to the all-ones vector because Γ·1 = 0).
+	cRed, err := guyanReduce(cFull, gamma, nodeCells, internal)
+	if err != nil {
+		return nil, fmt.Errorf("extract: capacitance reduction: %w", err)
+	}
+	var gRed *mat.Matrix
+	if g := a.ConductanceLaplacian(); g != nil {
+		gRed, err = mat.SchurReduce(g, nodeCells, internal)
+		if err != nil {
+			return nil, fmt.Errorf("extract: resistance reduction: %w", err)
+		}
+	}
+
+	names := make([]string, len(a.Mesh.Ports))
+	for i, p := range a.Mesh.Ports {
+		names[i] = p.Name
+	}
+	return &Network{
+		NodeCells: nodeCells,
+		PortNames: names,
+		NumPorts:  len(ports),
+		Gamma:     gammaRed,
+		G:         gRed,
+		C:         cRed,
+	}, nil
+}
+
+// guyanReduce computes Wᵀ·C·W with W = [I; −Γ_ii⁻¹·Γ_ik] (kept nodes first).
+func guyanReduce(c, gamma *mat.Matrix, keep, internal []int) (*mat.Matrix, error) {
+	ckk := c.Submatrix(keep, keep)
+	if len(internal) == 0 {
+		return ckk, nil
+	}
+	gii := gamma.Submatrix(internal, internal)
+	gik := gamma.Submatrix(internal, keep)
+	var x *mat.Matrix // x = Γ_ii⁻¹·Γ_ik, so W_internal = −x
+	if ch, err := mat.NewCholesky(gii); err == nil {
+		x, err = ch.SolveMatrix(gik)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		lu, err := mat.NewLU(gii)
+		if err != nil {
+			return nil, err
+		}
+		x, err = lu.SolveMatrix(gik)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cki := c.Submatrix(keep, internal)
+	cii := c.Submatrix(internal, internal)
+	// C_red = C_kk − C_ki·x − xᵀ·C_ik + xᵀ·C_ii·x  (C_ik = C_kiᵀ).
+	red := ckk.SubM(cki.Mul(x))
+	red = red.SubM(x.T().Mul(cki.T()))
+	red = red.AddM(x.T().Mul(cii).Mul(x))
+	red.Symmetrize()
+	return red, nil
+}
+
+// selectNodes returns the port cells followed by up to extra interior cells
+// chosen with a uniform stride over the remaining cell indices (cells are in
+// raster order, so a stride gives a spatially uniform subsample).
+func selectNodes(ports []int, numCells, extra int) []int {
+	nodes := append([]int{}, ports...)
+	if extra <= 0 {
+		return nodes
+	}
+	isPort := make(map[int]bool, len(ports))
+	for _, p := range ports {
+		isPort[p] = true
+	}
+	avail := make([]int, 0, numCells-len(ports))
+	for i := 0; i < numCells; i++ {
+		if !isPort[i] {
+			avail = append(avail, i)
+		}
+	}
+	if extra >= len(avail) {
+		return append(nodes, avail...)
+	}
+	stride := float64(len(avail)) / float64(extra)
+	for i := 0; i < extra; i++ {
+		nodes = append(nodes, avail[int(float64(i)*stride+stride/2)])
+	}
+	return nodes
+}
+
+// NumNodes returns the total node count.
+func (n *Network) NumNodes() int { return len(n.NodeCells) }
+
+// Branches enumerates the equivalent circuit (paper Fig. 2) for export into
+// netlists and circuit simulators. Only physically realisable branches are
+// emitted (positive R, L, C): the small sign-indefinite couplings produced
+// by Kron reduction of a fully coupled system are dropped, along with
+// inductive/capacitive branches below tol·diag. For exact frequency-domain
+// evaluation use Y, which stamps every coupling.
+func (n *Network) Branches(tol float64) []Branch {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	nn := n.NumNodes()
+	var out []Branch
+	gScale := n.Gamma.MaxAbs()
+	cScale := n.C.MaxAbs()
+	for m := 0; m < nn; m++ {
+		for k := m + 1; k < nn; k++ {
+			var b Branch
+			b.M, b.N = m, k
+			keep := false
+			if g := n.Gamma.At(m, k); g < -tol*gScale {
+				b.L = -1 / g
+				keep = true
+				if n.G != nil {
+					if gg := n.G.At(m, k); gg < 0 {
+						b.R = -1 / gg
+					}
+				}
+			}
+			if c := n.C.At(m, k); c < -tol*cScale {
+				b.C = -c
+				keep = true
+			}
+			if keep {
+				out = append(out, b)
+			}
+		}
+		// Row-sum capacitance to the reference plane (paper Eq. 27).
+		var rowSum float64
+		for k := 0; k < nn; k++ {
+			rowSum += n.C.At(m, k)
+		}
+		if rowSum > tol*cScale {
+			out = append(out, Branch{M: m, N: -1, C: rowSum})
+		}
+	}
+	return out
+}
+
+// Y returns the nodal admittance matrix of the equivalent circuit at angular
+// frequency omega: every off-diagonal coupling of the reduced matrices is
+// stamped as a series R-L branch in parallel with a capacitance (paper
+// Eq. 20–21), including the sign-indefinite couplings that Kron reduction of
+// a fully mutual-coupled system produces. With zero loss this reproduces
+// Y = Γ/(jω) + jωC exactly. Size NumNodes×NumNodes; the reference plane is
+// the implicit ground.
+func (n *Network) Y(omega float64) *mat.CMatrix {
+	nn := n.NumNodes()
+	y := mat.CNew(nn, nn)
+	jw := complex(0, omega)
+	// Capacitive part: jωC stamped directly (C already carries the coupling
+	// to the reference in its row sums); dielectric loss appears as the
+	// parallel conductance ω·tanδ·C.
+	cFactor := jw
+	if n.LossTan > 0 {
+		cFactor = complex(omega*n.LossTan, omega)
+	}
+	for r := 0; r < nn; r++ {
+		for c := 0; c < nn; c++ {
+			y.Add(r, c, cFactor*complex(n.C.At(r, c), 0))
+		}
+	}
+	// Inductive/resistive part: one series R-L branch per node pair, with
+	// L_mn = −1/Γ_mn and R_mn = −1/G_mn (skin-corrected when enabled). The
+	// diagonal is the negated branch sum, which enforces the floating
+	// (zero row sum) property exactly.
+	skin := n.skinFactor(omega)
+	for m := 0; m < nn; m++ {
+		for k := m + 1; k < nn; k++ {
+			g := n.Gamma.At(m, k)
+			if g == 0 {
+				continue
+			}
+			l := -1 / g
+			var r float64
+			if n.G != nil {
+				if gg := n.G.At(m, k); gg != 0 {
+					r = -skin / gg
+				}
+			}
+			yb := 1 / (complex(r, 0) + jw*complex(l, 0))
+			y.Add(m, m, yb)
+			y.Add(k, k, yb)
+			y.Add(m, k, -yb)
+			y.Add(k, m, -yb)
+		}
+	}
+	return y
+}
+
+// Zin returns the input impedance seen at the given port (all other ports
+// open) at angular frequency omega.
+func (n *Network) Zin(port int, omega float64) (complex128, error) {
+	if port < 0 || port >= n.NumPorts {
+		return 0, fmt.Errorf("extract: port %d out of range [0,%d)", port, n.NumPorts)
+	}
+	y := n.Y(omega)
+	rhs := make([]complex128, n.NumNodes())
+	rhs[port] = 1
+	v, err := mat.CSolve(y, rhs)
+	if err != nil {
+		return 0, err
+	}
+	return v[port], nil
+}
+
+// PortZ returns the NumPorts×NumPorts open-circuit impedance matrix at
+// angular frequency omega (interior nodes eliminated by the solve).
+func (n *Network) PortZ(omega float64) (*mat.CMatrix, error) {
+	y := n.Y(omega)
+	lu, err := mat.NewCLU(y)
+	if err != nil {
+		return nil, err
+	}
+	np := n.NumPorts
+	z := mat.CNew(np, np)
+	rhs := make([]complex128, n.NumNodes())
+	for p := 0; p < np; p++ {
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		rhs[p] = 1
+		v, err := lu.Solve(rhs)
+		if err != nil {
+			return nil, err
+		}
+		for q := 0; q < np; q++ {
+			z.Set(q, p, v[q])
+		}
+	}
+	return z, nil
+}
+
+// TotalCapacitance returns the summed capacitance of the reduced network to
+// the reference plane (1ᵀ·C·1) — invariant under exact Kron reduction.
+func (n *Network) TotalCapacitance() float64 {
+	var s float64
+	for _, v := range n.C.Data {
+		s += v
+	}
+	return s
+}
+
+// Netlist renders the equivalent circuit as a SPICE-style netlist. Node 0 is
+// the reference plane; circuit nodes are named n1…nN with port aliases in
+// comments.
+func (n *Network) Netlist(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s\n", title)
+	fmt.Fprintf(&b, "* %d nodes (%d ports), extracted by pdnsim\n", n.NumNodes(), n.NumPorts)
+	for i, name := range n.PortNames {
+		fmt.Fprintf(&b, "* port %-12s -> n%d\n", name, i+1)
+	}
+	node := func(i int) string {
+		if i == -1 {
+			return "0"
+		}
+		return fmt.Sprintf("n%d", i+1)
+	}
+	ri, li, ci := 1, 1, 1
+	for _, br := range n.Branches(0) {
+		switch {
+		case br.L > 0 && br.R > 0:
+			mid := fmt.Sprintf("m%d_%d", br.M+1, br.N+1)
+			fmt.Fprintf(&b, "R%d %s %s %.6g\n", ri, node(br.M), mid, br.R)
+			fmt.Fprintf(&b, "L%d %s %s %.6g\n", li, mid, node(br.N), br.L)
+			ri++
+			li++
+		case br.L > 0:
+			fmt.Fprintf(&b, "L%d %s %s %.6g\n", li, node(br.M), node(br.N), br.L)
+			li++
+		}
+		if br.C > 0 {
+			fmt.Fprintf(&b, "C%d %s %s %.6g\n", ci, node(br.M), node(br.N), br.C)
+			ci++
+		}
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}
+
+// ResonantFrequencies returns the natural (open-circuit) resonant
+// frequencies of the lossless equivalent circuit in Hz, ascending. They are
+// the generalized eigenvalues of Γ·x = ω²·C·x — the poles of the impedance
+// matrix — computed directly instead of scanning Zin for peaks. The zero
+// mode (the floating network's common charging mode) is excluded.
+func (n *Network) ResonantFrequencies() ([]float64, error) {
+	vals, _, err := mat.GeneralizedSymEigen(n.Gamma, n.C)
+	if err != nil {
+		return nil, fmt.Errorf("extract: modal eigenproblem: %w", err)
+	}
+	scale := 0.0
+	for _, v := range vals {
+		if v > scale {
+			scale = v
+		}
+	}
+	out := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if v <= 1e-9*scale {
+			continue // the singular common mode (Γ·1 = 0)
+		}
+		out = append(out, math.Sqrt(v)/(2*math.Pi))
+	}
+	return out, nil
+}
+
+// Attach realises the equivalent circuit inside a circuit.Circuit netlist.
+// Node i of the network becomes circuit node "<prefix>_n<i>"; the reference
+// plane maps to the circuit ground. Returns the circuit node indices of the
+// network's ports, in port order. Branch R-L pairs get an internal midpoint
+// node per branch.
+func (n *Network) Attach(c *circuit.Circuit, prefix string) ([]int, error) {
+	return n.AttachTol(c, prefix, 0)
+}
+
+// AttachTol is Attach with an explicit branch-pruning tolerance: couplings
+// below tol times the reduced-matrix diagonal are not realised. Large
+// many-port systems use this to keep the MNA size manageable (every
+// inductive branch adds a circuit unknown); tol ≤ 0 keeps everything
+// physical.
+func (n *Network) AttachTol(c *circuit.Circuit, prefix string, tol float64) ([]int, error) {
+	nodes := make([]int, n.NumNodes())
+	for i := range nodes {
+		nodes[i] = c.Node(fmt.Sprintf("%s_n%d", prefix, i))
+	}
+	node := func(i int) int {
+		if i == -1 {
+			return circuit.Ground
+		}
+		return nodes[i]
+	}
+	for bi, br := range n.Branches(tol) {
+		base := fmt.Sprintf("%s_b%d", prefix, bi)
+		if br.L > 0 {
+			// A lossless extraction would create loops of ideal inductors,
+			// whose circulating DC current is indeterminate (singular MNA
+			// operating point). A vanishing series resistance breaks the
+			// degeneracy without affecting the response.
+			r := br.R
+			if r <= 0 {
+				r = 1e-6
+			}
+			mid := c.Node(base + "_m")
+			if _, err := c.AddResistor(base+"_r", node(br.M), mid, r); err != nil {
+				return nil, err
+			}
+			if _, err := c.AddInductor(base+"_l", mid, node(br.N), br.L); err != nil {
+				return nil, err
+			}
+		}
+		if br.C > 0 {
+			if _, err := c.AddCapacitor(base+"_c", node(br.M), node(br.N), br.C); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nodes[:n.NumPorts], nil
+}
+
+// FindPeaks returns the indices of local maxima of mag that exceed both
+// neighbours, sorted by frequency. Used to locate resonances in impedance
+// sweeps (paper example 1).
+func FindPeaks(mag []float64) []int {
+	var peaks []int
+	for i := 1; i < len(mag)-1; i++ {
+		if mag[i] > mag[i-1] && mag[i] > mag[i+1] {
+			peaks = append(peaks, i)
+		}
+	}
+	sort.Ints(peaks)
+	return peaks
+}
+
+// RefinePeak improves a peak estimate by parabolic interpolation through the
+// three samples around index i; returns the interpolated abscissa.
+func RefinePeak(x, y []float64, i int) float64 {
+	if i <= 0 || i >= len(y)-1 {
+		return x[i]
+	}
+	d1 := y[i] - y[i-1]
+	d2 := y[i] - y[i+1]
+	den := d1 + d2
+	if den == 0 {
+		return x[i]
+	}
+	// Assume locally uniform spacing.
+	h := (x[i+1] - x[i-1]) / 2
+	delta := 0.5 * (d1 - d2) / den
+	if math.Abs(delta) > 1 {
+		return x[i]
+	}
+	return x[i] + delta*h
+}

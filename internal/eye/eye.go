@@ -1,0 +1,163 @@
+// Package eye folds transient waveforms into eye diagrams and measures
+// their openings — the standard deliverable of system-level signal
+// integrity simulation (the paper's §5.2 co-simulation exists to predict
+// exactly these margins: how much SSN, crosstalk, reflections and
+// bandwidth loss close the data eye).
+package eye
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pdnsim/internal/circuit"
+)
+
+// Result is the measured eye opening.
+type Result struct {
+	Period    float64
+	EyeHeight float64 // best vertical opening across the unit interval (V)
+	EyeWidth  float64 // contiguous span where the opening stays above half the best (s)
+	BestPhase float64 // phase (s into the UI) of the best opening
+	Bins      int
+	// Opening per phase bin (V); ≤0 where the eye is closed.
+	Opening []float64
+}
+
+// Analyze folds (t, v) at the given bit period and measures the eye between
+// the logic levels vLow/vHigh. skip discards the start-up transient. The
+// waveform must span at least three bit periods after skip.
+func Analyze(t, v []float64, period, vLow, vHigh, skip float64) (*Result, error) {
+	if len(t) != len(v) || len(t) < 8 {
+		return nil, errors.New("eye: need matched, non-trivial waveforms")
+	}
+	if period <= 0 || vHigh <= vLow {
+		return nil, fmt.Errorf("eye: invalid period %g or levels [%g, %g]", period, vLow, vHigh)
+	}
+	if t[len(t)-1]-skip < 3*period {
+		return nil, errors.New("eye: waveform too short for the bit period")
+	}
+	// Pick the phase resolution from the sampling density: more bins than
+	// samples per unit interval would leave empty bins that read as closed.
+	dt := (t[len(t)-1] - t[0]) / float64(len(t)-1)
+	bins := int(period / dt / 2)
+	if bins > 128 {
+		bins = 128
+	}
+	if bins < 8 {
+		bins = 8
+	}
+	mid := (vLow + vHigh) / 2
+	minHigh := make([]float64, bins)
+	maxLow := make([]float64, bins)
+	hasHigh := make([]bool, bins)
+	hasLow := make([]bool, bins)
+	for i := range minHigh {
+		minHigh[i] = math.Inf(1)
+		maxLow[i] = math.Inf(-1)
+	}
+	for i, tt := range t {
+		if tt < skip {
+			continue
+		}
+		phase := math.Mod(tt-skip, period)
+		b := int(phase / period * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if v[i] >= mid {
+			hasHigh[b] = true
+			minHigh[b] = math.Min(minHigh[b], v[i])
+		} else {
+			hasLow[b] = true
+			maxLow[b] = math.Max(maxLow[b], v[i])
+		}
+	}
+	res := &Result{Period: period, Bins: bins, Opening: make([]float64, bins)}
+	for b := 0; b < bins; b++ {
+		switch {
+		case hasHigh[b] && hasLow[b]:
+			res.Opening[b] = minHigh[b] - maxLow[b]
+		case hasHigh[b]:
+			res.Opening[b] = minHigh[b] - vLow
+		case hasLow[b]:
+			res.Opening[b] = vHigh - maxLow[b]
+		default:
+			res.Opening[b] = 0
+		}
+	}
+	// Best opening and the contiguous open width around it (circular).
+	best := 0
+	for b := 1; b < bins; b++ {
+		if res.Opening[b] > res.Opening[best] {
+			best = b
+		}
+	}
+	res.EyeHeight = math.Max(0, res.Opening[best])
+	res.BestPhase = (float64(best) + 0.5) / float64(bins) * period
+	// Width at half height: the contiguous phase span (circular, around the
+	// best instant) where the opening stays above EyeHeight/2.
+	if res.EyeHeight > 0 {
+		threshold := res.EyeHeight / 2
+		open := 1
+		for d := 1; d < bins; d++ {
+			if res.Opening[(best+d)%bins] < threshold {
+				break
+			}
+			open++
+		}
+		for d := 1; d < bins; d++ {
+			if res.Opening[(best-d+bins)%bins] < threshold {
+				break
+			}
+			open++
+		}
+		if open > bins {
+			open = bins
+		}
+		res.EyeWidth = float64(open) / float64(bins) * period
+	}
+	return res, nil
+}
+
+// PRBS returns a pseudo-random bit sequence of length n from a seeded
+// generator (deterministic for reproducible tests and benches).
+func PRBS(n int, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 1
+	}
+	return bits
+}
+
+// BitWaveform builds a PWL source waveform from a bit pattern: each bit
+// lasts period seconds with the given 10–90 % style edge time, swinging
+// between vLow and vHigh.
+func BitWaveform(bits []bool, period, edge, vLow, vHigh float64) (circuit.PWL, error) {
+	if len(bits) == 0 || period <= 0 || edge <= 0 || edge >= period {
+		return circuit.PWL{}, errors.New("eye: invalid bit waveform parameters")
+	}
+	level := func(b bool) float64 {
+		if b {
+			return vHigh
+		}
+		return vLow
+	}
+	var ts, vs []float64
+	ts = append(ts, 0)
+	vs = append(vs, level(bits[0]))
+	for i := 1; i < len(bits); i++ {
+		if bits[i] == bits[i-1] {
+			continue
+		}
+		t0 := float64(i) * period
+		ts = append(ts, t0, t0+edge)
+		vs = append(vs, level(bits[i-1]), level(bits[i]))
+	}
+	end := float64(len(bits)) * period
+	ts = append(ts, end)
+	vs = append(vs, level(bits[len(bits)-1]))
+	return circuit.NewPWL(ts, vs)
+}

@@ -1,0 +1,189 @@
+package eye
+
+import (
+	"math"
+	"testing"
+
+	"pdnsim/internal/circuit"
+)
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze([]float64{0}, []float64{0}, 1, 0, 1, 0); err == nil {
+		t.Fatal("short waveform must error")
+	}
+	tt := make([]float64, 100)
+	vv := make([]float64, 100)
+	for i := range tt {
+		tt[i] = float64(i) * 1e-9
+	}
+	if _, err := Analyze(tt, vv, -1, 0, 1, 0); err == nil {
+		t.Fatal("bad period must error")
+	}
+	if _, err := Analyze(tt, vv, 1e-9, 1, 0, 0); err == nil {
+		t.Fatal("inverted levels must error")
+	}
+	if _, err := Analyze(tt[:10], vv[:10], 1e-6, 0, 1, 0); err == nil {
+		t.Fatal("too few periods must error")
+	}
+}
+
+func TestBitWaveform(t *testing.T) {
+	w, err := BitWaveform([]bool{false, true, true, false}, 1e-9, 0.1e-9, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := w.At(0.5e-9); v != 0 {
+		t.Fatalf("bit 0 = %g", v)
+	}
+	if v := w.At(1.5e-9); v != 3 {
+		t.Fatalf("bit 1 = %g", v)
+	}
+	if v := w.At(2.5e-9); v != 3 {
+		t.Fatalf("bit 2 = %g", v)
+	}
+	if v := w.At(3.5e-9); v != 0 {
+		t.Fatalf("bit 3 = %g", v)
+	}
+	// Mid-edge value.
+	if v := w.At(1e-9 + 0.05e-9); math.Abs(v-1.5) > 1e-9 {
+		t.Fatalf("edge midpoint = %g", v)
+	}
+	if _, err := BitWaveform(nil, 1e-9, 0.1e-9, 0, 1); err == nil {
+		t.Fatal("empty bits must error")
+	}
+	if _, err := BitWaveform([]bool{true}, 1e-9, 2e-9, 0, 1); err == nil {
+		t.Fatal("edge ≥ period must error")
+	}
+}
+
+func TestPRBSDeterministic(t *testing.T) {
+	a := PRBS(64, 7)
+	b := PRBS(64, 7)
+	ones := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PRBS must be deterministic per seed")
+		}
+		if a[i] {
+			ones++
+		}
+	}
+	if ones < 16 || ones > 48 {
+		t.Fatalf("implausible bit balance: %d/64", ones)
+	}
+}
+
+// idealEye: a clean PWL bit stream must show a nearly full-swing eye.
+func TestAnalyzeIdealPattern(t *testing.T) {
+	period := 1e-9
+	bits := PRBS(60, 3)
+	w, err := BitWaveform(bits, period, 0.1e-9, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts, vs []float64
+	for tt := 0.0; tt < 60e-9; tt += 0.01e-9 {
+		ts = append(ts, tt)
+		vs = append(vs, w.At(tt))
+	}
+	res, err := Analyze(ts, vs, period, 0, 1, 2e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EyeHeight < 0.95 {
+		t.Fatalf("ideal eye height = %g", res.EyeHeight)
+	}
+	// Edges consume ~10 % of the UI on each side.
+	if res.EyeWidth < 0.7*period || res.EyeWidth > period {
+		t.Fatalf("ideal eye width = %g", res.EyeWidth)
+	}
+}
+
+// runChannel drives a PRBS through an RC-limited channel and measures the
+// eye at the far end.
+func runChannel(t *testing.T, period float64, rcTau float64) *Result {
+	t.Helper()
+	bits := PRBS(50, 11)
+	w, err := BitWaveform(bits, period, period/10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New()
+	in := c.Node("in")
+	out := c.Node("out")
+	if _, err := c.AddVSource("V1", in, circuit.Ground, w); err != nil {
+		t.Fatal(err)
+	}
+	r := 50.0
+	if _, err := c.AddResistor("R1", in, out, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddCapacitor("C1", out, circuit.Ground, rcTau/r); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Tran(circuit.TranOptions{
+		Dt: period / 100, Tstop: 50 * period, Method: circuit.Trapezoidal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eyeRes, err := Analyze(res.Time, res.V(out), period, 0, 1, 5*period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eyeRes
+}
+
+func TestEyeClosesWithBandwidthLimit(t *testing.T) {
+	period := 1e-9
+	fast := runChannel(t, period, 0.05e-9) // τ ≪ UI: open eye
+	slow := runChannel(t, period, 0.5e-9)  // τ = UI/2: ISI closes it
+	if fast.EyeHeight < 0.9 {
+		t.Fatalf("fast channel eye = %g", fast.EyeHeight)
+	}
+	if slow.EyeHeight >= fast.EyeHeight {
+		t.Fatalf("ISI must close the eye: %g vs %g", slow.EyeHeight, fast.EyeHeight)
+	}
+	if slow.EyeWidth >= fast.EyeWidth {
+		t.Fatalf("ISI must narrow the eye: %g vs %g", slow.EyeWidth, fast.EyeWidth)
+	}
+}
+
+// Through a matched transmission line the eye stays open and the best
+// sampling instant shifts by the line delay (mod the bit period).
+func TestEyeThroughMatchedLine(t *testing.T) {
+	period := 1e-9
+	bits := PRBS(50, 23)
+	w, err := BitWaveform(bits, period, 0.1e-9, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New()
+	src := c.Node("src")
+	in := c.Node("in")
+	out := c.Node("out")
+	if _, err := c.AddVSource("V1", src, circuit.Ground, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResistor("Rs", src, in, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddTLine("T1", in, circuit.Ground, out, circuit.Ground, 50, 1.3e-9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResistor("Rl", out, circuit.Ground, 50); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Tran(circuit.TranOptions{Dt: 0.01e-9, Tstop: 50e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far-end levels are halved by the source divider (0 … 0.5 V).
+	eyeRes, err := Analyze(res.Time, res.V(out), period, 0, 0.5, 5e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eyeRes.EyeHeight < 0.45 {
+		t.Fatalf("matched line eye = %g", eyeRes.EyeHeight)
+	}
+}

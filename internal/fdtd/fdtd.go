@@ -1,0 +1,254 @@
+// Package fdtd is the 2-D finite-difference time-domain solver the paper
+// uses as an independent reference for plane-pair transients (§6.1, Fig. 8).
+//
+// A power/ground plane pair of separation d behaves as a 2-D transmission
+// line: the inter-plane voltage V(x,y,t) and the sheet currents Ix, Iy (A/m)
+// obey
+//
+//	L′·∂Ix/∂t + R′·Ix = −∂V/∂x          L′ = μ0·d   (H per square)
+//	L′·∂Iy/∂t + R′·Iy = −∂V/∂y          R′ = plane + return sheet resistance
+//	C″·∂V/∂t = −(∂Ix/∂x + ∂Iy/∂y) − J   C″ = ε0εr/d (F per area)
+//
+// discretised on a staggered (Yee) grid with leapfrog time stepping. Plane
+// edges are open circuits (magnetic walls). Ports are Thevenin sources
+// (resistor in series with a voltage waveform) attached between the planes
+// at a cell, integrated semi-implicitly for unconditional port stability.
+package fdtd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pdnsim/internal/geom"
+	"pdnsim/internal/greens"
+)
+
+// Port is a resistive Thevenin connection between the planes at one cell.
+type Port struct {
+	Name   string
+	I, J   int
+	R      float64
+	Source func(t float64) float64 // open-circuit voltage; nil ⇒ passive load
+
+	V []float64 // recorded inter-plane voltage per step (filled by Run)
+}
+
+// Sim is one plane-pair FDTD simulation.
+type Sim struct {
+	Nx, Ny int
+	Dx, Dy float64
+	Lsq    float64 // μ0·d, H per square
+	Carea  float64 // ε0εr/d, F per area
+	Rsq    float64 // total sheet resistance, Ω per square
+
+	v      [][]float64
+	ix     [][]float64 // Nx+1 × Ny, on vertical cell edges
+	iy     [][]float64 // Nx × Ny+1, on horizontal cell edges
+	active [][]bool
+
+	ports []*Port
+	shape geom.Shape
+	t0    float64 // accumulated simulated time across Run calls
+}
+
+// New builds a simulation over the given plane shape, meshed nx×ny over the
+// shape bounds, with plate separation d (m), permittivity epsR, and total
+// sheet resistance rsq (Ω/sq, forward plus return plane).
+func New(shape geom.Shape, nx, ny int, d, epsR, rsq float64) (*Sim, error) {
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("fdtd: grid too small: %dx%d", nx, ny)
+	}
+	if d <= 0 || epsR <= 0 || rsq < 0 {
+		return nil, fmt.Errorf("fdtd: invalid stackup d=%g epsR=%g rsq=%g", d, epsR, rsq)
+	}
+	b := shape.Bounds()
+	if b.W() <= 0 || b.H() <= 0 {
+		return nil, errors.New("fdtd: empty shape")
+	}
+	s := &Sim{
+		Nx: nx, Ny: ny,
+		Dx: b.W() / float64(nx), Dy: b.H() / float64(ny),
+		Lsq:   greens.Mu0 * d,
+		Carea: greens.Eps0 * epsR / d,
+		Rsq:   rsq,
+		shape: shape,
+	}
+	s.v = alloc(nx, ny)
+	s.ix = alloc(nx+1, ny)
+	s.iy = alloc(nx, ny+1)
+	s.active = make([][]bool, nx)
+	anyActive := false
+	for i := 0; i < nx; i++ {
+		s.active[i] = make([]bool, ny)
+		for j := 0; j < ny; j++ {
+			c := geom.Point{
+				X: b.X0 + (float64(i)+0.5)*s.Dx,
+				Y: b.Y0 + (float64(j)+0.5)*s.Dy,
+			}
+			s.active[i][j] = shape.Contains(c)
+			anyActive = anyActive || s.active[i][j]
+		}
+	}
+	if !anyActive {
+		return nil, errors.New("fdtd: no active cells; refine the grid")
+	}
+	return s, nil
+}
+
+func alloc(nx, ny int) [][]float64 {
+	m := make([][]float64, nx)
+	for i := range m {
+		m[i] = make([]float64, ny)
+	}
+	return m
+}
+
+// AddPort attaches a Thevenin port at the active cell nearest to p.
+// source == nil makes it a passive load resistor.
+func (s *Sim) AddPort(name string, p geom.Point, r float64, source func(t float64) float64) (*Port, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("fdtd: port %s needs a positive resistance", name)
+	}
+	b := s.shape.Bounds()
+	bi, bj, best := -1, -1, math.Inf(1)
+	for i := 0; i < s.Nx; i++ {
+		for j := 0; j < s.Ny; j++ {
+			if !s.active[i][j] {
+				continue
+			}
+			c := geom.Point{
+				X: b.X0 + (float64(i)+0.5)*s.Dx,
+				Y: b.Y0 + (float64(j)+0.5)*s.Dy,
+			}
+			if d := c.Dist(p); d < best {
+				bi, bj, best = i, j, d
+			}
+		}
+	}
+	port := &Port{Name: name, I: bi, J: bj, R: r, Source: source}
+	s.ports = append(s.ports, port)
+	return port, nil
+}
+
+// MaxStableDt returns the 2-D Courant limit of the grid.
+func (s *Sim) MaxStableDt() float64 {
+	vph := 1 / math.Sqrt(s.Lsq*s.Carea)
+	return 1 / (vph * math.Sqrt(1/(s.Dx*s.Dx)+1/(s.Dy*s.Dy)))
+}
+
+// Result carries the time axis of a run; port voltages are recorded on the
+// ports themselves.
+type Result struct {
+	Time []float64
+}
+
+// Run leapfrogs the grid for tstop seconds with step dt, recording every
+// port's inter-plane voltage. dt must respect the Courant limit.
+func (s *Sim) Run(dt, tstop float64) (*Result, error) {
+	if dt <= 0 || tstop <= dt {
+		return nil, fmt.Errorf("fdtd: invalid window dt=%g tstop=%g", dt, tstop)
+	}
+	if limit := s.MaxStableDt(); dt > limit {
+		return nil, fmt.Errorf("fdtd: dt=%g exceeds the Courant limit %g", dt, limit)
+	}
+	steps := int(math.Round(tstop / dt))
+	res := &Result{}
+	for _, p := range s.ports {
+		p.V = make([]float64, 0, steps+1)
+		p.V = append(p.V, s.v[p.I][p.J])
+	}
+	res.Time = append(res.Time, s.t0)
+
+	// Loss term, semi-implicit: (L/dt)(I⁺−I⁻) + R·(I⁺+I⁻)/2 = −∂V.
+	a := s.Rsq * dt / (2 * s.Lsq)
+	cI1 := (1 - a) / (1 + a)
+	cI2 := dt / (s.Lsq * (1 + a))
+	cellArea := s.Dx * s.Dy
+
+	// Port cells get the resistor folded into the same voltage update
+	// (semi-implicit), which keeps the leapfrog scheme passive:
+	//   C″A·(V⁺−V⁻)/dt = −div − (V⁺+V⁻)/(2R) + Vs/R.
+	type portCoef struct {
+		p    *Port
+		beta float64
+	}
+	coefs := make(map[[2]int]portCoef, len(s.ports))
+	for _, p := range s.ports {
+		coefs[[2]int{p.I, p.J}] = portCoef{p: p, beta: dt / (2 * p.R * s.Carea * cellArea)}
+	}
+
+	for n := 1; n <= steps; n++ {
+		t := s.t0 + float64(n)*dt
+		// Current updates (half step earlier in leapfrog time).
+		for i := 1; i < s.Nx; i++ {
+			for j := 0; j < s.Ny; j++ {
+				if s.active[i-1][j] && s.active[i][j] {
+					s.ix[i][j] = cI1*s.ix[i][j] - cI2*(s.v[i][j]-s.v[i-1][j])/s.Dx
+				} else {
+					s.ix[i][j] = 0
+				}
+			}
+		}
+		for i := 0; i < s.Nx; i++ {
+			for j := 1; j < s.Ny; j++ {
+				if s.active[i][j-1] && s.active[i][j] {
+					s.iy[i][j] = cI1*s.iy[i][j] - cI2*(s.v[i][j]-s.v[i][j-1])/s.Dy
+				} else {
+					s.iy[i][j] = 0
+				}
+			}
+		}
+		// Voltage update (ports folded in semi-implicitly).
+		for i := 0; i < s.Nx; i++ {
+			for j := 0; j < s.Ny; j++ {
+				if !s.active[i][j] {
+					continue
+				}
+				div := (s.ix[i+1][j]-s.ix[i][j])*s.Dy + (s.iy[i][j+1]-s.iy[i][j])*s.Dx
+				dv := -dt / (s.Carea * cellArea) * div
+				if pc, ok := coefs[[2]int{i, j}]; ok {
+					vs := 0.0
+					if pc.p.Source != nil {
+						vs = pc.p.Source(t)
+					}
+					s.v[i][j] = (s.v[i][j]*(1-pc.beta) + dv + 2*pc.beta*vs) / (1 + pc.beta)
+				} else {
+					s.v[i][j] += dv
+				}
+			}
+		}
+		for _, p := range s.ports {
+			p.V = append(p.V, s.v[p.I][p.J])
+		}
+		res.Time = append(res.Time, t)
+	}
+	s.t0 += float64(steps) * dt
+	return res, nil
+}
+
+// TotalEnergy returns the instantaneous field energy (J) stored in the grid
+// — used to verify lossless conservation.
+func (s *Sim) TotalEnergy() float64 {
+	cellArea := s.Dx * s.Dy
+	var e float64
+	for i := 0; i < s.Nx; i++ {
+		for j := 0; j < s.Ny; j++ {
+			if s.active[i][j] {
+				e += 0.5 * s.Carea * cellArea * s.v[i][j] * s.v[i][j]
+			}
+		}
+	}
+	// Magnetic energy: ½·L′·I²·(area of the link square).
+	for i := 1; i < s.Nx; i++ {
+		for j := 0; j < s.Ny; j++ {
+			e += 0.5 * s.Lsq * s.ix[i][j] * s.ix[i][j] * cellArea
+		}
+	}
+	for i := 0; i < s.Nx; i++ {
+		for j := 1; j < s.Ny; j++ {
+			e += 0.5 * s.Lsq * s.iy[i][j] * s.iy[i][j] * cellArea
+		}
+	}
+	return e
+}

@@ -1,0 +1,252 @@
+// Package greens implements the quasi-static layered-media Green's functions
+// of the DAC'98 formulation (paper §3.1 after the §4.1 quasi-static
+// approximation drops retardation), together with the closed-form panel
+// integrals used to fill the BEM matrices.
+//
+// Three scalar-potential kernels are provided for a thin conductor at height
+// h above a perfectly conducting return plane:
+//
+//   - FreeSpace:        G = 1/(4πε0 r) — no return plane, homogeneous vacuum.
+//
+//   - OverGround:       homogeneous dielectric εr filling the space, ground
+//     plane handled with a single image:  G = (1/4πε0εr)(1/r − 1/r₂ₕ).
+//     This is the buried plane-pair (stripline-like) kernel; its DC limit
+//     reproduces the parallel-plate capacitance ε0εr·A/h exactly.
+//
+//   - Microstrip:       conductor at the air/dielectric interface of a
+//     grounded slab (thickness h, permittivity εr). Derived in the spectral
+//     domain and expanded into the image series
+//
+//     G(ρ) = 1/(4πε̄) [ 1/r − (1+K) Σ_{n≥1} (−K)^{n−1} / √(ρ²+(2nh)²) ]
+//
+//     with ε̄ = ε0(εr+1)/2 and K = (εr−1)/(εr+1). Its DC (large-plate)
+//     limit is also exactly ε0εr·A/h, and εr→1 degenerates to OverGround.
+//
+// The vector-potential (inductance) kernel sees the ground plane as a single
+// negative image and is independent of the dielectric:
+//
+//	G_A = (μ0/4π)(1/r − 1/√(ρ²+4h²)).
+package greens
+
+import (
+	"fmt"
+	"math"
+
+	"pdnsim/internal/geom"
+)
+
+// Physical constants (SI).
+const (
+	Eps0 = 8.8541878128e-12 // vacuum permittivity, F/m
+	Mu0  = 4e-7 * math.Pi   // vacuum permeability, H/m
+	C0   = 299792458.0      // speed of light, m/s
+)
+
+// KernelMode selects the layered-media model.
+type KernelMode int
+
+const (
+	// FreeSpace is the homogeneous vacuum kernel (no return plane).
+	FreeSpace KernelMode = iota
+	// OverGround is a conductor over a ground plane in a homogeneous
+	// dielectric εr (buried plane pair).
+	OverGround
+	// Microstrip is a conductor at the air/dielectric interface of a
+	// grounded slab of thickness h and relative permittivity εr.
+	Microstrip
+)
+
+func (m KernelMode) String() string {
+	switch m {
+	case FreeSpace:
+		return "free-space"
+	case OverGround:
+		return "over-ground"
+	case Microstrip:
+		return "microstrip"
+	default:
+		return fmt.Sprintf("KernelMode(%d)", int(m))
+	}
+}
+
+// Kernel evaluates panel integrals of the scalar- and vector-potential
+// Green's functions for one conductor layer.
+type Kernel struct {
+	Mode    KernelMode
+	H       float64 // conductor height above the return plane, m
+	EpsR    float64 // relative permittivity of the substrate
+	NImages int     // image-series truncation for Microstrip (≥1)
+}
+
+// NewKernel builds a kernel, applying defaults (EpsR 1, NImages 12) and
+// validating the configuration.
+func NewKernel(mode KernelMode, h, epsR float64, nImages int) (*Kernel, error) {
+	if epsR <= 0 {
+		epsR = 1
+	}
+	if nImages <= 0 {
+		nImages = 12
+	}
+	if mode != FreeSpace && h <= 0 {
+		return nil, fmt.Errorf("greens: mode %v requires a positive height, got %g", mode, h)
+	}
+	return &Kernel{Mode: mode, H: h, EpsR: epsR, NImages: nImages}, nil
+}
+
+// imageTerm is one term of the image expansion: coefficient c and vertical
+// offset z of the image layer.
+type imageTerm struct {
+	c float64
+	z float64
+}
+
+// scalarSeries returns the image expansion of the scalar-potential kernel and
+// its leading material prefactor (so G = pref · Σ c_i/√(ρ²+z_i²)).
+func (k *Kernel) scalarSeries() (pref float64, terms []imageTerm) {
+	switch k.Mode {
+	case FreeSpace:
+		return 1 / (4 * math.Pi * Eps0), []imageTerm{{1, 0}}
+	case OverGround:
+		return 1 / (4 * math.Pi * Eps0 * k.EpsR), []imageTerm{
+			{1, 0}, {-1, 2 * k.H},
+		}
+	case Microstrip:
+		kc := (k.EpsR - 1) / (k.EpsR + 1)
+		ebar := Eps0 * (k.EpsR + 1) / 2
+		terms = make([]imageTerm, 0, k.NImages+1)
+		terms = append(terms, imageTerm{1, 0})
+		coef := -(1 + kc)
+		for n := 1; n <= k.NImages; n++ {
+			terms = append(terms, imageTerm{coef, 2 * float64(n) * k.H})
+			coef *= -kc
+			if math.Abs(coef) < 1e-14 {
+				break
+			}
+		}
+		return 1 / (4 * math.Pi * ebar), terms
+	default:
+		panic("greens: unknown kernel mode")
+	}
+}
+
+// vectorSeries returns the image expansion of the vector-potential kernel.
+func (k *Kernel) vectorSeries() (pref float64, terms []imageTerm) {
+	pref = Mu0 / (4 * math.Pi)
+	if k.Mode == FreeSpace {
+		return pref, []imageTerm{{1, 0}}
+	}
+	return pref, []imageTerm{{1, 0}, {-1, 2 * k.H}}
+}
+
+// ScalarPanel returns the scalar potential at obs produced by a unit surface
+// charge density on the source rectangle:  ∫ G_φ(obs, r′) dA′  [V·m²/C].
+func (k *Kernel) ScalarPanel(src geom.Rect, obs geom.Point) float64 {
+	pref, terms := k.scalarSeries()
+	var s float64
+	for _, t := range terms {
+		s += t.c * RectIntegralInvR(src, obs, t.z)
+	}
+	return pref * s
+}
+
+// VectorPanel returns the in-plane vector potential magnitude at obs produced
+// by a unit surface current density on the source rectangle (both flowing in
+// the same in-plane direction):  ∫ G_A(obs, r′) dA′  [H/m · m² = H·m].
+func (k *Kernel) VectorPanel(src geom.Rect, obs geom.Point) float64 {
+	pref, terms := k.vectorSeries()
+	var s float64
+	for _, t := range terms {
+		s += t.c * RectIntegralInvR(src, obs, t.z)
+	}
+	return pref * s
+}
+
+// ScalarPanelGalerkin averages ScalarPanel over the observation rectangle
+// with an n×n Gauss-Legendre rule (Galerkin testing, paper §3.2).
+func (k *Kernel) ScalarPanelGalerkin(src, obs geom.Rect, n int) float64 {
+	return k.panelGalerkin(src, obs, n, k.ScalarPanel)
+}
+
+// VectorPanelGalerkin averages VectorPanel over the observation rectangle
+// with an n×n Gauss-Legendre rule.
+func (k *Kernel) VectorPanelGalerkin(src, obs geom.Rect, n int) float64 {
+	return k.panelGalerkin(src, obs, n, k.VectorPanel)
+}
+
+func (k *Kernel) panelGalerkin(src, obs geom.Rect, n int, f func(geom.Rect, geom.Point) float64) float64 {
+	xs, ws := GaussLegendre(n)
+	cx, cy := obs.Center().X, obs.Center().Y
+	hx, hy := obs.W()/2, obs.H()/2
+	var s float64
+	for i, xi := range xs {
+		for j, yj := range xs {
+			p := geom.Point{X: cx + hx*xi, Y: cy + hy*yj}
+			s += ws[i] * ws[j] * f(src, p)
+		}
+	}
+	return s / 4 // Gauss weights sum to 2 per axis; normalise to a mean.
+}
+
+// RectIntegralInvR returns the closed-form integral
+//
+//	∫_rect dA′ / √((x−x′)² + (y−y′)² + z²)
+//
+// for an observation point at (obs, z) relative to the rectangle's plane.
+// This is the standard corner-expansion of the potential of a uniformly
+// charged rectangle; each corner contributes
+//
+//	F(x,y) = x·ln(y+r) + y·ln(x+r) − z·atan2(x·y, z·r),  r = √(x²+y²+z²).
+func RectIntegralInvR(rect geom.Rect, obs geom.Point, z float64) float64 {
+	x1 := rect.X0 - obs.X
+	x2 := rect.X1 - obs.X
+	y1 := rect.Y0 - obs.Y
+	y2 := rect.Y1 - obs.Y
+	return cornerF(x2, y2, z) - cornerF(x1, y2, z) - cornerF(x2, y1, z) + cornerF(x1, y1, z)
+}
+
+func cornerF(x, y, z float64) float64 {
+	r := math.Sqrt(x*x + y*y + z*z)
+	var s float64
+	// x·ln(y+r): the argument can underflow to 0 when y<0 and x,z≈0; the
+	// limit of the full term is then 0, so guard the logarithm.
+	if a := y + r; a > 1e-300 {
+		s += x * math.Log(a)
+	}
+	if a := x + r; a > 1e-300 {
+		s += y * math.Log(a)
+	}
+	if z != 0 {
+		s -= z * math.Atan2(x*y, z*r)
+	}
+	return s
+}
+
+// GaussLegendre returns nodes and weights of the n-point Gauss-Legendre rule
+// on [-1, 1] for n in 1..5 (the orders used by Galerkin panel testing).
+func GaussLegendre(n int) (x, w []float64) {
+	switch n {
+	case 1:
+		return []float64{0}, []float64{2}
+	case 2:
+		a := 1 / math.Sqrt(3)
+		return []float64{-a, a}, []float64{1, 1}
+	case 3:
+		a := math.Sqrt(3.0 / 5.0)
+		return []float64{-a, 0, a}, []float64{5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0}
+	case 4:
+		a := math.Sqrt(3.0/7.0 - 2.0/7.0*math.Sqrt(6.0/5.0))
+		b := math.Sqrt(3.0/7.0 + 2.0/7.0*math.Sqrt(6.0/5.0))
+		wa := (18 + math.Sqrt(30)) / 36
+		wb := (18 - math.Sqrt(30)) / 36
+		return []float64{-b, -a, a, b}, []float64{wb, wa, wa, wb}
+	case 5:
+		a := math.Sqrt(5.0-2.0*math.Sqrt(10.0/7.0)) / 3
+		b := math.Sqrt(5.0+2.0*math.Sqrt(10.0/7.0)) / 3
+		wa := (322 + 13*math.Sqrt(70)) / 900
+		wb := (322 - 13*math.Sqrt(70)) / 900
+		w0 := 128.0 / 225.0
+		return []float64{-b, -a, 0, a, b}, []float64{wb, wa, w0, wa, wb}
+	default:
+		panic(fmt.Sprintf("greens: GaussLegendre order %d not supported (1..5)", n))
+	}
+}

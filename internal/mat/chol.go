@@ -1,0 +1,111 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by the Cholesky factorisation when the
+// input matrix has a non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// NewCholesky factors a symmetric positive-definite matrix. Only the lower
+// triangle of a is read; the input is not modified.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("mat: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := New(n, n)
+	ld := l.Data
+	ad := a.Data
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := ad[i*n+j]
+			ri := ld[i*n : i*n+j]
+			rj := ld[j*n : j*n+j]
+			for k := range ri {
+				s -= ri[k] * rj[k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				ld[i*n+i] = math.Sqrt(s)
+			} else {
+				ld[i*n+j] = s / ld[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns (a copy of) the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// Solve solves A·x = b using the factorisation.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	n := c.l.Rows
+	if len(b) != n {
+		return nil, errors.New("mat: rhs length mismatch")
+	}
+	ld := c.l.Data
+	x := make([]float64, n)
+	copy(x, b)
+	// L·y = b
+	for i := 0; i < n; i++ {
+		s := x[i]
+		row := ld[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s / ld[i*n+i]
+	}
+	// Lᵀ·x = y
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= ld[j*n+i] * x[j]
+		}
+		x[i] = s / ld[i*n+i]
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A·X = B column by column.
+func (c *Cholesky) SolveMatrix(b *Matrix) (*Matrix, error) {
+	n := c.l.Rows
+	if b.Rows != n {
+		return nil, errors.New("mat: rhs row count mismatch")
+	}
+	out := New(n, b.Cols)
+	col := make([]float64, n)
+	for j := 0; j < b.Cols; j++ {
+		for r := 0; r < n; r++ {
+			col[r] = b.At(r, j)
+		}
+		x, err := c.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < n; r++ {
+			out.Set(r, j, x[r])
+		}
+	}
+	return out, nil
+}
+
+// InverseSPD returns A⁻¹ for a symmetric positive-definite A, falling back
+// to LU if the Cholesky factorisation fails (e.g. slight asymmetry from
+// numerical assembly).
+func InverseSPD(a *Matrix) (*Matrix, error) {
+	if ch, err := NewCholesky(a); err == nil {
+		return ch.SolveMatrix(Eye(a.Rows))
+	}
+	return Inverse(a)
+}

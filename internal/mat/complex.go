@@ -1,0 +1,248 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+)
+
+// CMatrix is a dense, row-major complex matrix.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// CNew returns a zeroed r×c complex matrix.
+func CNew(r, c int) *CMatrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &CMatrix{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// CFromReal promotes a real matrix to complex.
+func CFromReal(m *Matrix) *CMatrix {
+	out := CNew(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = complex(v, 0)
+	}
+	return out
+}
+
+// CEye returns the n×n complex identity.
+func CEye(n int) *CMatrix {
+	m := CNew(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (r,c).
+func (m *CMatrix) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r,c).
+func (m *CMatrix) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Add accumulates v into element (r,c).
+func (m *CMatrix) Add(r, c int, v complex128) { m.Data[r*m.Cols+c] += v }
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	out := CNew(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears all entries in place.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Scale multiplies every entry by s in place and returns m.
+func (m *CMatrix) Scale(s complex128) *CMatrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddM returns m + b.
+func (m *CMatrix) AddM(b *CMatrix) *CMatrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("mat: dimension mismatch")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product m·b.
+func (m *CMatrix) Mul(b *CMatrix) *CMatrix {
+	if m.Cols != b.Rows {
+		panic("mat: CMul dimension mismatch")
+	}
+	out := CNew(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x.
+func (m *CMatrix) MulVec(x []complex128) []complex128 {
+	if m.Cols != len(x) {
+		panic("mat: CMulVec dimension mismatch")
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s complex128
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// CLU is a complex LU factorisation with partial pivoting.
+type CLU struct {
+	lu  *CMatrix
+	piv []int
+}
+
+// NewCLU factors a square complex matrix with partial pivoting.
+func NewCLU(a *CMatrix) (*CLU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("mat: CLU requires a square matrix")
+	}
+	n := a.Rows
+	f := &CLU{lu: a.Clone(), piv: make([]int, n)}
+	lu := f.lu.Data
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p, pmax := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu[i*n+k]); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := lu[k*n : (k+1)*n]
+			rp := lu[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := lu[i*n+k+1 : (i+1)*n]
+			rk := lu[k*n+k+1 : (k+1)*n]
+			for j := range ri {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b.
+func (f *CLU) Solve(b []complex128) ([]complex128, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, errors.New("mat: rhs length mismatch")
+	}
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	lu := f.lu.Data
+	for i := 1; i < n; i++ {
+		var s complex128
+		row := lu[i*n : i*n+i]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		x[i] -= s
+	}
+	for i := n - 1; i >= 0; i-- {
+		var s complex128
+		row := lu[i*n+i+1 : (i+1)*n]
+		for j, v := range row {
+			s += v * x[i+1+j]
+		}
+		d := lu[i*n+i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = (x[i] - s) / d
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A·X = B column by column.
+func (f *CLU) SolveMatrix(b *CMatrix) (*CMatrix, error) {
+	n := f.lu.Rows
+	if b.Rows != n {
+		return nil, errors.New("mat: rhs row count mismatch")
+	}
+	out := CNew(n, b.Cols)
+	col := make([]complex128, n)
+	for c := 0; c < b.Cols; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = b.At(r, c)
+		}
+		x, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < n; r++ {
+			out.Set(r, c, x[r])
+		}
+	}
+	return out, nil
+}
+
+// CSolve solves A·x = b with a one-shot complex LU factorisation.
+func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
+	f, err := NewCLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// CInverse returns A⁻¹ for a complex matrix.
+func CInverse(a *CMatrix) (*CMatrix, error) {
+	f, err := NewCLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(CEye(a.Rows))
+}

@@ -1,0 +1,151 @@
+package mat
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cAlmostEq(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol*(1+cmplx.Abs(a)+cmplx.Abs(b))
+}
+
+func randCMatrix(rng *rand.Rand, r, c int) *CMatrix {
+	m := CNew(r, c)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func TestCFromReal(t *testing.T) {
+	r := FromRows([][]float64{{1, -2}, {3, 4}})
+	c := CFromReal(r)
+	if c.At(0, 1) != complex(-2, 0) || c.At(1, 0) != complex(3, 0) {
+		t.Fatalf("CFromReal wrong: %v", c.Data)
+	}
+}
+
+func TestCMulKnown(t *testing.T) {
+	a := CNew(2, 2)
+	a.Set(0, 0, 1i)
+	a.Set(1, 1, 1i)
+	b := CNew(2, 2)
+	b.Set(0, 0, 1i)
+	b.Set(1, 1, 1i)
+	got := a.Mul(b)
+	if got.At(0, 0) != -1 || got.At(1, 1) != -1 {
+		t.Fatalf("i·i != -1: %v", got.Data)
+	}
+}
+
+func TestCMulVec(t *testing.T) {
+	a := CFromReal(FromRows([][]float64{{0, 1}, {1, 0}}))
+	x := a.MulVec([]complex128{2 + 1i, 3})
+	if x[0] != 3 || x[1] != 2+1i {
+		t.Fatalf("CMulVec = %v", x)
+	}
+}
+
+func TestCLUSolveKnown(t *testing.T) {
+	// (1+i)x = 2 → x = 1-i
+	a := CNew(1, 1)
+	a.Set(0, 0, 1+1i)
+	x, err := CSolve(a, []complex128{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cAlmostEq(x[0], 1-1i, 1e-14) {
+		t.Fatalf("x = %v", x[0])
+	}
+}
+
+func TestCLUSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randCMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, complex(float64(n), 0))
+		}
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		x, err := CSolve(a, b)
+		if err != nil {
+			return false
+		}
+		r := a.MulVec(x)
+		for i := range r {
+			if !cAlmostEq(r[i], b[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLUPivoting(t *testing.T) {
+	a := CNew(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	x, err := CSolve(a, []complex128{1i, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 || x[1] != 1i {
+		t.Fatalf("pivoted complex solve wrong: %v", x)
+	}
+}
+
+func TestCLUSingular(t *testing.T) {
+	a := CNew(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := NewCLU(a); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestCInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randCMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, complex(float64(n), 0))
+		}
+		inv, err := CInverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := a.Mul(inv)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want := complex128(0)
+				if r == c {
+					want = 1
+				}
+				if !cAlmostEq(prod.At(r, c), want, 1e-9) {
+					t.Fatalf("A·A⁻¹ not identity at (%d,%d): %v", r, c, prod.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestCScaleAddM(t *testing.T) {
+	a := CFromReal(Eye(2))
+	b := a.Clone().Scale(2i)
+	sum := a.AddM(b)
+	if sum.At(0, 0) != 1+2i || sum.At(1, 1) != 1+2i || sum.At(0, 1) != 0 {
+		t.Fatalf("AddM/Scale wrong: %v", sum.Data)
+	}
+}

@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// JacobiEigen computes all eigenvalues and eigenvectors of a symmetric
+// matrix with the cyclic Jacobi rotation method. It returns the eigenvalues
+// in ascending order and the matrix of corresponding column eigenvectors.
+func JacobiEigen(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("mat: JacobiEigen requires a square matrix")
+	}
+	if !a.IsSymmetric(1e-9) {
+		return nil, nil, errors.New("mat: JacobiEigen requires a symmetric matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Eye(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += w.At(p, q) * w.At(p, q)
+			}
+		}
+		scale := w.MaxAbs()
+		if scale == 0 || math.Sqrt(off) <= 1e-14*float64(n)*scale {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation to rows/cols p,q of w.
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort ascending, permuting eigenvector columns accordingly.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// GeneralizedSymEigen solves the generalized symmetric-definite eigenproblem
+// A·x = λ·B·x with A symmetric and B symmetric positive definite, via the
+// Cholesky reduction B = L·Lᵀ, Ã = L⁻¹·A·L⁻ᵀ. It returns eigenvalues in
+// ascending order and eigenvectors X (columns) normalised so XᵀBX = I.
+//
+// This is the core of multiconductor-line modal analysis, where the product
+// L·C (inductance times capacitance) is diagonalised through the congruence
+// transform.
+func GeneralizedSymEigen(a, b *Matrix) (vals []float64, vecs *Matrix, err error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, nil, errors.New("mat: GeneralizedSymEigen dimension mismatch")
+	}
+	n := a.Rows
+	ch, err := NewCholesky(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := ch.L()
+	// Linv = L⁻¹ by forward substitution against identity.
+	linv := New(n, n)
+	for c := 0; c < n; c++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			if i == c {
+				s = 1
+			}
+			for j := 0; j < i; j++ {
+				s -= l.At(i, j) * linv.At(j, c)
+			}
+			linv.Set(i, c, s/l.At(i, i))
+		}
+	}
+	atil := linv.Mul(a).Mul(linv.T())
+	atil.Symmetrize()
+	vals, y, err := JacobiEigen(atil)
+	if err != nil {
+		return nil, nil, err
+	}
+	vecs = linv.T().Mul(y)
+	return vals, vecs, nil
+}

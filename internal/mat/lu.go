@@ -1,0 +1,154 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorisation encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// LU holds an LU factorisation with partial pivoting: P·A = L·U, stored
+// compactly in lu (unit lower triangle implicit).
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// NewLU factors a square matrix with partial pivoting. The input is not
+// modified.
+func NewLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("mat: LU requires a square matrix")
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	lu := f.lu.Data
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot: largest magnitude in column k at or below the diagonal.
+		p, pmax := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := lu[k*n : (k+1)*n]
+			rp := lu[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := lu[i*n+k+1 : (i+1)*n]
+			rk := lu[k*n+k+1 : (k+1)*n]
+			for j := range ri {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b for one right-hand side.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, errors.New("mat: rhs length mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	lu := f.lu.Data
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		var s float64
+		row := lu[i*n : i*n+i]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		row := lu[i*n+i+1 : (i+1)*n]
+		for j, v := range row {
+			s += v * x[i+1+j]
+		}
+		d := lu[i*n+i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = (x[i] - s) / d
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A·X = B for a matrix right-hand side.
+func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
+	n := f.lu.Rows
+	if b.Rows != n {
+		return nil, errors.New("mat: rhs row count mismatch")
+	}
+	out := New(n, b.Cols)
+	col := make([]float64, n)
+	for c := 0; c < b.Cols; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = b.At(r, c)
+		}
+		x, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < n; r++ {
+			out.Set(r, c, x[r])
+		}
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.Rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.Data[i*n+i]
+	}
+	return d
+}
+
+// Solve solves A·x = b by LU factorisation (convenience, one-shot).
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A⁻¹ computed by LU factorisation.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(Eye(a.Rows))
+}

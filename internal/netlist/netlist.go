@@ -1,0 +1,480 @@
+// Package netlist parses a SPICE-flavoured circuit deck into the MNA engine
+// of package circuit. It supports the element cards the extraction pipeline
+// emits plus the sources and analyses the paper's co-simulation uses:
+//
+//	R/C/L  <name> <n1> <n2> <value>
+//	K      <name> <Lname1> <Lname2> <k>
+//	V/I    <name> <n1> <n2> DC <v> | AC <mag> | PULSE(v1 v2 td tr tf pw [per])
+//	                       | PWL(t1 v1 t2 v2 …) | SIN(off amp freq [delay])
+//	T      <name> <a1> <b1> <a2> <b2> Z0=<ohm> TD=<sec>
+//	.tran  <dt> <tstop> [uic]
+//	.ac    lin <n> <fstart> <fstop>
+//	.print v(<node>) | i(<vsource>) …
+//	.end
+//
+// The first line is the title (as in SPICE). Continuation lines start with
+// "+". Values accept the standard suffixes f p n u m k meg g t. Node "0" is
+// ground. Everything is case-insensitive except node and element names,
+// which are kept verbatim.
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"pdnsim/internal/circuit"
+)
+
+// Probe is one .print request.
+type Probe struct {
+	Kind rune   // 'v' or 'i'
+	Name string // node name or voltage-source name
+}
+
+// ACSpec is a linear AC sweep request.
+type ACSpec struct {
+	N      int
+	F0, F1 float64
+}
+
+// Deck is a parsed netlist.
+type Deck struct {
+	Title   string
+	Circuit *circuit.Circuit
+	Tran    *circuit.TranOptions
+	AC      *ACSpec
+	Probes  []Probe
+}
+
+// Parse reads a netlist deck.
+func Parse(src string) (*Deck, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, errors.New("netlist: empty deck")
+	}
+	lines := joinContinuations(src)
+	d := &Deck{Title: strings.TrimSpace(lines[0]), Circuit: circuit.New()}
+	cards, err := expandSubckts(lines[1:])
+	if err != nil {
+		return nil, err
+	}
+	inductors := map[string]*circuit.Inductor{}
+	ended := false
+	for ln, raw := range cards {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		if ended {
+			return nil, fmt.Errorf("netlist: line %d: content after .end", ln+2)
+		}
+		if err := d.parseLine(line, inductors, &ended); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %w", ln+2, err)
+		}
+	}
+	return d, nil
+}
+
+// joinContinuations splits into lines and folds "+" continuations.
+func joinContinuations(src string) []string {
+	raw := strings.Split(src, "\n")
+	var out []string
+	for _, l := range raw {
+		t := strings.TrimRight(l, "\r")
+		if s := strings.TrimSpace(t); strings.HasPrefix(s, "+") && len(out) > 0 {
+			out[len(out)-1] += " " + strings.TrimPrefix(s, "+")
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func (d *Deck) parseLine(line string, inductors map[string]*circuit.Inductor, ended *bool) error {
+	fields := tokenize(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	head := fields[0]
+	switch {
+	case strings.HasPrefix(head, "."):
+		return d.parseDot(fields, ended)
+	default:
+		return d.parseElement(fields, inductors)
+	}
+}
+
+// tokenize splits on whitespace but keeps parenthesised argument lists glued
+// to their keyword: "PULSE(0 5 1n ...)" becomes one token.
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	depth := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t') && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+func (d *Deck) parseDot(fields []string, ended *bool) error {
+	switch strings.ToLower(fields[0]) {
+	case ".end":
+		*ended = true
+		return nil
+	case ".tran":
+		if len(fields) < 3 {
+			return errors.New(".tran needs <dt> <tstop>")
+		}
+		dt, err := ParseValue(fields[1])
+		if err != nil {
+			return err
+		}
+		tstop, err := ParseValue(fields[2])
+		if err != nil {
+			return err
+		}
+		opts := &circuit.TranOptions{Dt: dt, Tstop: tstop, Method: circuit.Trapezoidal}
+		for _, f := range fields[3:] {
+			if strings.EqualFold(f, "uic") {
+				opts.UIC = true
+			}
+		}
+		d.Tran = opts
+		return nil
+	case ".ac":
+		if len(fields) < 5 || !strings.EqualFold(fields[1], "lin") {
+			return errors.New(".ac needs: lin <n> <fstart> <fstop>")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad .ac point count %q", fields[2])
+		}
+		f0, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		f1, err := ParseValue(fields[4])
+		if err != nil {
+			return err
+		}
+		d.AC = &ACSpec{N: n, F0: f0, F1: f1}
+		return nil
+	case ".print":
+		for _, f := range fields[1:] {
+			p, err := parseProbe(f)
+			if err != nil {
+				return err
+			}
+			d.Probes = append(d.Probes, p)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %s", fields[0])
+	}
+}
+
+func parseProbe(tok string) (Probe, error) {
+	lower := strings.ToLower(tok)
+	if len(lower) < 4 || lower[1] != '(' || !strings.HasSuffix(lower, ")") {
+		return Probe{}, fmt.Errorf("bad probe %q (want v(node) or i(vsrc))", tok)
+	}
+	kind := rune(lower[0])
+	if kind != 'v' && kind != 'i' {
+		return Probe{}, fmt.Errorf("bad probe kind in %q", tok)
+	}
+	name := tok[2 : len(tok)-1]
+	if name == "" {
+		return Probe{}, fmt.Errorf("empty probe %q", tok)
+	}
+	return Probe{Kind: kind, Name: name}, nil
+}
+
+func (d *Deck) parseElement(fields []string, inductors map[string]*circuit.Inductor) error {
+	name := fields[0]
+	c := d.Circuit
+	switch head := strings.ToUpper(name[:1]); head {
+	case "R", "C", "L":
+		if len(fields) != 4 {
+			return fmt.Errorf("%s needs <n1> <n2> <value>", name)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		a, b := c.Node(fields[1]), c.Node(fields[2])
+		switch head {
+		case "R":
+			_, err = c.AddResistor(name, a, b, v)
+		case "C":
+			_, err = c.AddCapacitor(name, a, b, v)
+		case "L":
+			l, lerr := c.AddInductor(name, a, b, v)
+			if lerr == nil {
+				inductors[strings.ToUpper(name)] = l
+			}
+			err = lerr
+		}
+		return err
+	case "K":
+		if len(fields) != 4 {
+			return fmt.Errorf("%s needs <L1> <L2> <k>", name)
+		}
+		l1 := inductors[strings.ToUpper(fields[1])]
+		l2 := inductors[strings.ToUpper(fields[2])]
+		if l1 == nil || l2 == nil {
+			return fmt.Errorf("%s references unknown inductors", name)
+		}
+		k, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		if k < -1 || k > 1 {
+			return fmt.Errorf("%s coupling %g outside [-1,1]", name, k)
+		}
+		m := k * sqrt(l1.L*l2.L)
+		_, err = c.AddMutual(name, l1, l2, m)
+		return err
+	case "E", "G":
+		if len(fields) != 6 {
+			return fmt.Errorf("%s needs <n+> <n-> <nc+> <nc-> <gain>", name)
+		}
+		gain, err := ParseValue(fields[5])
+		if err != nil {
+			return err
+		}
+		a, b := c.Node(fields[1]), c.Node(fields[2])
+		cp, cn := c.Node(fields[3]), c.Node(fields[4])
+		if head == "E" {
+			_, err = c.AddVCVS(name, a, b, cp, cn, gain)
+		} else {
+			_, err = c.AddVCCS(name, a, b, cp, cn, gain)
+		}
+		return err
+	case "V", "I":
+		if len(fields) < 4 {
+			return fmt.Errorf("%s needs <n1> <n2> <source>", name)
+		}
+		w, err := parseSource(fields[3:])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		a, b := c.Node(fields[1]), c.Node(fields[2])
+		if head == "V" {
+			_, err = c.AddVSource(name, a, b, w)
+		} else {
+			_, err = c.AddISource(name, a, b, w)
+		}
+		return err
+	case "T":
+		if len(fields) != 7 {
+			return fmt.Errorf("%s needs <a1> <b1> <a2> <b2> Z0=<ohm> TD=<s>", name)
+		}
+		var z0, td float64
+		var haveZ, haveT bool
+		for _, f := range fields[5:] {
+			kv := strings.SplitN(f, "=", 2)
+			if len(kv) != 2 {
+				return fmt.Errorf("%s: bad parameter %q", name, f)
+			}
+			v, err := ParseValue(kv[1])
+			if err != nil {
+				return err
+			}
+			switch strings.ToUpper(kv[0]) {
+			case "Z0":
+				z0, haveZ = v, true
+			case "TD":
+				td, haveT = v, true
+			default:
+				return fmt.Errorf("%s: unknown parameter %q", name, kv[0])
+			}
+		}
+		// The Z0/TD pair may appear in either order across fields[5:6].
+		if !haveZ || !haveT {
+			// Try the first key=value too (fields[5] consumed above covers
+			// both; reaching here means one was missing).
+			return fmt.Errorf("%s needs both Z0= and TD=", name)
+		}
+		_, err := c.AddTLine(name,
+			c.Node(fields[1]), c.Node(fields[2]),
+			c.Node(fields[3]), c.Node(fields[4]), z0, td)
+		return err
+	default:
+		return fmt.Errorf("unknown element type %q", name)
+	}
+}
+
+// parseSource decodes the source specification tokens.
+func parseSource(fields []string) (circuit.Waveform, error) {
+	first := strings.ToUpper(fields[0])
+	switch {
+	case first == "DC":
+		if len(fields) < 2 {
+			return nil, errors.New("DC needs a value")
+		}
+		v, err := ParseValue(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return circuit.DC(v), nil
+	case first == "AC":
+		if len(fields) < 2 {
+			return nil, errors.New("AC needs a magnitude")
+		}
+		v, err := ParseValue(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return circuit.ACSource{Mag: v}, nil
+	case strings.HasPrefix(first, "PULSE("):
+		args, err := parseArgs(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 6 || len(args) > 7 {
+			return nil, errors.New("PULSE needs 6 or 7 arguments: v1 v2 td tr tf pw [per]")
+		}
+		p := circuit.Pulse{V1: args[0], V2: args[1], Delay: args[2],
+			Rise: args[3], Fall: args[4], Width: args[5]}
+		if len(args) == 7 {
+			p.Period = args[6]
+		}
+		return p, nil
+	case strings.HasPrefix(first, "PWL("):
+		args, err := parseArgs(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 2 || len(args)%2 != 0 {
+			return nil, errors.New("PWL needs an even number of arguments")
+		}
+		t := make([]float64, len(args)/2)
+		v := make([]float64, len(args)/2)
+		for i := range t {
+			t[i], v[i] = args[2*i], args[2*i+1]
+		}
+		return circuit.NewPWL(t, v)
+	case strings.HasPrefix(first, "SIN("):
+		args, err := parseArgs(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 3 || len(args) > 4 {
+			return nil, errors.New("SIN needs 3 or 4 arguments: offset amp freq [delay]")
+		}
+		s := circuit.Sine{Offset: args[0], Amp: args[1], Freq: args[2]}
+		if len(args) == 4 {
+			s.Delay = args[3]
+		}
+		return s, nil
+	default:
+		// Bare number means DC.
+		v, err := ParseValue(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("unknown source %q", fields[0])
+		}
+		return circuit.DC(v), nil
+	}
+}
+
+// parseArgs extracts the numbers inside "NAME(a b c)" (commas allowed).
+func parseArgs(tok string) ([]float64, error) {
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return nil, fmt.Errorf("malformed argument list %q", tok)
+	}
+	body := strings.ReplaceAll(tok[open+1:len(tok)-1], ",", " ")
+	var out []float64
+	for _, f := range strings.Fields(body) {
+		v, err := ParseValue(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseValue parses a SPICE number with magnitude suffix (case-insensitive):
+// f p n u m k meg g t. Trailing unit letters after the suffix are ignored
+// (e.g. "10pF", "2nH").
+func ParseValue(s string) (float64, error) {
+	lower := strings.ToLower(strings.TrimSpace(s))
+	if lower == "" {
+		return 0, errors.New("empty value")
+	}
+	// Split mantissa from the suffix.
+	end := len(lower)
+	for i, r := range lower {
+		if (r >= '0' && r <= '9') || r == '.' || r == '+' || r == '-' {
+			continue
+		}
+		if r == 'e' && i > 0 && i+1 < len(lower) &&
+			(lower[i+1] == '+' || lower[i+1] == '-' || (lower[i+1] >= '0' && lower[i+1] <= '9')) {
+			// Part of scientific notation only if followed by a digit/sign
+			// and not the "meg" suffix.
+			if !strings.HasPrefix(lower[i:], "meg") {
+				continue
+			}
+		}
+		end = i
+		break
+	}
+	mant, err := strconv.ParseFloat(lower[:end], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	suffix := lower[end:]
+	mult := 1.0
+	switch {
+	case suffix == "":
+	case strings.HasPrefix(suffix, "meg"):
+		mult = 1e6
+	case strings.HasPrefix(suffix, "f"):
+		mult = 1e-15
+	case strings.HasPrefix(suffix, "p"):
+		mult = 1e-12
+	case strings.HasPrefix(suffix, "n"):
+		mult = 1e-9
+	case strings.HasPrefix(suffix, "u"):
+		mult = 1e-6
+	case strings.HasPrefix(suffix, "m"):
+		mult = 1e-3
+	case strings.HasPrefix(suffix, "k"):
+		mult = 1e3
+	case strings.HasPrefix(suffix, "g"):
+		mult = 1e9
+	case strings.HasPrefix(suffix, "t"):
+		mult = 1e12
+	default:
+		// Unknown letters (units like "hz", "ohm", "v") are ignored.
+	}
+	return mant * mult, nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,297 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pdnsim/internal/circuit"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"10", 10}, {"1.5", 1.5}, {"-3", -3},
+		{"1k", 1e3}, {"2.2meg", 2.2e6}, {"3g", 3e9}, {"1t", 1e12},
+		{"10p", 1e-11}, {"2n", 2e-9}, {"5u", 5e-6}, {"7m", 7e-3}, {"1f", 1e-15},
+		{"10pF", 1e-11}, {"2nH", 2e-9}, {"50ohm", 50},
+		{"1e-9", 1e-9}, {"2.5e3", 2500}, {"1E6", 1e6},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", c.in, err)
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Fatalf("ParseValue(%q) = %g want %g", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "--3"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Fatalf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseRCDivider(t *testing.T) {
+	deck, err := Parse(`divider test
+V1 in 0 DC 10
+R1 in mid 1k
+R2 mid 0 3k
+.print v(mid) i(V1)
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.Title != "divider test" {
+		t.Fatalf("title = %q", deck.Title)
+	}
+	if len(deck.Probes) != 2 || deck.Probes[0].Kind != 'v' || deck.Probes[1].Kind != 'i' {
+		t.Fatalf("probes = %+v", deck.Probes)
+	}
+	x, err := deck.Circuit.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := deck.Circuit.LookupNode("mid")
+	if v := circuit.NodeVoltage(x, mid); math.Abs(v-7.5) > 1e-6 {
+		t.Fatalf("divider = %g", v)
+	}
+}
+
+func TestParsePulseTransient(t *testing.T) {
+	deck, err := Parse(`rc step
+V1 in 0 PULSE(0 1 0 1p 1p 1)
+R1 in out 1k
+C1 out 0 1n
+.tran 20n 3u
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.Tran == nil || deck.Tran.Dt != 20e-9 || deck.Tran.Tstop != 3e-6 {
+		t.Fatalf("tran = %+v", deck.Tran)
+	}
+	res, err := deck.Circuit.Tran(*deck.Tran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.VByName("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 3τ the RC reaches 1 − e⁻³ ≈ 0.9502.
+	if last := v[len(v)-1]; math.Abs(last-0.9502) > 0.01 {
+		t.Fatalf("RC at 3τ = %g", last)
+	}
+}
+
+func TestParseContinuationAndComments(t *testing.T) {
+	deck, err := Parse(`continuation
+* a comment line
+V1 in 0
++ PULSE(0 5
++ 1n 0.3n 0.3n 1n)
+R1 in 0 50
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := deck.Circuit.LookupNode("in"); !ok {
+		t.Fatal("node lost in continuation")
+	}
+}
+
+func TestParsePWLAndSin(t *testing.T) {
+	deck, err := Parse(`sources
+V1 a 0 PWL(0 0 1n 5 2n 0)
+V2 b 0 SIN(1 2 1meg 0.5u)
+I1 0 c DC 1m
+R1 a 0 1k
+R2 b 0 1k
+R3 c 0 1k
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := deck.Circuit.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cN, _ := deck.Circuit.LookupNode("c")
+	if v := circuit.NodeVoltage(x, cN); math.Abs(v-1) > 1e-6 {
+		t.Fatalf("I·R = %g", v)
+	}
+}
+
+func TestParseCoupledInductors(t *testing.T) {
+	deck, err := Parse(`transformer
+V1 drv 0 DC 1
+Rs drv in 10
+L1 in 0 100n
+L2 sec 0 100n
+Rl sec 0 1m
+K1 L1 L2 0.9
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deck.Circuit.OP(); err != nil {
+		t.Fatal(err)
+	}
+	// Bad coupling value.
+	if _, err := Parse("t\nL1 a 0 1n\nL2 b 0 1n\nK1 L1 L2 1.5\n.end\n"); err == nil {
+		t.Fatal("k > 1 must error")
+	}
+	if _, err := Parse("t\nK1 L1 L2 0.5\n.end\n"); err == nil {
+		t.Fatal("unknown inductors must error")
+	}
+}
+
+func TestParseTLine(t *testing.T) {
+	deck, err := Parse(`line
+V1 src 0 PULSE(0 2 0 1p 1p 1)
+Rs src in 50
+T1 in 0 out 0 Z0=50 TD=1n
+Rl out 0 50
+.tran 0.05n 4n
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deck.Circuit.Tran(*deck.Tran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.VByName("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := v[len(v)-1]; math.Abs(last-1) > 0.02 {
+		t.Fatalf("matched line settled at %g", last)
+	}
+}
+
+func TestParseControlledSources(t *testing.T) {
+	deck, err := Parse(`controlled
+V1 in 0 DC 1
+E1 amp 0 in 0 4
+G1 0 cur in 0 2m
+Rl1 amp 0 1k
+Rl2 cur 0 1k
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := deck.Circuit.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp, _ := deck.Circuit.LookupNode("amp")
+	cur, _ := deck.Circuit.LookupNode("cur")
+	if v := circuit.NodeVoltage(x, amp); math.Abs(v-4) > 1e-9 {
+		t.Fatalf("E output = %g want 4", v)
+	}
+	if v := circuit.NodeVoltage(x, cur); math.Abs(v-2) > 1e-6 {
+		t.Fatalf("G output = %g want 2", v)
+	}
+	if _, err := Parse("t\nE1 a 0 b 0\n.end\n"); err == nil {
+		t.Fatal("short E card must error")
+	}
+}
+
+func TestParseAC(t *testing.T) {
+	deck, err := Parse(`ac sweep
+V1 in 0 AC 1
+R1 in out 1k
+C1 out 0 1n
+.ac lin 5 1e5 1e6
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.AC == nil || deck.AC.N != 5 || deck.AC.F0 != 1e5 {
+		t.Fatalf("ac = %+v", deck.AC)
+	}
+	r, err := deck.Circuit.AC(2 * math.Pi * deck.AC.F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := deck.Circuit.LookupNode("out")
+	if m := r.V(out); real(m) == 0 && imag(m) == 0 {
+		t.Fatal("AC response missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"t\nR1 a 0\n.end\n",            // missing value
+		"t\nX1 a 0 5\n.end\n",          // unknown element
+		"t\n.tran 1\n.end\n",           // incomplete .tran
+		"t\n.ac dec 5 1 10\n.end\n",    // unsupported sweep type
+		"t\n.print q(x)\n.end\n",       // bad probe kind
+		"t\n.print v()\n.end\n",        // empty probe
+		"t\n.bogus\n.end\n",            // unknown directive
+		"t\nV1 a 0 PULSE(1 2)\n.end\n", // short pulse args
+		"t\nT1 a 0 b 0 Z0=50\n.end\n",  // missing TD
+		"t\n.end\nR1 a 0 5\n",          // content after .end
+		"",                             // empty deck
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseBareNumberIsDC(t *testing.T) {
+	deck, err := Parse("t\nV1 in 0 5\nR1 in 0 1k\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := deck.Circuit.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := deck.Circuit.LookupNode("in")
+	if v := circuit.NodeVoltage(x, in); v != 5 {
+		t.Fatalf("bare DC = %g", v)
+	}
+}
+
+func TestRoundTripWithExtractedNetlist(t *testing.T) {
+	// The netlists emitted by extract.Network.Netlist must parse.
+	src := `* extracted plane
+* 3 nodes (1 ports), extracted by pdnsim
+R1 n1 m1_2 0.01
+L1 m1_2 n2 1e-9
+C1 n1 n2 1e-12
+C2 n1 0 5e-12
+C3 n2 0 5e-12
+.end
+`
+	deck, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.Circuit.NumNodes() != 4 { // ground + n1 + m1_2 + n2
+		t.Fatalf("nodes = %d", deck.Circuit.NumNodes())
+	}
+}
+
+func TestTokenizeKeepsParens(t *testing.T) {
+	toks := tokenize("V1 a 0 PULSE(0 5 1n 2n 3n 4n)")
+	if len(toks) != 4 || !strings.HasPrefix(toks[3], "PULSE(") {
+		t.Fatalf("tokens = %v", toks)
+	}
+}

@@ -1,0 +1,181 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Subcircuit support: the deck may define reusable blocks
+//
+//	.subckt <name> <port1> <port2> …
+//	  <element cards, including nested X instantiations>
+//	.ends
+//
+// and instantiate them with
+//
+//	X<inst> <n1> <n2> … <name>
+//
+// Expansion is textual, before element parsing: internal nodes become
+// "<inst>.<node>" (ground "0" stays global), element names become
+// "<orig>.<inst>" (preserving the leading type letter), and K cards have
+// their inductor references renamed consistently. This is how the extracted
+// plane netlists are dropped into larger system decks.
+
+type subcktDef struct {
+	name  string
+	ports []string
+	lines []string
+}
+
+const maxSubcktDepth = 20
+
+// expandSubckts splits definitions out of the card list and expands every X
+// instantiation. Input and output are logical lines (continuations already
+// folded, title excluded).
+func expandSubckts(lines []string) ([]string, error) {
+	defs := map[string]*subcktDef{}
+	var body []string
+	var cur *subcktDef
+	for _, raw := range lines {
+		line := strings.TrimSpace(raw)
+		fields := strings.Fields(line)
+		lower := ""
+		if len(fields) > 0 {
+			lower = strings.ToLower(fields[0])
+		}
+		switch {
+		case lower == ".subckt":
+			if cur != nil {
+				return nil, fmt.Errorf("netlist: nested .subckt definition in %q", cur.name)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("netlist: .subckt needs a name and at least one port")
+			}
+			cur = &subcktDef{name: strings.ToLower(fields[1]), ports: fields[2:]}
+		case lower == ".ends":
+			if cur == nil {
+				return nil, fmt.Errorf("netlist: .ends without .subckt")
+			}
+			if _, dup := defs[cur.name]; dup {
+				return nil, fmt.Errorf("netlist: duplicate subcircuit %q", cur.name)
+			}
+			defs[cur.name] = cur
+			cur = nil
+		case cur != nil:
+			if line == "" || strings.HasPrefix(line, "*") {
+				continue
+			}
+			if strings.HasPrefix(lower, ".") {
+				return nil, fmt.Errorf("netlist: directive %s not allowed inside .subckt %q", fields[0], cur.name)
+			}
+			cur.lines = append(cur.lines, line)
+		default:
+			body = append(body, raw)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("netlist: unterminated .subckt %q", cur.name)
+	}
+	if len(defs) == 0 {
+		return body, nil
+	}
+	return expandBody(body, defs, 0)
+}
+
+func expandBody(lines []string, defs map[string]*subcktDef, depth int) ([]string, error) {
+	if depth > maxSubcktDepth {
+		return nil, fmt.Errorf("netlist: subcircuit nesting exceeds %d (recursive definition?)", maxSubcktDepth)
+	}
+	var out []string
+	for _, raw := range lines {
+		line := strings.TrimSpace(raw)
+		fields := tokenize(line)
+		if len(fields) == 0 || !strings.HasPrefix(strings.ToUpper(fields[0]), "X") {
+			out = append(out, raw)
+			continue
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("netlist: %s needs <nodes…> <subckt>", fields[0])
+		}
+		inst := fields[0][1:]
+		if inst == "" {
+			return nil, fmt.Errorf("netlist: X card needs an instance name")
+		}
+		defName := strings.ToLower(fields[len(fields)-1])
+		def, ok := defs[defName]
+		if !ok {
+			return nil, fmt.Errorf("netlist: unknown subcircuit %q", fields[len(fields)-1])
+		}
+		conns := fields[1 : len(fields)-1]
+		if len(conns) != len(def.ports) {
+			return nil, fmt.Errorf("netlist: %s connects %d nodes, subcircuit %q has %d ports",
+				fields[0], len(conns), def.name, len(def.ports))
+		}
+		nodeMap := map[string]string{"0": "0"}
+		for i, p := range def.ports {
+			nodeMap[p] = conns[i]
+		}
+		expanded, err := instantiate(def, inst, nodeMap)
+		if err != nil {
+			return nil, err
+		}
+		// The expansion may itself contain X cards.
+		flat, err := expandBody(expanded, defs, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, flat...)
+	}
+	return out, nil
+}
+
+// instantiate renames nodes and element names of one subcircuit body.
+func instantiate(def *subcktDef, inst string, nodeMap map[string]string) ([]string, error) {
+	mapNode := func(n string) string {
+		if mapped, ok := nodeMap[n]; ok {
+			return mapped
+		}
+		return inst + "." + n
+	}
+	var out []string
+	for _, line := range def.lines {
+		fields := tokenize(line)
+		if len(fields) == 0 {
+			continue
+		}
+		name := fields[0]
+		head := strings.ToUpper(name[:1])
+		renamed := append([]string{}, fields...)
+		renamed[0] = name + "." + inst
+		var nodeIdx []int
+		switch head {
+		case "R", "C", "L", "V", "I":
+			nodeIdx = []int{1, 2}
+		case "E", "G", "T":
+			nodeIdx = []int{1, 2, 3, 4}
+		case "K":
+			// K references inductor names, not nodes.
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("netlist: bad K card in subcircuit %q", def.name)
+			}
+			renamed[1] = fields[1] + "." + inst
+			renamed[2] = fields[2] + "." + inst
+		case "X":
+			// All fields except the last (the subcircuit name) are nodes;
+			// keep the instance name pathed for unique inner names.
+			renamed[0] = name + "." + inst
+			for i := 1; i < len(fields)-1; i++ {
+				renamed[i] = mapNode(fields[i])
+			}
+		default:
+			return nil, fmt.Errorf("netlist: unsupported card %q inside subcircuit %q", name, def.name)
+		}
+		for _, i := range nodeIdx {
+			if i < len(renamed) {
+				renamed[i] = mapNode(fields[i])
+			}
+		}
+		out = append(out, strings.Join(renamed, " "))
+	}
+	return out, nil
+}

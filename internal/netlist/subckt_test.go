@@ -1,0 +1,177 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"pdnsim/internal/circuit"
+)
+
+func TestSubcktDividerTwice(t *testing.T) {
+	// A 2:1 divider block instantiated twice in cascade: 8 V → 4 V → 2 V.
+	deck, err := Parse(`subckt cascade
+.subckt div in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 top 0 DC 8
+Xa top mid div
+Xb mid bot div
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := deck.Circuit.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := deck.Circuit.LookupNode("mid")
+	bot, _ := deck.Circuit.LookupNode("bot")
+	// Loading: the second divider loads the first: V(mid) = 8·(2k/3 ∥ …).
+	// Exact: stage 2 input R = 2k, so stage 1: 8·(1k∥2k…)… compute directly:
+	// mid node: 1k to top, 1k to gnd, 1k to bot, bot: 1k to gnd.
+	// Solve: V(bot) = V(mid)/2. KCL at mid: (8−Vm)/1k = Vm/1k + (Vm−Vm/2)/1k
+	// → 8−Vm = Vm + Vm/2 → Vm = 3.2, Vb = 1.6.
+	if v := circuit.NodeVoltage(x, mid); math.Abs(v-3.2) > 1e-6 {
+		t.Fatalf("mid = %g want 3.2", v)
+	}
+	if v := circuit.NodeVoltage(x, bot); math.Abs(v-1.6) > 1e-6 {
+		t.Fatalf("bot = %g want 1.6", v)
+	}
+}
+
+func TestSubcktInternalNodesAreScoped(t *testing.T) {
+	deck, err := Parse(`scoping
+.subckt rc in out
+R1 in n 100
+C1 n out 1n
+R2 n 0 1k
+.ends
+V1 a 0 DC 1
+Xu1 a b rc
+Xu2 a c rc
+Rb b 0 1k
+Rc c 0 1k
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each instance must own a distinct internal node.
+	if _, ok := deck.Circuit.LookupNode("u1.n"); !ok {
+		t.Fatal("internal node u1.n missing")
+	}
+	if _, ok := deck.Circuit.LookupNode("u2.n"); !ok {
+		t.Fatal("internal node u2.n missing")
+	}
+	if _, ok := deck.Circuit.LookupNode("n"); ok {
+		t.Fatal("unscoped internal node leaked")
+	}
+}
+
+func TestSubcktWithCoupledInductors(t *testing.T) {
+	// K cards inside a block must track the renamed inductors.
+	deck, err := Parse(`transformer block
+.subckt xfmr p s
+Lp p 0 100n
+Ls s 0 100n
+K1 Lp Ls 0.95
+.ends
+V1 drv 0 DC 1
+Rs drv in 10
+Xt in sec xfmr
+Rl sec 0 1m
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deck.Circuit.OP(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubcktNested(t *testing.T) {
+	deck, err := Parse(`nested
+.subckt half in out
+R1 in out 500
+.ends
+.subckt full in out
+Xa in m half
+Xb m out half
+.ends
+V1 a 0 DC 1
+Xf a b full
+Rl b 0 1k
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := deck.Circuit.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := deck.Circuit.LookupNode("b")
+	if v := circuit.NodeVoltage(x, b); math.Abs(v-0.5) > 1e-6 {
+		t.Fatalf("nested block divider = %g want 0.5", v)
+	}
+}
+
+func TestSubcktErrors(t *testing.T) {
+	cases := []string{
+		"t\n.subckt a\n.ends\n.end\n",                                           // no ports
+		"t\n.ends\n.end\n",                                                      // stray .ends
+		"t\n.subckt a p\nR1 p 0 1\n.end\n",                                      // unterminated
+		"t\n.subckt a p\n.tran 1n 1u\n.ends\n.end\n",                            // directive inside
+		"t\nX1 a b nope\n.end\n",                                                // unknown subckt
+		"t\n.subckt d p q\nR1 p q 1\n.ends\nX1 a d\n.end\n",                     // port count mismatch
+		"t\n.subckt d p\nR1 p 0 1\n.ends\n.subckt d p\nR1 p 0 1\n.ends\n.end\n", // duplicate
+		"t\n.subckt d p\nXi p d\n.ends\nX1 a d\n.end\n",                         // recursive
+		"t\n.subckt d p\nQ1 p 0 1\n.ends\nX1 a d\n.end\n",                       // unsupported card
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+// A netlist emitted by extract.Network.Netlist wrapped as a subcircuit must
+// drop into a system deck — the interchange path the extraction tool
+// supports.
+func TestSubcktWrapsExtractedPlane(t *testing.T) {
+	deck, err := Parse(`extracted plane as a block
+.subckt plane p1 p2
+R1 p1 m1 0.02
+L1 m1 p2 2n
+C1 p1 0 100p
+C2 p2 0 100p
+.ends
+V1 src 0 PULSE(0 1 0 0.1n 0.1n 2n)
+Rs src a 10
+Xp a b plane
+Rl b 0 50
+.tran 0.01n 4n
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deck.Circuit.Tran(*deck.Tran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.VByName("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak float64
+	for _, x := range v {
+		peak = math.Max(peak, x)
+	}
+	if peak < 0.3 {
+		t.Fatalf("plane block did not pass the pulse: peak %g", peak)
+	}
+}
