@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test bench check vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full hygiene gate: static analysis plus the whole test suite
+# under the race detector (the BEM assembly and S-parameter sweeps are
+# parallel, so races are a real failure mode here).
+check: vet race

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	pdnextract [-netlist out.cir] [-touchstone out.sNp -fmin 0.1e9 -fmax 10e9 -nf 100] board.json
+//	pdnextract [-timeout 5m] [-netlist out.cir] [-touchstone out.sNp -fmin 0.1e9 -fmax 10e9 -nf 100] board.json
+//
+// Exit codes: 2 usage, 3 parse failure, 4 solve failure, 5 I/O failure,
+// 6 cancelled/timeout.
 //
 // A minimal board description:
 //
@@ -20,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +31,7 @@ import (
 	"strings"
 
 	"pdnsim/internal/bem"
+	"pdnsim/internal/cli"
 	"pdnsim/internal/core"
 	"pdnsim/internal/sparam"
 )
@@ -39,24 +44,31 @@ func main() {
 	nf := flag.Int("nf", 100, "sweep points")
 	z0 := flag.Float64("z0", 50, "S-parameter reference impedance (Ω)")
 	irdrop := flag.String("irdrop", "", "DC IR-drop analysis: comma-separated PORT=amps load currents plus optional ref=PORT supply entry (default: first port)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for extraction and sweeps (0 = none); exceeding it exits 6")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pdnextract [flags] board.json")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitIO)
 	}
 	spec, err := core.ParseBoard(data)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitParse)
 	}
-	res, err := spec.Extract()
+	res, err := spec.ExtractCtx(ctx)
 	if err != nil {
-		fatal(err)
+		fatalSolve(err)
 	}
 	fmt.Fprintf(os.Stderr, "%s: %s → %d-node equivalent circuit (%d ports), C_total = %.3g nF\n",
 		spec.Name, res.Mesh.Stats(), res.Network.NumNodes(), res.Network.NumPorts,
@@ -67,21 +79,21 @@ func main() {
 		if *netlistOut == "-" {
 			fmt.Print(nl)
 		} else if err := os.WriteFile(*netlistOut, []byte(nl), 0o644); err != nil {
-			fatal(err)
+			cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitIO)
 		}
 	}
 	if *tsOut != "" {
 		freqs := sparam.LinSpace(*fmin, *fmax, *nf)
-		sw, err := sparam.SweepZ(freqs, *z0, res.Network.PortZ)
+		sw, err := sparam.SweepZCtx(ctx, freqs, *z0, res.Network.PortZ)
 		if err != nil {
-			fatal(err)
+			fatalSolve(err)
 		}
 		ts, err := sw.Touchstone(spec.Name)
 		if err != nil {
-			fatal(err)
+			fatalSolve(err)
 		}
 		if err := os.WriteFile(*tsOut, []byte(ts), 0o644); err != nil {
-			fatal(err)
+			cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitIO)
 		}
 		if !sw.Passive(1e-6) {
 			fmt.Fprintln(os.Stderr, "warning: extracted S-parameters fail the passivity screen")
@@ -89,9 +101,13 @@ func main() {
 	}
 	if *irdrop != "" {
 		if err := runIRDrop(spec, res, *irdrop); err != nil {
-			fatal(err)
+			fatalSolve(err)
 		}
 	}
+}
+
+func fatalSolve(err error) {
+	cli.Fatal(os.Stderr, "pdnextract", err, cli.SolveExitCode(err))
 }
 
 // runIRDrop solves the plane's DC resistive network for the requested load
@@ -143,9 +159,4 @@ func runIRDrop(spec *core.BoardSpec, res *core.Result, arg string) error {
 		bem.WorstIRDrop(v)*1e3, res.Assembly.WorstCurrentDensity(cur))
 	_ = spec
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pdnextract:", err)
-	os.Exit(1)
 }

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	pdnsim deck.cir
+//	pdnsim [-timeout 30s] deck.cir
+//
+// Exit codes: 2 usage, 3 parse failure, 4 solve failure, 5 I/O failure,
+// 6 cancelled/timeout.
 //
 // Example deck:
 //
@@ -19,6 +22,8 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -26,40 +31,55 @@ import (
 	"strings"
 
 	"pdnsim/internal/circuit"
+	"pdnsim/internal/cli"
 	"pdnsim/internal/netlist"
+	"pdnsim/internal/simerr"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: pdnsim deck.cir")
-		os.Exit(2)
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for all analyses (0 = none); exceeding it exits 6")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pdnsim [-timeout 30s] deck.cir")
+		flag.PrintDefaults()
+		os.Exit(cli.ExitUsage)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		cli.Fatal(os.Stderr, "pdnsim", err, cli.ExitIO)
 	}
 	deck, err := netlist.Parse(string(data))
 	if err != nil {
-		fatal(err)
+		cli.Fatal(os.Stderr, "pdnsim", err, cli.ExitParse)
 	}
 	fmt.Fprintf(os.Stderr, "pdnsim: %s (%d nodes)\n", deck.Title, deck.Circuit.NumNodes())
 	if deck.Tran == nil && deck.AC == nil {
 		// Default: operating point.
-		if err := runOP(deck); err != nil {
-			fatal(err)
+		if err := runOP(ctx, deck); err != nil {
+			fatalSolve(err)
 		}
 		return
 	}
 	if deck.Tran != nil {
-		if err := runTran(deck); err != nil {
-			fatal(err)
+		if err := runTran(ctx, deck); err != nil {
+			fatalSolve(err)
 		}
 	}
 	if deck.AC != nil {
-		if err := runAC(deck); err != nil {
-			fatal(err)
+		if err := runAC(ctx, deck); err != nil {
+			fatalSolve(err)
 		}
 	}
+}
+
+func fatalSolve(err error) {
+	cli.Fatal(os.Stderr, "pdnsim", err, cli.SolveExitCode(err))
 }
 
 func probeHeaders(deck *netlist.Deck) []string {
@@ -70,8 +90,8 @@ func probeHeaders(deck *netlist.Deck) []string {
 	return out
 }
 
-func runOP(deck *netlist.Deck) error {
-	x, err := deck.Circuit.OP()
+func runOP(ctx context.Context, deck *netlist.Deck) error {
+	x, err := deck.Circuit.OPCtx(ctx)
 	if err != nil {
 		return err
 	}
@@ -94,10 +114,16 @@ func runOP(deck *netlist.Deck) error {
 	return nil
 }
 
-func runTran(deck *netlist.Deck) error {
-	res, err := deck.Circuit.Tran(*deck.Tran)
+func runTran(ctx context.Context, deck *netlist.Deck) error {
+	opts := *deck.Tran
+	opts.Ctx = ctx
+	res, err := deck.Circuit.Tran(opts)
 	if err != nil {
 		return err
+	}
+	if res.Stats.StepHalvings > 0 {
+		fmt.Fprintf(os.Stderr, "pdnsim: transient recovered from %d non-convergent steps via %d timestep halvings (max depth %d)\n",
+			res.Stats.StepRetries, res.Stats.StepHalvings, res.Stats.MaxHalvingDepth)
 	}
 	cols := make([][]float64, len(deck.Probes))
 	for i, p := range deck.Probes {
@@ -127,10 +153,13 @@ func runTran(deck *netlist.Deck) error {
 	return nil
 }
 
-func runAC(deck *netlist.Deck) error {
+func runAC(ctx context.Context, deck *netlist.Deck) error {
 	spec := deck.AC
 	fmt.Println("freq\t" + strings.Join(magPhaseHeaders(deck), "\t"))
 	for k := 0; k < spec.N; k++ {
+		if err := simerr.CheckCtx(ctx, "pdnsim: AC sweep"); err != nil {
+			return err
+		}
 		f := spec.F0
 		if spec.N > 1 {
 			f += (spec.F1 - spec.F0) * float64(k) / float64(spec.N-1)
@@ -165,9 +194,4 @@ func magPhaseHeaders(deck *netlist.Deck) []string {
 			fmt.Sprintf("ph(%s)deg", p.Name))
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pdnsim:", err)
-	os.Exit(1)
 }

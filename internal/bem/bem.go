@@ -25,6 +25,7 @@
 package bem
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -32,6 +33,7 @@ import (
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mat"
 	"pdnsim/internal/mesh"
+	"pdnsim/internal/simerr"
 )
 
 // TestingScheme selects how the integral equations are tested (sampled).
@@ -88,24 +90,39 @@ type Assembly struct {
 
 // Assemble fills P, L and R for the given mesh and Green's function kernel.
 func Assemble(m *mesh.Mesh, k *greens.Kernel, opts Options) (*Assembly, error) {
+	return AssembleCtx(context.Background(), m, k, opts)
+}
+
+// AssembleCtx is Assemble with cancellation: the panel-integral loops (the
+// dominant cost on fine meshes) check ctx periodically and abandon the run
+// with a simerr.ErrCancelled-class error when it is done. Internal panics
+// from malformed meshes surface as simerr.ErrBadInput instead of crashing.
+func AssembleCtx(ctx context.Context, m *mesh.Mesh, k *greens.Kernel, opts Options) (a *Assembly, err error) {
+	defer simerr.RecoverInto(&err, "bem: assemble")
 	if m == nil || k == nil {
-		return nil, errors.New("bem: nil mesh or kernel")
+		return nil, simerr.BadInput("bem: assemble", "nil mesh or kernel")
 	}
 	if len(m.Cells) == 0 {
-		return nil, errors.New("bem: empty mesh")
+		return nil, simerr.BadInput("bem: assemble", "empty mesh")
 	}
 	if opts.GaussOrder <= 0 {
 		opts.GaussOrder = 2
 	}
 	if opts.GaussOrder > 5 {
-		return nil, fmt.Errorf("bem: Gauss order %d not supported (1..5)", opts.GaussOrder)
+		return nil, simerr.BadInput("bem: assemble", "Gauss order %d not supported (1..5)", opts.GaussOrder)
 	}
-	if opts.SheetResistance < 0 || opts.ReturnSheetResistance < 0 {
-		return nil, errors.New("bem: sheet resistances must be non-negative")
+	if opts.SheetResistance < 0 || opts.ReturnSheetResistance < 0 ||
+		math.IsNaN(opts.SheetResistance) || math.IsNaN(opts.ReturnSheetResistance) {
+		return nil, simerr.BadInput("bem: assemble", "sheet resistances must be non-negative, got %g and %g",
+			opts.SheetResistance, opts.ReturnSheetResistance)
 	}
-	a := &Assembly{Mesh: m, Kernel: k, Opts: opts}
-	a.assembleP()
-	a.assembleL()
+	a = &Assembly{Mesh: m, Kernel: k, Opts: opts}
+	if err := a.assembleP(ctx); err != nil {
+		return nil, err
+	}
+	if err := a.assembleL(ctx); err != nil {
+		return nil, err
+	}
 	a.assembleR()
 	return a, nil
 }
@@ -124,7 +141,7 @@ func (a *Assembly) scalarEntryNoCount(ci, cj mesh.Cell) float64 {
 	return v / cj.Area()
 }
 
-func (a *Assembly) assembleP() {
+func (a *Assembly) assembleP(ctx context.Context) error {
 	cells := a.Mesh.Cells
 	n := len(cells)
 	a.P = mat.New(n, n)
@@ -154,8 +171,14 @@ func (a *Assembly) assembleP() {
 		}
 		vals := make([]float64, len(jobs))
 		parallelFor(len(jobs), func(k int) {
+			if ctx != nil && ctx.Err() != nil {
+				return // abandon remaining integrals once cancelled
+			}
 			vals[k] = a.scalarEntryNoCount(cells[jobs[k].i], cells[jobs[k].j])
 		})
+		if err := simerr.CheckCtx(ctx, "bem: assemble P"); err != nil {
+			return err
+		}
 		for k, jb := range jobs {
 			cache[jb.key] = vals[k]
 		}
@@ -169,14 +192,21 @@ func (a *Assembly) assembleP() {
 	} else {
 		a.KernelEvals += n * n
 		parallelFor(n, func(i int) {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			for j := 0; j < n; j++ {
 				a.P.Set(i, j, a.scalarEntryNoCount(cells[i], cells[j]))
 			}
 		})
+		if err := simerr.CheckCtx(ctx, "bem: assemble P"); err != nil {
+			return err
+		}
 	}
 	// Collocation leaves P very slightly asymmetric; the physical operator
 	// is symmetric, so restore it before any SPD factorisation.
 	a.P.Symmetrize()
+	return nil
 }
 
 // vectorEntryNoCount returns the partial inductance between links k and l
@@ -194,7 +224,7 @@ func (a *Assembly) vectorEntryNoCount(lk, ll mesh.Link) float64 {
 	return v / (lk.Width * ll.Width)
 }
 
-func (a *Assembly) assembleL() {
+func (a *Assembly) assembleL(ctx context.Context) error {
 	links := a.Mesh.Links
 	n := len(links)
 	a.L = mat.New(n, n)
@@ -229,8 +259,14 @@ func (a *Assembly) assembleL() {
 		}
 		vals := make([]float64, len(jobs))
 		parallelFor(len(jobs), func(k int) {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			vals[k] = a.vectorEntryNoCount(links[jobs[k].i], links[jobs[k].j])
 		})
+		if err := simerr.CheckCtx(ctx, "bem: assemble L"); err != nil {
+			return err
+		}
 		cache := make(map[key]float64, len(jobs))
 		for k, jb := range jobs {
 			cache[jb.kk] = vals[k]
@@ -246,6 +282,9 @@ func (a *Assembly) assembleL() {
 		}
 	} else {
 		parallelFor(n, func(i int) {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			for j := 0; j < n; j++ {
 				if links[i].Dir != links[j].Dir {
 					continue
@@ -253,6 +292,9 @@ func (a *Assembly) assembleL() {
 				a.L.Set(i, j, a.vectorEntryNoCount(links[i], links[j]))
 			}
 		})
+		if err := simerr.CheckCtx(ctx, "bem: assemble L"); err != nil {
+			return err
+		}
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				if links[i].Dir == links[j].Dir {
@@ -262,6 +304,7 @@ func (a *Assembly) assembleL() {
 		}
 	}
 	a.L.Symmetrize()
+	return nil
 }
 
 func (a *Assembly) assembleR() {

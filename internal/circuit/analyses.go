@@ -1,12 +1,14 @@
 package circuit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
 
 	"pdnsim/internal/mat"
+	"pdnsim/internal/simerr"
 )
 
 // OP computes the DC operating point. The returned vector is the full MNA
@@ -15,14 +17,20 @@ import (
 //
 // Transmission lines are handled by waveform relaxation on their
 // characteristics (each iteration re-solves the DC system with updated line
-// histories); nonlinear devices by Newton-Raphson with source stepping as a
-// fallback.
+// histories); nonlinear devices by Newton-Raphson, falling back first to
+// source stepping and then to Gmin stepping when plain Newton fails.
 func (c *Circuit) OP() ([]float64, error) {
-	s := newSolver(c)
-	return s.op()
+	return c.OPCtx(context.Background())
 }
 
-func (s *solver) op() ([]float64, error) {
+// OPCtx is OP with cancellation: the relaxation/continuation loops check ctx
+// and return a simerr.ErrCancelled-class error when it is done.
+func (c *Circuit) OPCtx(ctx context.Context) ([]float64, error) {
+	s := newSolver(c)
+	return s.op(ctx)
+}
+
+func (s *solver) op(ctx context.Context) ([]float64, error) {
 	for _, tl := range s.c.mtls {
 		tl.resetDC()
 	}
@@ -30,22 +38,18 @@ func (s *solver) op() ([]float64, error) {
 	x := make([]float64, s.dim)
 	var dcLU *mat.LU // cached factorisation for linear relaxation iterations
 	for iter := 0; iter < maxDCRelax; iter++ {
+		if err := simerr.CheckCtx(ctx, "circuit: OP"); err != nil {
+			return nil, err
+		}
 		var xn []float64
 		var err error
 		if s.c.HasNonlinear() {
 			xn, err = s.solveNewtonStep(st, x)
+			if err != nil && !errors.Is(err, simerr.ErrNaN) {
+				xn, err = s.opContinuation(ctx, st)
+			}
 			if err != nil {
-				// Source stepping: ramp the sources, reusing each solution
-				// as the next guess.
-				xn = make([]float64, s.dim)
-				for _, alpha := range []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
-					stA := st
-					stA.srcScale = alpha
-					xn, err = s.solveNewtonStep(stA, xn)
-					if err != nil {
-						return nil, fmt.Errorf("circuit: OP failed at source scale %g: %w", alpha, err)
-					}
-				}
+				return nil, fmt.Errorf("circuit: OP: %w", err)
 			}
 		} else {
 			// Linear DC: the matrix is iteration independent (only the
@@ -54,13 +58,16 @@ func (s *solver) op() ([]float64, error) {
 				a := s.assembleMatrix(st)
 				dcLU, err = mat.NewLU(a)
 				if err != nil {
-					return nil, fmt.Errorf("circuit: singular DC matrix: %w", err)
+					return nil, s.singular("circuit: DC matrix", err)
 				}
 			}
 			xn, err = dcLU.Solve(s.assembleRHS(st))
 			if err != nil {
 				return nil, err
 			}
+		}
+		if err := simerr.CheckFinite("circuit: OP", 0, xn, s.unknownName); err != nil {
+			return nil, err
 		}
 		x = xn
 		if len(s.c.mtls) == 0 {
@@ -77,7 +84,56 @@ func (s *solver) op() ([]float64, error) {
 			return x, nil
 		}
 	}
-	return nil, errors.New("circuit: transmission-line DC relaxation did not converge")
+	return nil, &simerr.NonConvergenceError{
+		Op: "circuit: transmission-line DC relaxation",
+		Iterations: maxDCRelax, WorstResidual: math.NaN(), Time: 0,
+	}
+}
+
+// opContinuation rescues a failed DC Newton solve. Source stepping ramps
+// every independent source from 5% to 100%, reusing each solution as the
+// next initial guess; if any ramp stage fails, Gmin stepping takes over:
+// an artificial conductance from every node to ground is swept from 10 mS
+// down to nothing, walking the solution onto the true operating point (the
+// standard SPICE continuation pair).
+func (s *solver) opContinuation(ctx context.Context, st assembleState) ([]float64, error) {
+	xn := make([]float64, s.dim)
+	var err error
+	sourceOK := true
+	for _, alpha := range []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		if cerr := simerr.CheckCtx(ctx, "circuit: OP source stepping"); cerr != nil {
+			return nil, cerr
+		}
+		stA := st
+		stA.srcScale = alpha
+		xn, err = s.solveNewtonStep(stA, xn)
+		if err != nil {
+			sourceOK = false
+			break
+		}
+		s.stats.SourceSteps++
+	}
+	if sourceOK {
+		return xn, nil
+	}
+	xn = make([]float64, s.dim)
+	for g := 1e-2; g >= 1e-13; g /= 10 {
+		if cerr := simerr.CheckCtx(ctx, "circuit: OP Gmin stepping"); cerr != nil {
+			return nil, cerr
+		}
+		stG := st
+		stG.extraGmin = g
+		xn, err = s.solveNewtonStep(stG, xn)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: Gmin stepping failed at g=%.0e: %w", g, err)
+		}
+		s.stats.GminSteps++
+	}
+	xn, err = s.solveNewtonStep(st, xn)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: final solve after Gmin stepping: %w", err)
+	}
+	return xn, nil
 }
 
 // TranOptions configure a transient analysis.
@@ -86,15 +142,35 @@ type TranOptions struct {
 	Tstop  float64 // final time (s)
 	Method Method  // integration scheme
 	UIC    bool    // skip the OP and start from zero state / element ICs
+
+	// Ctx cancels or bounds the run: the stepping loop checks it at every
+	// (sub-)step and returns a simerr.ErrCancelled-class error when it is
+	// done. nil means the run cannot be interrupted.
+	Ctx context.Context
+
+	// MaxHalvings bounds the adaptive Newton recovery: when a step fails to
+	// converge, the solver halves the local timestep and re-attempts, up to
+	// this many levels deep (local dt reaches Dt/2^MaxHalvings). Output is
+	// still recorded on the uniform Dt grid. 0 selects the default (6, i.e.
+	// down to Dt/64); negative disables recovery. Circuits with transmission
+	// lines never sub-step (the Bergeron history needs a uniform dt).
+	MaxHalvings int
 }
+
+// DefaultMaxHalvings is the default adaptive-recovery depth: a failing
+// Newton step is retried at timesteps down to Dt/2^DefaultMaxHalvings.
+const DefaultMaxHalvings = 6
 
 // Result holds a transient analysis output: the time axis, every node
 // voltage, and every voltage-source branch current.
 type Result struct {
 	Time []float64
-	c    *Circuit
-	v    [][]float64          // per time point: node voltages (index node-1)
-	isrc map[string][]float64 // vsource name → current waveform
+	// Stats reports the solver effort and automatic recovery actions the
+	// run needed (Newton iterations, timestep halvings, OP continuation).
+	Stats SolveStats
+	c     *Circuit
+	v     [][]float64          // per time point: node voltages (index node-1)
+	isrc  map[string][]float64 // vsource name → current waveform
 }
 
 // V returns the waveform of the given node index.
@@ -128,15 +204,30 @@ func (r *Result) SourceCurrent(name string) ([]float64, error) {
 	return w, nil
 }
 
-// Tran runs a fixed-step transient analysis.
+// Tran runs a fixed-step transient analysis. Output is recorded on the
+// uniform Dt grid; when a Newton solve fails to converge at a step, the
+// solver automatically retries with locally halved timesteps (see
+// TranOptions.MaxHalvings) before giving up.
 func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
-	if opts.Dt <= 0 || opts.Tstop <= 0 || opts.Tstop < opts.Dt {
-		return nil, fmt.Errorf("circuit: invalid transient window dt=%g tstop=%g", opts.Dt, opts.Tstop)
+	if opts.Dt <= 0 || opts.Tstop <= 0 || opts.Tstop < opts.Dt ||
+		math.IsNaN(opts.Dt) || math.IsNaN(opts.Tstop) || math.IsInf(opts.Tstop, 0) {
+		return nil, &simerr.BadInputError{Op: "circuit: transient",
+			Detail: fmt.Sprintf("invalid window dt=%g tstop=%g", opts.Dt, opts.Tstop)}
 	}
 	for _, tl := range c.mtls {
 		if td := tl.MinDelay(); td < opts.Dt {
-			return nil, fmt.Errorf("circuit: time step %g exceeds line %s delay %g", opts.Dt, tl.Name(), td)
+			return nil, &simerr.BadInputError{Op: "circuit: transient",
+				Detail: fmt.Sprintf("time step %g exceeds line %s delay %g", opts.Dt, tl.Name(), td)}
 		}
+	}
+	maxHalvings := opts.MaxHalvings
+	if maxHalvings == 0 {
+		maxHalvings = DefaultMaxHalvings
+	}
+	if maxHalvings < 0 || len(c.mtls) > 0 {
+		// Bergeron line histories are sampled on a uniform grid, so lines
+		// disable local sub-stepping.
+		maxHalvings = 0
 	}
 	s := newSolver(c)
 	var x []float64
@@ -150,7 +241,7 @@ func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
 		}
 	} else {
 		var err error
-		x, err = s.op()
+		x, err = s.op(opts.Ctx)
 		if err != nil {
 			return nil, fmt.Errorf("circuit: transient OP: %w", err)
 		}
@@ -176,10 +267,18 @@ func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
 	record(0, x)
 
 	s.lu = nil // force matrix assembly with transient companions
-	for n := 1; n <= nSteps; n++ {
-		t := float64(n) * opts.Dt
+
+	// advance integrates one step from t0 to t0+dt, recursively halving the
+	// local timestep (bounded by maxHalvings) when Newton fails to converge.
+	// On success it commits the solution and companion state for t0+dt.
+	var advance func(t0, dt float64, depth int) error
+	advance = func(t0, dt float64, depth int) error {
+		if err := simerr.CheckCtx(opts.Ctx, "circuit: transient"); err != nil {
+			return err
+		}
+		t1 := t0 + dt
 		st := assembleState{
-			t: t, dt: opts.Dt, method: opts.Method, srcScale: 1,
+			t: t1, dt: dt, method: opts.Method, srcScale: 1,
 			prevX: x, capCurr: capCurr, indVolt: indVolt,
 		}
 		var xn []float64
@@ -190,27 +289,51 @@ func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
 			xn, err = s.solveLinearStep(st)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("circuit: transient failed at t=%g: %w", t, err)
+			if depth < maxHalvings && errors.Is(err, simerr.ErrNonConvergence) {
+				s.stats.StepRetries++
+				s.stats.StepHalvings++
+				if depth+1 > s.stats.MaxHalvingDepth {
+					s.stats.MaxHalvingDepth = depth + 1
+				}
+				if err := advance(t0, dt/2, depth+1); err != nil {
+					return err
+				}
+				return advance(t0+dt/2, dt/2, depth+1)
+			}
+			return err
 		}
-		// Update companion state.
+		if err := simerr.CheckFinite("circuit: transient", t1, xn, s.unknownName); err != nil {
+			return err
+		}
+		// Commit companion state for the step actually taken.
 		for i, cp := range c.capacitors {
 			vNew := NodeVoltage(xn, cp.A) - NodeVoltage(xn, cp.B)
 			vOld := NodeVoltage(x, cp.A) - NodeVoltage(x, cp.B)
 			if opts.Method == Trapezoidal {
-				capCurr[i] = 2*cp.C/opts.Dt*(vNew-vOld) - capCurr[i]
+				capCurr[i] = 2*cp.C/dt*(vNew-vOld) - capCurr[i]
 			} else {
-				capCurr[i] = cp.C / opts.Dt * (vNew - vOld)
+				capCurr[i] = cp.C / dt * (vNew - vOld)
 			}
 		}
 		for i, l := range c.inductors {
 			indVolt[i] = NodeVoltage(xn, l.A) - NodeVoltage(xn, l.B)
 		}
 		for _, tl := range c.mtls {
-			tl.recordStep(xn, t, opts.Dt)
+			tl.recordStep(xn, t1, dt)
 		}
-		record(t, xn)
 		x = xn
+		return nil
 	}
+
+	for n := 1; n <= nSteps; n++ {
+		t := float64(n) * opts.Dt
+		if err := advance(float64(n-1)*opts.Dt, opts.Dt, 0); err != nil {
+			return nil, fmt.Errorf("circuit: transient failed at t=%g: %w", t, err)
+		}
+		s.stats.Steps++
+		record(t, x)
+	}
+	res.Stats = s.stats
 	return res, nil
 }
 
@@ -242,8 +365,9 @@ func (r *ACResult) VByName(name string) (complex128, error) {
 // Sources contribute their AC magnitudes; switches take their t = 0 state;
 // nonlinear devices are linearised around the DC operating point.
 func (c *Circuit) AC(omega float64) (*ACResult, error) {
-	if omega <= 0 {
-		return nil, errors.New("circuit: AC requires a positive frequency")
+	if !(omega > 0) || math.IsInf(omega, 0) {
+		return nil, &simerr.BadInputError{Op: "circuit: AC",
+			Detail: fmt.Sprintf("requires a positive finite frequency, got ω=%g", omega)}
 	}
 	s := newSolver(c)
 	a := mat.CNew(s.dim, s.dim)
@@ -346,7 +470,7 @@ func (c *Circuit) AC(omega float64) (*ACResult, error) {
 	}
 	x, err := mat.CSolve(a, rhs)
 	if err != nil {
-		return nil, fmt.Errorf("circuit: AC solve at ω=%g: %w", omega, err)
+		return nil, fmt.Errorf("circuit: AC solve at ω=%g: %w", omega, s.singular("circuit: AC matrix", err))
 	}
 	return &ACResult{Omega: omega, c: c, x: x}, nil
 }

@@ -140,6 +140,13 @@ type Stamper struct {
 	a   []float64 // n×n row-major; nil during RHS-only loads
 	rhs []float64
 	T   float64
+	// Dt is the integration step of the solve being assembled (0 for DC).
+	// Devices with internal dynamics — or fault-injection test doubles that
+	// model stiffness — may read it to scale their companion models.
+	Dt float64
+	// Gmin is the extra continuation conductance of a Gmin-stepping OP solve
+	// (0 during normal solves).
+	Gmin float64
 }
 
 // StampConductance adds g between nodes a and b (node indices as in

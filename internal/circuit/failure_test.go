@@ -1,8 +1,13 @@
 package circuit
 
 import (
+	"context"
+	"errors"
+	"math"
 	"strings"
 	"testing"
+
+	"pdnsim/internal/simerr"
 )
 
 // divergingDevice never converges: it reports a different linearisation
@@ -47,6 +52,233 @@ func TestParallelVoltageSourcesSingular(t *testing.T) {
 	}
 	if _, err := c.OP(); err == nil {
 		t.Fatal("parallel conflicting sources must report a singular matrix")
+	}
+}
+
+// stiffDevice models a stiff nonlinearity: Newton only converges when the
+// local integration step is at or below dtOK. It lets the tests drive the
+// adaptive timestep-halving recovery deterministically.
+type stiffDevice struct {
+	n      int
+	dtOK   float64
+	lastDt float64
+}
+
+func (d *stiffDevice) Name() string { return "stiff" }
+func (d *stiffDevice) Load(st *Stamper, x []float64) {
+	d.lastDt = st.Dt
+	st.StampConductance(d.n, Ground, 1e-3)
+}
+func (d *stiffDevice) Converged([]float64) bool { return d.lastDt <= d.dtOK }
+
+func stiffCircuit(t *testing.T, dtOK float64) *Circuit {
+	t.Helper()
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddVSource("V1", n, Ground, Pulse{V2: 1, Rise: 1e-9, Width: 10e-9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResistor("R1", n, Ground, 100); err != nil {
+		t.Fatal(err)
+	}
+	c.AddDevice(&stiffDevice{n: n, dtOK: dtOK})
+	return c
+}
+
+func TestAdaptiveHalvingRecoversStiffStep(t *testing.T) {
+	// dtOK forces exactly two halvings: 1 ns and 0.5 ns fail, 0.25 ns works.
+	c := stiffCircuit(t, 0.3e-9)
+	res, err := c.Tran(TranOptions{Dt: 1e-9, Tstop: 4e-9})
+	if err != nil {
+		t.Fatalf("adaptive recovery should rescue the stiff device, got %v", err)
+	}
+	if res.Stats.StepHalvings == 0 || res.Stats.StepRetries == 0 {
+		t.Fatalf("expected halving activity in stats, got %+v", res.Stats)
+	}
+	if res.Stats.MaxHalvingDepth != 2 {
+		t.Fatalf("dtOK=0.3ns from dt=1ns needs depth 2, got %d", res.Stats.MaxHalvingDepth)
+	}
+	if len(res.Time) != 5 {
+		t.Fatalf("output must stay on the uniform grid: %d points", len(res.Time))
+	}
+}
+
+func TestAdaptiveHalvingDisabledFails(t *testing.T) {
+	c := stiffCircuit(t, 0.3e-9)
+	_, err := c.Tran(TranOptions{Dt: 1e-9, Tstop: 4e-9, MaxHalvings: -1})
+	if !errors.Is(err, simerr.ErrNonConvergence) {
+		t.Fatalf("with recovery disabled the stiff step must surface ErrNonConvergence, got %v", err)
+	}
+	var nc *simerr.NonConvergenceError
+	if !errors.As(err, &nc) || nc.Iterations == 0 {
+		t.Fatalf("expected structured iteration detail, got %v", err)
+	}
+}
+
+func TestHalvingDepthExhaustionFails(t *testing.T) {
+	// dtOK below Dt/2^6 exhausts the default recovery depth.
+	c := stiffCircuit(t, 1e-12)
+	_, err := c.Tran(TranOptions{Dt: 1e-9, Tstop: 4e-9})
+	if !errors.Is(err, simerr.ErrNonConvergence) {
+		t.Fatalf("expected ErrNonConvergence after exhausting halvings, got %v", err)
+	}
+}
+
+// nanAfter emits a clean value until tNaN, then NaN — an injected bad
+// waveform (e.g. corrupted measurement data driving a source).
+type nanAfter struct{ tNaN float64 }
+
+func (w nanAfter) At(t float64) float64 {
+	if t >= w.tNaN {
+		return math.NaN()
+	}
+	return 1
+}
+func (w nanAfter) AC() float64 { return 0 }
+
+func TestNaNWaveformSurfacesErrNaN(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddVSource("V1", n, Ground, nanAfter{tNaN: 2e-9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResistor("R1", n, Ground, 50); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Tran(TranOptions{Dt: 1e-9, Tstop: 5e-9})
+	if !errors.Is(err, simerr.ErrNaN) {
+		t.Fatalf("NaN source must surface ErrNaN, got %v", err)
+	}
+	if errors.Is(err, simerr.ErrNonConvergence) {
+		t.Fatal("a NaN from bad input must not be misclassified as non-convergence")
+	}
+}
+
+// cancellingWave cancels its context the first time it is evaluated at or
+// after tCancel — a deterministic mid-run cancellation trigger.
+type cancellingWave struct {
+	tCancel float64
+	cancel  context.CancelFunc
+}
+
+func (w *cancellingWave) At(t float64) float64 {
+	if t >= w.tCancel {
+		w.cancel()
+	}
+	return 1
+}
+func (w *cancellingWave) AC() float64 { return 0 }
+
+func TestMidTranCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddVSource("V1", n, Ground, &cancellingWave{tCancel: 5e-9, cancel: cancel}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResistor("R1", n, Ground, 50); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Tran(TranOptions{Dt: 1e-9, Tstop: 100e-9, Ctx: ctx})
+	if !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("mid-run cancellation must surface ErrCancelled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("the context cause must stay reachable through the chain, got %v", err)
+	}
+}
+
+func TestOPCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddVSource("V1", n, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResistor("R1", n, Ground, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OPCtx(ctx); !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("OP under an expired context must return ErrCancelled, got %v", err)
+	}
+}
+
+func TestSingularErrorNamesUnknown(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddVSource("V1", n, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddVSource("V2", n, Ground, DC(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.OP()
+	if !errors.Is(err, simerr.ErrSingular) {
+		t.Fatalf("conflicting sources must be ErrSingular-class, got %v", err)
+	}
+	var se *simerr.SingularError
+	if !errors.As(err, &se) || se.Node == "" {
+		t.Fatalf("singular error must name the offending unknown, got %v", err)
+	}
+}
+
+// gminHungryDevice refuses to converge until it has been loaded with a
+// positive continuation conductance — it exercises the Gmin-stepping rescue.
+type gminHungryDevice struct {
+	n       int
+	sawGmin bool
+}
+
+func (d *gminHungryDevice) Name() string { return "gminhungry" }
+func (d *gminHungryDevice) Load(st *Stamper, x []float64) {
+	if st.Gmin > 0 {
+		d.sawGmin = true
+	}
+	st.StampConductance(d.n, Ground, 1e-3)
+}
+func (d *gminHungryDevice) Converged([]float64) bool { return d.sawGmin }
+
+func TestGminSteppingRescuesOP(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddVSource("V1", n, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResistor("R1", n, Ground, 50); err != nil {
+		t.Fatal(err)
+	}
+	c.AddDevice(&gminHungryDevice{n: n})
+	res, err := c.Tran(TranOptions{Dt: 1e-9, Tstop: 3e-9})
+	if err != nil {
+		t.Fatalf("Gmin stepping should rescue the operating point, got %v", err)
+	}
+	if res.Stats.GminSteps == 0 {
+		t.Fatalf("expected Gmin continuation activity, got %+v", res.Stats)
+	}
+}
+
+func TestPWLRejectsNaN(t *testing.T) {
+	if _, err := NewPWL([]float64{0, 1e-9}, []float64{0, math.NaN()}); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("NaN PWL point must be ErrBadInput, got %v", err)
+	}
+	if _, err := NewPWL([]float64{0, math.Inf(1)}, []float64{0, 1}); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("Inf PWL time must be ErrBadInput, got %v", err)
+	}
+}
+
+func TestTranRejectsNaNWindow(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddResistor("R1", n, Ground, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Tran(TranOptions{Dt: math.NaN(), Tstop: 1e-9}); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatal("NaN Dt must be rejected as ErrBadInput")
+	}
+	if _, err := c.AC(math.NaN()); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatal("NaN omega must be rejected as ErrBadInput")
 	}
 }
 

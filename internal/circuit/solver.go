@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"pdnsim/internal/mat"
+	"pdnsim/internal/simerr"
 )
 
 // Method selects the transient integration scheme (paper §5.1: "both first
@@ -34,6 +35,21 @@ const (
 	maxDCRelax = 400
 )
 
+// SolveStats reports the effort and automatic recovery actions of one
+// analysis run: Newton workload, adaptive timestep halvings taken to ride
+// through stiff regions, and the continuation steps the DC operating point
+// needed. Read it from Result.Stats after a transient.
+type SolveStats struct {
+	Steps            int // accepted full time steps
+	NewtonIterations int // total Newton iterations across all solves
+	WorstNewtonIters int // worst iteration count of a single successful solve
+	StepRetries      int // solves that failed and were retried at a smaller dt
+	StepHalvings     int // timestep halvings performed during recovery
+	MaxHalvingDepth  int // deepest halving level reached (local dt = Dt/2^depth)
+	SourceSteps      int // source-stepping continuation solves in the OP
+	GminSteps        int // Gmin-stepping continuation solves in the OP
+}
+
 // solver holds the sized MNA system for one circuit.
 type solver struct {
 	c   *Circuit
@@ -47,6 +63,44 @@ type solver struct {
 
 	dt     float64
 	method Method
+
+	stats SolveStats
+}
+
+// unknownName maps an MNA unknown index to a readable name: node unknowns
+// get their node name, branch unknowns the element whose current they carry.
+func (s *solver) unknownName(i int) string {
+	if i >= 0 && i < s.nv {
+		return s.c.names[i+1]
+	}
+	for _, l := range s.c.inductors {
+		if l.branch == i {
+			return "i(" + l.name + ")"
+		}
+	}
+	for _, v := range s.c.vsources {
+		if v.branch == i {
+			return "i(" + v.name + ")"
+		}
+	}
+	for _, e := range s.c.vcvs {
+		if e.branch == i {
+			return "i(" + e.name + ")"
+		}
+	}
+	return fmt.Sprintf("branch %d", i)
+}
+
+// singular wraps a factorisation failure in a typed simerr.SingularError,
+// naming the offending unknown when the dead pivot column is known.
+func (s *solver) singular(op string, err error) error {
+	out := &simerr.SingularError{Op: op, Row: -1, Err: err}
+	var se *mat.SingularError
+	if errors.As(err, &se) {
+		out.Row = se.Col
+		out.Node = s.unknownName(se.Col)
+	}
+	return out
 }
 
 func newSolver(c *Circuit) *solver {
@@ -80,10 +134,11 @@ func stamp(a []float64, dim, r, c int, v float64) {
 
 // assembleState carries the per-step context for matrix/RHS assembly.
 type assembleState struct {
-	t        float64 // evaluation time
-	dt       float64 // 0 ⇒ DC (caps open, inductors short)
-	method   Method
-	srcScale float64 // source continuation factor (1 normally)
+	t         float64 // evaluation time
+	dt        float64 // 0 ⇒ DC (caps open, inductors short)
+	method    Method
+	srcScale  float64 // source continuation factor (1 normally)
+	extraGmin float64 // Gmin-stepping continuation conductance (0 normally)
 
 	// previous-step state for companion models
 	prevX   []float64
@@ -103,7 +158,7 @@ func (s *solver) assembleMatrix(st assembleState) *mat.Matrix {
 	a := mat.New(s.dim, s.dim)
 	ad := a.Data
 	for i := 0; i < s.nv; i++ {
-		ad[i*s.dim+i] += gshunt
+		ad[i*s.dim+i] += gshunt + st.extraGmin
 	}
 	// Resistors.
 	for _, r := range s.c.resistors {
@@ -336,7 +391,7 @@ func (s *solver) solveLinearStep(st assembleState) ([]float64, error) {
 		a := s.assembleMatrix(st)
 		lu, err := mat.NewLU(a)
 		if err != nil {
-			return nil, fmt.Errorf("circuit: singular MNA matrix: %w", err)
+			return nil, s.singular("circuit: MNA matrix", err)
 		}
 		s.lu = lu
 		s.luSwState = states
@@ -348,26 +403,53 @@ func (s *solver) solveLinearStep(st assembleState) ([]float64, error) {
 
 // solveNewtonStep solves one (DC or transient) time point with Newton
 // iterations over the nonlinear devices. x0 is the initial guess.
+//
+// A non-finite iterate is classified by its cause: if the assembled system
+// itself carries NaN/Inf (a non-finite source value, a corrupted element)
+// the step fails immediately with simerr.ErrNaN — no retry can fix bad
+// input. If the inputs are finite but the iterate explodes, that is Newton
+// divergence and surfaces as simerr.ErrNonConvergence, which the adaptive
+// transient loop answers with timestep halving.
 func (s *solver) solveNewtonStep(st assembleState, x0 []float64) ([]float64, error) {
 	x := append([]float64{}, x0...)
 	base := s.assembleMatrix(st)
 	rhs0 := s.assembleRHS(st)
+	inputsFinite := allFinite(base.Data) && allFinite(rhs0)
+	if !inputsFinite {
+		if err := simerr.CheckFinite("circuit: Newton assembly", st.t, rhs0, s.unknownName); err != nil {
+			return nil, err
+		}
+		return nil, &simerr.NaNError{Op: "circuit: Newton assembly", Time: st.t, Index: -1}
+	}
+	worst := math.Inf(1)
 	for iter := 0; iter < maxNewton; iter++ {
 		a := base.Clone()
 		rhs := append([]float64{}, rhs0...)
-		stp := &Stamper{n: s.dim, a: a.Data, rhs: rhs, T: st.t}
+		stp := &Stamper{n: s.dim, a: a.Data, rhs: rhs, T: st.t, Dt: st.dt, Gmin: st.extraGmin}
 		for _, d := range s.c.devices {
 			d.Load(stp, x)
 		}
 		xn, err := mat.Solve(a, rhs)
 		if err != nil {
-			return nil, fmt.Errorf("circuit: Newton matrix singular: %w", err)
+			return nil, s.singular("circuit: Newton matrix", err)
+		}
+		if !allFinite(xn) {
+			// Divergence (inputs were finite): report as non-convergence so
+			// the transient loop can recover by halving the step.
+			return nil, &simerr.NonConvergenceError{
+				Op: "circuit: Newton iteration diverged to non-finite values",
+				Iterations: iter + 1, WorstResidual: math.Inf(1), Time: st.t,
+			}
 		}
 		conv := true
+		worst = 0
 		for i := 0; i < s.nv; i++ {
-			if math.Abs(xn[i]-x[i]) > vAbsTol+vRelTol*math.Abs(xn[i]) {
+			d := math.Abs(xn[i] - x[i])
+			if d > worst {
+				worst = d
+			}
+			if d > vAbsTol+vRelTol*math.Abs(xn[i]) {
 				conv = false
-				break
 			}
 		}
 		x = xn
@@ -380,10 +462,28 @@ func (s *solver) solveNewtonStep(st assembleState, x0 []float64) ([]float64, err
 			}
 		}
 		if conv && iter > 0 {
+			s.stats.NewtonIterations += iter + 1
+			if iter+1 > s.stats.WorstNewtonIters {
+				s.stats.WorstNewtonIters = iter + 1
+			}
 			return x, nil
 		}
 	}
-	return nil, errors.New("circuit: Newton iteration did not converge")
+	s.stats.NewtonIterations += maxNewton
+	return nil, &simerr.NonConvergenceError{
+		Op: "circuit: Newton iteration", Iterations: maxNewton,
+		WorstResidual: worst, Time: st.t,
+	}
+}
+
+// allFinite reports whether every entry of v is finite.
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func equalBools(a, b []bool) bool {

@@ -1,9 +1,10 @@
 package circuit
 
 import (
-	"fmt"
 	"math"
 	"sort"
+
+	"pdnsim/internal/simerr"
 )
 
 // Waveform is a time-dependent source value. Implementations must be safe
@@ -82,17 +83,26 @@ type PWL struct {
 }
 
 // NewPWL validates and constructs a PWL waveform; times must be strictly
-// increasing.
+// increasing and every point finite — a NaN breakpoint would silently
+// corrupt a whole transient solve, so it is rejected here at build time.
 func NewPWL(t, v []float64) (PWL, error) {
 	if len(t) != len(v) || len(t) == 0 {
-		return PWL{}, fmt.Errorf("circuit: PWL needs equal, non-empty time/value slices")
+		return PWL{}, simerr.BadInput("circuit: PWL", "needs equal, non-empty time/value slices")
+	}
+	for i := range t {
+		if math.IsNaN(t[i]) || math.IsInf(t[i], 0) {
+			return PWL{}, simerr.BadInput("circuit: PWL", "non-finite time point %g at index %d", t[i], i)
+		}
+		if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+			return PWL{}, simerr.BadInput("circuit: PWL", "non-finite value %g at index %d", v[i], i)
+		}
 	}
 	if !sort.Float64sAreSorted(t) {
-		return PWL{}, fmt.Errorf("circuit: PWL times must be sorted")
+		return PWL{}, simerr.BadInput("circuit: PWL", "times must be sorted")
 	}
 	for i := 1; i < len(t); i++ {
 		if t[i] == t[i-1] {
-			return PWL{}, fmt.Errorf("circuit: PWL times must be strictly increasing")
+			return PWL{}, simerr.BadInput("circuit: PWL", "times must be strictly increasing")
 		}
 	}
 	return PWL{T: append([]float64{}, t...), V: append([]float64{}, v...)}, nil

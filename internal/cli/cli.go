@@ -1,0 +1,72 @@
+// Package cli holds the error-reporting conventions shared by the command
+// line tools: a distinct exit code per failure stage and a human-readable
+// rendering of the solve layer's typed errors (package simerr).
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+
+	"pdnsim/internal/simerr"
+)
+
+// Exit codes. Stage-specific so scripts can tell a malformed deck from a
+// solver breakdown or a timeout without scraping stderr.
+const (
+	ExitUsage     = 2 // bad command line
+	ExitParse     = 3 // input file did not parse or validate
+	ExitSolve     = 4 // numerical failure (singular, non-convergent, NaN)
+	ExitIO        = 5 // file system failure
+	ExitCancelled = 6 // context cancelled or timeout expired
+)
+
+// SolveExitCode refines a solve-stage failure: cancellation gets its own
+// code so a timeout is distinguishable from a numerical breakdown.
+func SolveExitCode(err error) int {
+	if errors.Is(err, simerr.ErrCancelled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ExitCancelled
+	}
+	var pe *fs.PathError
+	if errors.As(err, &pe) {
+		return ExitIO
+	}
+	return ExitSolve
+}
+
+// Describe renders err with any typed detail the solve layer attached:
+// the offending node of a singular system, the iteration count and residual
+// of a non-convergent Newton loop, the time and unknown of a NaN.
+func Describe(err error) string {
+	var b strings.Builder
+	b.WriteString(err.Error())
+	var se *simerr.SingularError
+	if errors.As(err, &se) && se.Node != "" {
+		fmt.Fprintf(&b, "\n  singular system: check the elements attached to node %q", se.Node)
+	}
+	var nc *simerr.NonConvergenceError
+	if errors.As(err, &nc) {
+		fmt.Fprintf(&b, "\n  Newton gave up after %d iterations (worst residual %.3g)", nc.Iterations, nc.WorstResidual)
+		b.WriteString("\n  try a smaller timestep, or raise MaxHalvings for deeper automatic step refinement")
+	}
+	var ne *simerr.NaNError
+	if errors.As(err, &ne) {
+		fmt.Fprintf(&b, "\n  first non-finite unknown: %s at t=%.4g s — check source waveforms and element values", ne.Unknown, ne.Time)
+	}
+	if errors.Is(err, simerr.ErrCancelled) {
+		b.WriteString("\n  run stopped early; raise -timeout to let it finish")
+	}
+	return b.String()
+}
+
+// Fatal prints the described error to w prefixed with the tool name and
+// exits with the given code.
+func Fatal(w io.Writer, tool string, err error, code int) {
+	fmt.Fprintf(w, "%s: %s\n", tool, Describe(err))
+	os.Exit(code)
+}

@@ -7,15 +7,17 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
+	"math"
 
 	"pdnsim/internal/bem"
 	"pdnsim/internal/extract"
 	"pdnsim/internal/geom"
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mesh"
+	"pdnsim/internal/simerr"
 )
 
 // PortSpec places a named external connection (power/ground pin, via,
@@ -62,7 +64,7 @@ func ParseBoard(data []byte) (*BoardSpec, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&b); err != nil {
-		return nil, fmt.Errorf("core: parsing board: %w", err)
+		return nil, &simerr.BadInputError{Op: "core: parse board", Detail: "invalid JSON", Err: err}
 	}
 	if err := b.Validate(); err != nil {
 		return nil, err
@@ -70,48 +72,81 @@ func ParseBoard(data []byte) (*BoardSpec, error) {
 	return &b, nil
 }
 
-// Validate checks the specification for completeness.
+// finite reports whether x is an ordinary (non-NaN, non-Inf) float. NaN
+// slips through ordering comparisons (every comparison is false), so each
+// numeric field is screened explicitly before the range checks.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// Validate checks the specification for completeness. All failures are
+// simerr.ErrBadInput-class.
 func (b *BoardSpec) Validate() error {
-	if b.PlaneSepMM <= 0 {
-		return errors.New("core: plane_sep_mm must be positive")
+	bad := func(format string, args ...any) error {
+		return simerr.BadInput("core: validate", format, args...)
 	}
-	if b.EpsR < 1 {
-		return errors.New("core: eps_r must be ≥ 1")
+	if !finite(b.PlaneSepMM) || b.PlaneSepMM <= 0 {
+		return bad("plane_sep_mm must be positive and finite, got %g", b.PlaneSepMM)
 	}
-	if b.SheetRes < 0 {
-		return errors.New("core: sheet_res_ohm_sq must be non-negative")
+	if !finite(b.EpsR) || b.EpsR < 1 {
+		return bad("eps_r must be ≥ 1 and finite, got %g", b.EpsR)
+	}
+	if !finite(b.SheetRes) || b.SheetRes < 0 {
+		return bad("sheet_res_ohm_sq must be non-negative and finite, got %g", b.SheetRes)
 	}
 	if len(b.Ports) == 0 {
-		return errors.New("core: at least one port is required")
+		return bad("at least one port is required")
+	}
+	for _, p := range b.Ports {
+		if !finite(p.X) || !finite(p.Y) {
+			return bad("port %s has non-finite coordinates (%g, %g)", p.Name, p.X, p.Y)
+		}
+	}
+	for _, v := range []float64{b.Shape.W, b.Shape.H, b.Shape.NotchW, b.Shape.NotchH} {
+		if !finite(v) {
+			return bad("shape has a non-finite dimension %g", v)
+		}
 	}
 	switch b.Shape.Type {
 	case "rect":
 		if b.Shape.W <= 0 || b.Shape.H <= 0 {
-			return errors.New("core: rect shape needs positive w_mm and h_mm")
+			return bad("rect shape needs positive w_mm and h_mm")
 		}
 	case "lshape":
 		if b.Shape.W <= 0 || b.Shape.H <= 0 || b.Shape.NotchW <= 0 || b.Shape.NotchH <= 0 {
-			return errors.New("core: lshape needs positive outline and notch")
+			return bad("lshape needs positive outline and notch")
 		}
 		if b.Shape.NotchW >= b.Shape.W || b.Shape.NotchH >= b.Shape.H {
-			return errors.New("core: lshape notch must be smaller than the outline")
+			return bad("lshape notch must be smaller than the outline")
 		}
 	case "polygon":
 		if len(b.Shape.Points) < 3 {
-			return errors.New("core: polygon needs at least 3 points")
+			return bad("polygon needs at least 3 points")
+		}
+		for i, p := range b.Shape.Points {
+			if !finite(p[0]) || !finite(p[1]) {
+				return bad("polygon point %d is non-finite (%g, %g)", i, p[0], p[1])
+			}
 		}
 	default:
-		return fmt.Errorf("core: unknown shape type %q", b.Shape.Type)
+		return bad("unknown shape type %q", b.Shape.Type)
+	}
+	for hi, h := range b.Shape.Holes {
+		for i, p := range h {
+			if !finite(p[0]) || !finite(p[1]) {
+				return bad("hole %d point %d is non-finite (%g, %g)", hi, i, p[0], p[1])
+			}
+		}
 	}
 	switch b.Kernel {
 	case "", "over-ground", "microstrip":
 	default:
-		return fmt.Errorf("core: unknown kernel %q", b.Kernel)
+		return bad("unknown kernel %q", b.Kernel)
 	}
 	switch b.Testing {
 	case "", "collocation", "galerkin":
 	default:
-		return fmt.Errorf("core: unknown testing scheme %q", b.Testing)
+		return bad("unknown testing scheme %q", b.Testing)
 	}
 	return nil
 }
@@ -150,6 +185,14 @@ type Result struct {
 
 // Extract runs the full pipeline: mesh, BEM assembly, port reduction.
 func (b *BoardSpec) Extract() (*Result, error) {
+	return b.ExtractCtx(context.Background())
+}
+
+// ExtractCtx is Extract with cancellation threaded through the assembly and
+// reduction stages, and panic recovery at the boundary: malformed geometry
+// that panics inside geom/mesh surfaces as a simerr.ErrBadInput-class error.
+func (b *BoardSpec) ExtractCtx(ctx context.Context) (res *Result, err error) {
+	defer simerr.RecoverInto(&err, "core: extract")
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
@@ -183,11 +226,11 @@ func (b *BoardSpec) Extract() (*Result, error) {
 	}
 	opts.SheetResistance = b.SheetRes
 	opts.ReturnSheetResistance = b.SheetRes
-	asm, err := bem.Assemble(m, k, opts)
+	asm, err := bem.AssembleCtx(ctx, m, k, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: BEM assembly: %w", err)
 	}
-	nw, err := extract.Extract(asm, extract.Options{ExtraNodes: b.ExtraNodes})
+	nw, err := extract.ExtractCtx(ctx, asm, extract.Options{ExtraNodes: b.ExtraNodes})
 	if err != nil {
 		return nil, fmt.Errorf("core: extraction: %w", err)
 	}

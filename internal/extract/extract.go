@@ -20,7 +20,7 @@
 package extract
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -29,6 +29,7 @@ import (
 	"pdnsim/internal/bem"
 	"pdnsim/internal/circuit"
 	"pdnsim/internal/mat"
+	"pdnsim/internal/simerr"
 )
 
 // Network is an extracted N-node distributed equivalent circuit. The first
@@ -107,12 +108,21 @@ type Options struct {
 // Extract reduces an assembled plane to an equivalent circuit on the mesh
 // ports plus opts.ExtraNodes interior nodes.
 func Extract(a *bem.Assembly, opts Options) (*Network, error) {
+	return ExtractCtx(context.Background(), a, opts)
+}
+
+// ExtractCtx is Extract with cancellation: each reduction stage (inductance,
+// capacitance, resistance — every one an O(n³) factorisation) checks ctx at
+// its boundary, so a timed-out extraction returns a simerr.ErrCancelled-class
+// error within one stage. Internal panics surface as simerr.ErrBadInput.
+func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network, err error) {
+	defer simerr.RecoverInto(&err, "extract")
 	if a == nil {
-		return nil, errors.New("extract: nil assembly")
+		return nil, simerr.BadInput("extract", "nil assembly")
 	}
 	ports := a.Mesh.PortCells()
 	if len(ports) == 0 {
-		return nil, errors.New("extract: mesh has no ports; call AddPort first")
+		return nil, simerr.BadInput("extract", "mesh has no ports; call AddPort first")
 	}
 	if opts.BranchTol <= 0 {
 		opts.BranchTol = 1e-9
@@ -121,6 +131,9 @@ func Extract(a *bem.Assembly, opts Options) (*Network, error) {
 
 	internal := mat.Complement(len(a.Mesh.Cells), nodeCells)
 
+	if err := simerr.CheckCtx(ctx, "extract: inductance system"); err != nil {
+		return nil, err
+	}
 	gamma, err := a.InverseInductanceLaplacian()
 	if err != nil {
 		return nil, fmt.Errorf("extract: inductance system: %w", err)
@@ -128,6 +141,9 @@ func Extract(a *bem.Assembly, opts Options) (*Network, error) {
 	gammaRed, err := mat.SchurReduce(gamma, nodeCells, internal)
 	if err != nil {
 		return nil, fmt.Errorf("extract: inductance reduction: %w", err)
+	}
+	if err := simerr.CheckCtx(ctx, "extract: capacitance system"); err != nil {
+		return nil, err
 	}
 	cFull, err := a.CellCapacitance()
 	if err != nil {
@@ -144,6 +160,9 @@ func Extract(a *bem.Assembly, opts Options) (*Network, error) {
 	cRed, err := guyanReduce(cFull, gamma, nodeCells, internal)
 	if err != nil {
 		return nil, fmt.Errorf("extract: capacitance reduction: %w", err)
+	}
+	if err := simerr.CheckCtx(ctx, "extract: resistance system"); err != nil {
+		return nil, err
 	}
 	var gRed *mat.Matrix
 	if g := a.ConductanceLaplacian(); g != nil {

@@ -16,12 +16,12 @@
 package fdtd
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math"
 
 	"pdnsim/internal/geom"
 	"pdnsim/internal/greens"
+	"pdnsim/internal/simerr"
 )
 
 // Port is a resistive Thevenin connection between the planes at one cell.
@@ -55,18 +55,22 @@ type Sim struct {
 // New builds a simulation over the given plane shape, meshed nx×ny over the
 // shape bounds, with plate separation d (m), permittivity epsR, and total
 // sheet resistance rsq (Ω/sq, forward plus return plane).
-func New(shape geom.Shape, nx, ny int, d, epsR, rsq float64) (*Sim, error) {
+func New(shape geom.Shape, nx, ny int, d, epsR, rsq float64) (s *Sim, err error) {
+	defer simerr.RecoverInto(&err, "fdtd: new")
 	if nx < 2 || ny < 2 {
-		return nil, fmt.Errorf("fdtd: grid too small: %dx%d", nx, ny)
+		return nil, simerr.BadInput("fdtd: new", "grid too small: %dx%d", nx, ny)
 	}
-	if d <= 0 || epsR <= 0 || rsq < 0 {
-		return nil, fmt.Errorf("fdtd: invalid stackup d=%g epsR=%g rsq=%g", d, epsR, rsq)
+	// NaN compares false against everything, so spell the checks as
+	// "not positive" rather than "≤ 0".
+	if !(d > 0) || !(epsR > 0) || !(rsq >= 0) ||
+		math.IsInf(d, 0) || math.IsInf(epsR, 0) || math.IsInf(rsq, 0) {
+		return nil, simerr.BadInput("fdtd: new", "invalid stackup d=%g epsR=%g rsq=%g", d, epsR, rsq)
 	}
 	b := shape.Bounds()
-	if b.W() <= 0 || b.H() <= 0 {
-		return nil, errors.New("fdtd: empty shape")
+	if !(b.W() > 0) || !(b.H() > 0) {
+		return nil, simerr.BadInput("fdtd: new", "empty shape")
 	}
-	s := &Sim{
+	s = &Sim{
 		Nx: nx, Ny: ny,
 		Dx: b.W() / float64(nx), Dy: b.H() / float64(ny),
 		Lsq:   greens.Mu0 * d,
@@ -91,7 +95,7 @@ func New(shape geom.Shape, nx, ny int, d, epsR, rsq float64) (*Sim, error) {
 		}
 	}
 	if !anyActive {
-		return nil, errors.New("fdtd: no active cells; refine the grid")
+		return nil, simerr.BadInput("fdtd: new", "no active cells; refine the grid")
 	}
 	return s, nil
 }
@@ -107,8 +111,8 @@ func alloc(nx, ny int) [][]float64 {
 // AddPort attaches a Thevenin port at the active cell nearest to p.
 // source == nil makes it a passive load resistor.
 func (s *Sim) AddPort(name string, p geom.Point, r float64, source func(t float64) float64) (*Port, error) {
-	if r <= 0 {
-		return nil, fmt.Errorf("fdtd: port %s needs a positive resistance", name)
+	if !(r > 0) || math.IsInf(r, 0) {
+		return nil, simerr.BadInput("fdtd: port", "port %s needs a positive finite resistance, got %g", name, r)
 	}
 	b := s.shape.Bounds()
 	bi, bj, best := -1, -1, math.Inf(1)
@@ -146,11 +150,24 @@ type Result struct {
 // Run leapfrogs the grid for tstop seconds with step dt, recording every
 // port's inter-plane voltage. dt must respect the Courant limit.
 func (s *Sim) Run(dt, tstop float64) (*Result, error) {
-	if dt <= 0 || tstop <= dt {
-		return nil, fmt.Errorf("fdtd: invalid window dt=%g tstop=%g", dt, tstop)
+	return s.RunCtx(context.Background(), dt, tstop)
+}
+
+// ctxCheckStride is how many leapfrog steps RunCtx advances between
+// cancellation checks — cheap enough to keep cancellation latency in the
+// microseconds without touching the per-step cost.
+const ctxCheckStride = 64
+
+// RunCtx is Run with cancellation (checked every ctxCheckStride steps) and a
+// divergence guard: a non-finite port voltage aborts the run with a
+// simerr.ErrNaN-class error naming the port and time instead of filling the
+// record with NaNs.
+func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
+	if !(dt > 0) || !(tstop > dt) || math.IsInf(dt, 0) || math.IsInf(tstop, 0) {
+		return nil, simerr.BadInput("fdtd: run", "invalid window dt=%g tstop=%g", dt, tstop)
 	}
 	if limit := s.MaxStableDt(); dt > limit {
-		return nil, fmt.Errorf("fdtd: dt=%g exceeds the Courant limit %g", dt, limit)
+		return nil, simerr.BadInput("fdtd: run", "dt=%g exceeds the Courant limit %g", dt, limit)
 	}
 	steps := int(math.Round(tstop / dt))
 	res := &Result{}
@@ -179,6 +196,11 @@ func (s *Sim) Run(dt, tstop float64) (*Result, error) {
 	}
 
 	for n := 1; n <= steps; n++ {
+		if n%ctxCheckStride == 0 {
+			if err := simerr.CheckCtx(ctx, "fdtd: run"); err != nil {
+				return nil, err
+			}
+		}
 		t := s.t0 + float64(n)*dt
 		// Current updates (half step earlier in leapfrog time).
 		for i := 1; i < s.Nx; i++ {
@@ -219,7 +241,11 @@ func (s *Sim) Run(dt, tstop float64) (*Result, error) {
 			}
 		}
 		for _, p := range s.ports {
-			p.V = append(p.V, s.v[p.I][p.J])
+			vp := s.v[p.I][p.J]
+			if math.IsNaN(vp) || math.IsInf(vp, 0) {
+				return nil, &simerr.NaNError{Op: "fdtd: run", Time: t, Unknown: "v(" + p.Name + ")", Index: p.I*s.Ny + p.J}
+			}
+			p.V = append(p.V, vp)
 		}
 		res.Time = append(res.Time, t)
 	}

@@ -3,6 +3,7 @@ package mat
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/cmplx"
 )
 
@@ -144,8 +145,8 @@ func NewCLU(a *CMatrix) (*CLU, error) {
 				p, pmax = i, a
 			}
 		}
-		if pmax == 0 {
-			return nil, ErrSingular
+		if pmax == 0 || math.IsNaN(pmax) {
+			return nil, &SingularError{Col: k}
 		}
 		if p != k {
 			rk := lu[k*n : (k+1)*n]

@@ -2,12 +2,28 @@ package mat
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
 // ErrSingular is returned when a factorisation encounters a (numerically)
 // singular matrix.
 var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// SingularError is the concrete singular-matrix error: it records the pivot
+// column at which Gaussian elimination found no usable pivot, letting
+// higher layers map the dead unknown back to a named quantity (an MNA node,
+// a mesh cell). It matches ErrSingular under errors.Is.
+type SingularError struct {
+	Col int // pivot column (unknown index) with no non-zero pivot
+}
+
+func (e *SingularError) Error() string {
+	return fmt.Sprintf("mat: matrix is singular to working precision (pivot column %d)", e.Col)
+}
+
+// Is matches the package-level ErrSingular sentinel.
+func (e *SingularError) Is(target error) bool { return target == ErrSingular }
 
 // LU holds an LU factorisation with partial pivoting: P·A = L·U, stored
 // compactly in lu (unit lower triangle implicit).
@@ -37,8 +53,8 @@ func NewLU(a *Matrix) (*LU, error) {
 				p, pmax = i, a
 			}
 		}
-		if pmax == 0 {
-			return nil, ErrSingular
+		if pmax == 0 || math.IsNaN(pmax) {
+			return nil, &SingularError{Col: k}
 		}
 		if p != k {
 			rk := lu[k*n : (k+1)*n]

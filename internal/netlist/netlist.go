@@ -469,7 +469,13 @@ func ParseValue(s string) (float64, error) {
 	default:
 		// Unknown letters (units like "hz", "ohm", "v") are ignored.
 	}
-	return mant * mult, nil
+	v := mant * mult
+	// strconv accepts "nan" and "inf" spellings; neither is a usable
+	// component value and both would poison every downstream solve.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
 }
 
 func sqrt(x float64) float64 {

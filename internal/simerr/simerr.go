@@ -1,0 +1,213 @@
+// Package simerr defines the typed error taxonomy of the hardened solve
+// layer. Every long-running or numerically fragile path in the simulator
+// (MNA transient/OP solves, BEM assembly, network extraction, FDTD stepping,
+// S-parameter sweeps, transmission-line extraction) classifies its failures
+// into one of five classes so callers can branch on the *kind* of failure
+// with errors.Is and read structured detail with errors.As:
+//
+//   - ErrSingular       — a linear system was singular to working precision
+//     (SingularError names the offending node/row when known).
+//   - ErrNonConvergence — an iteration (Newton, relaxation, continuation)
+//     failed to converge (NonConvergenceError carries the iteration count
+//     and worst residual).
+//   - ErrBadInput       — malformed or non-physical input reached a solver,
+//     including internal panics recovered at the public API boundary.
+//   - ErrCancelled      — a context.Context was cancelled or its deadline
+//     expired mid-run (CancelledError wraps the ctx cause).
+//   - ErrNaN            — a solution vector went non-finite (NaNError names
+//     the time point and first offending unknown).
+//
+// The classes are sentinels: a typed error matches its class through
+// errors.Is regardless of what else it wraps, so
+// errors.Is(err, simerr.ErrSingular) works across every package boundary.
+package simerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sentinel error classes. Match with errors.Is; read structured detail with
+// errors.As on the concrete types below.
+var (
+	ErrSingular       = errors.New("singular system")
+	ErrNonConvergence = errors.New("iteration did not converge")
+	ErrBadInput       = errors.New("bad input")
+	ErrCancelled      = errors.New("operation cancelled")
+	ErrNaN            = errors.New("non-finite solution")
+)
+
+// SingularError reports a singular or numerically rank-deficient linear
+// system. Node names the offending unknown when the solver can map the
+// pivot back to a circuit node ("" when unknown); Row is the matrix
+// row/column of the dead pivot (-1 when unknown).
+type SingularError struct {
+	Op   string // operation that failed, e.g. "circuit: transient step"
+	Node string // offending node/unknown name, "" if not resolvable
+	Row  int    // matrix row/column of the dead pivot, -1 if unknown
+	Err  error  // underlying factorisation error, may be nil
+}
+
+func (e *SingularError) Error() string {
+	msg := e.Op + ": singular system"
+	if e.Node != "" {
+		msg += fmt.Sprintf(" (unknown %q", e.Node)
+		if e.Row >= 0 {
+			msg += fmt.Sprintf(", row %d", e.Row)
+		}
+		msg += ")"
+	} else if e.Row >= 0 {
+		msg += fmt.Sprintf(" (row %d)", e.Row)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying factorisation error.
+func (e *SingularError) Unwrap() error { return e.Err }
+
+// Is matches the ErrSingular class.
+func (e *SingularError) Is(target error) bool { return target == ErrSingular }
+
+// NonConvergenceError reports an iteration that hit its budget without
+// meeting tolerance.
+type NonConvergenceError struct {
+	Op            string
+	Iterations    int     // iterations performed before giving up
+	WorstResidual float64 // largest remaining update/residual magnitude
+	Time          float64 // simulation time of the failing solve; NaN if n/a
+}
+
+func (e *NonConvergenceError) Error() string {
+	msg := fmt.Sprintf("%s: did not converge after %d iterations", e.Op, e.Iterations)
+	if !math.IsNaN(e.WorstResidual) && e.WorstResidual != 0 {
+		msg += fmt.Sprintf(" (worst residual %.3g)", e.WorstResidual)
+	}
+	if !math.IsNaN(e.Time) {
+		msg += fmt.Sprintf(" at t=%g", e.Time)
+	}
+	return msg
+}
+
+// Is matches the ErrNonConvergence class.
+func (e *NonConvergenceError) Is(target error) bool { return target == ErrNonConvergence }
+
+// BadInputError reports malformed input, including internal panics recovered
+// at the public API boundary.
+type BadInputError struct {
+	Op     string
+	Detail string
+	Err    error // underlying error, may be nil
+}
+
+func (e *BadInputError) Error() string {
+	msg := e.Op + ": bad input"
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying error.
+func (e *BadInputError) Unwrap() error { return e.Err }
+
+// Is matches the ErrBadInput class.
+func (e *BadInputError) Is(target error) bool { return target == ErrBadInput }
+
+// BadInput builds a BadInputError with a formatted detail message.
+func BadInput(op, format string, args ...any) error {
+	return &BadInputError{Op: op, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CancelledError reports a run interrupted by context cancellation or
+// deadline expiry. Err is the context's error (context.Canceled or
+// context.DeadlineExceeded), so errors.Is also matches those.
+type CancelledError struct {
+	Op  string
+	Err error
+}
+
+func (e *CancelledError) Error() string {
+	if e.Err != nil {
+		return e.Op + ": cancelled: " + e.Err.Error()
+	}
+	return e.Op + ": cancelled"
+}
+
+// Unwrap exposes the context error.
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// Is matches the ErrCancelled class.
+func (e *CancelledError) Is(target error) bool { return target == ErrCancelled }
+
+// NaNError reports a non-finite value in a solution vector.
+type NaNError struct {
+	Op      string
+	Time    float64 // simulation time of the offending solve; NaN if n/a
+	Unknown string  // name of the first non-finite unknown, "" if unnamed
+	Index   int     // vector index of the first non-finite entry
+}
+
+func (e *NaNError) Error() string {
+	msg := e.Op + ": non-finite solution"
+	if e.Unknown != "" {
+		msg += fmt.Sprintf(" (unknown %q, index %d)", e.Unknown, e.Index)
+	} else {
+		msg += fmt.Sprintf(" (index %d)", e.Index)
+	}
+	if !math.IsNaN(e.Time) {
+		msg += fmt.Sprintf(" at t=%g", e.Time)
+	}
+	return msg
+}
+
+// Is matches the ErrNaN class.
+func (e *NaNError) Is(target error) bool { return target == ErrNaN }
+
+// CheckCtx returns a CancelledError when ctx is done, nil otherwise. A nil
+// ctx never cancels. Long loops call this periodically.
+func CheckCtx(ctx context.Context, op string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &CancelledError{Op: op, Err: err}
+	}
+	return nil
+}
+
+// CheckFinite scans a solution vector and returns a NaNError for the first
+// non-finite entry. name maps a vector index to an unknown name; nil leaves
+// the unknown anonymous. t is the simulation time (pass NaN when not
+// applicable).
+func CheckFinite(op string, t float64, x []float64, name func(i int) string) error {
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			e := &NaNError{Op: op, Time: t, Index: i}
+			if name != nil {
+				e.Unknown = name(i)
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// RecoverInto converts a panic into a BadInputError stored in *err. Use as
+//
+//	defer simerr.RecoverInto(&err, "bem: assemble")
+//
+// at public API boundaries so internal index/dimension panics from mat, geom
+// or greens surface as typed errors instead of crashing the caller.
+func RecoverInto(err *error, op string) {
+	if r := recover(); r != nil {
+		*err = &BadInputError{Op: op, Detail: fmt.Sprintf("internal panic: %v", r)}
+	}
+}

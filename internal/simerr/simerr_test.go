@@ -1,0 +1,94 @@
+package simerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestClassMatching(t *testing.T) {
+	cases := []struct {
+		err   error
+		class error
+	}{
+		{&SingularError{Op: "op", Node: "n1", Row: 3}, ErrSingular},
+		{&NonConvergenceError{Op: "op", Iterations: 100, WorstResidual: 1e-2, Time: math.NaN()}, ErrNonConvergence},
+		{&BadInputError{Op: "op", Detail: "neg"}, ErrBadInput},
+		{&CancelledError{Op: "op", Err: context.Canceled}, ErrCancelled},
+		{&NaNError{Op: "op", Time: 1e-9, Unknown: "vdd", Index: 2}, ErrNaN},
+	}
+	classes := []error{ErrSingular, ErrNonConvergence, ErrBadInput, ErrCancelled, ErrNaN}
+	for _, c := range cases {
+		// Matching survives wrapping.
+		wrapped := fmt.Errorf("outer: %w", c.err)
+		if !errors.Is(wrapped, c.class) {
+			t.Errorf("%T does not match its class %v", c.err, c.class)
+		}
+		for _, other := range classes {
+			if other != c.class && errors.Is(c.err, other) {
+				t.Errorf("%T wrongly matches class %v", c.err, other)
+			}
+		}
+	}
+}
+
+func TestStructuredDetail(t *testing.T) {
+	err := fmt.Errorf("outer: %w", &SingularError{Op: "circuit: OP", Node: "vdd", Row: 4})
+	var se *SingularError
+	if !errors.As(err, &se) || se.Node != "vdd" || se.Row != 4 {
+		t.Fatalf("errors.As lost detail: %+v", se)
+	}
+	if !strings.Contains(err.Error(), "vdd") {
+		t.Fatalf("message does not name the node: %s", err)
+	}
+	nc := &NonConvergenceError{Op: "newton", Iterations: 42, WorstResidual: 0.5, Time: 2e-9}
+	for _, want := range []string{"42", "0.5", "2e-09"} {
+		if !strings.Contains(nc.Error(), want) {
+			t.Errorf("non-convergence message missing %q: %s", want, nc)
+		}
+	}
+}
+
+func TestCancelledUnwrapsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := CheckCtx(ctx, "tran")
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled error should match both class and ctx cause: %v", err)
+	}
+	if CheckCtx(context.Background(), "tran") != nil {
+		t.Fatal("live context must not report cancellation")
+	}
+	if CheckCtx(nil, "tran") != nil {
+		t.Fatal("nil context must never cancel")
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	if err := CheckFinite("op", 0, []float64{1, 2, 3}, nil); err != nil {
+		t.Fatalf("finite vector flagged: %v", err)
+	}
+	err := CheckFinite("op", 3e-9, []float64{1, math.Inf(1), math.NaN()},
+		func(i int) string { return fmt.Sprintf("x%d", i) })
+	var ne *NaNError
+	if !errors.As(err, &ne) || ne.Index != 1 || ne.Unknown != "x1" || ne.Time != 3e-9 {
+		t.Fatalf("wrong NaN detail: %+v", ne)
+	}
+}
+
+func TestRecoverInto(t *testing.T) {
+	f := func() (err error) {
+		defer RecoverInto(&err, "geom: build")
+		panic("index out of range")
+	}
+	err := f()
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("recovered panic must classify as bad input: %v", err)
+	}
+	if !strings.Contains(err.Error(), "index out of range") {
+		t.Fatalf("panic payload lost: %v", err)
+	}
+}

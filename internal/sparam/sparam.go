@@ -6,6 +6,7 @@
 package sparam
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"pdnsim/internal/mat"
+	"pdnsim/internal/simerr"
 )
 
 // FromZ converts an N×N impedance matrix to scattering parameters with the
@@ -84,10 +86,30 @@ type Sweep struct {
 // concurrent calls (the extraction and cavity evaluators are: they only read
 // shared matrices).
 func SweepZ(freqs []float64, z0 float64, zAt func(omega float64) (*mat.CMatrix, error)) (*Sweep, error) {
+	return SweepZCtx(context.Background(), freqs, z0, zAt)
+}
+
+// SweepZCtx is SweepZ with cancellation: each frequency point checks ctx
+// before evaluating, so an expensive sweep stops within one point of a
+// timeout and returns a simerr.ErrCancelled-class error. Non-finite
+// frequencies are rejected up front (simerr.ErrBadInput).
+func SweepZCtx(ctx context.Context, freqs []float64, z0 float64, zAt func(omega float64) (*mat.CMatrix, error)) (*Sweep, error) {
+	for i, f := range freqs {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, simerr.BadInput("sparam: sweep", "non-finite frequency %g at index %d", f, i)
+		}
+	}
+	if !(z0 > 0) || math.IsInf(z0, 0) {
+		return nil, simerr.BadInput("sparam: sweep", "reference impedance must be positive and finite, got %g", z0)
+	}
 	sw := &Sweep{Z0: z0}
 	sw.Points = make([]Point, len(freqs))
 	errs := make([]error, len(freqs))
 	mat.ParallelFor(len(freqs), func(i int) {
+		if err := simerr.CheckCtx(ctx, "sparam: sweep"); err != nil {
+			errs[i] = err
+			return
+		}
 		f := freqs[i]
 		z, err := zAt(2 * math.Pi * f)
 		if err != nil {
@@ -101,6 +123,13 @@ func SweepZ(freqs []float64, z0 float64, zAt func(omega float64) (*mat.CMatrix, 
 		}
 		sw.Points[i] = Point{Freq: f, S: s}
 	})
+	// Cancellation usually marks many points at once; prefer reporting it
+	// over whichever per-point error happens to sit first in the slice.
+	for _, err := range errs {
+		if err != nil && errors.Is(err, simerr.ErrCancelled) {
+			return nil, err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

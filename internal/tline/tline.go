@@ -25,6 +25,7 @@ import (
 	"pdnsim/internal/circuit"
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mat"
+	"pdnsim/internal/simerr"
 )
 
 // Strip is one conductor of the cross-section: a zero-thickness horizontal
@@ -51,21 +52,22 @@ type Params struct {
 }
 
 // Solve extracts the per-unit-length parameters of the cross-section.
-func Solve(g Geometry) (*Params, error) {
+func Solve(g Geometry) (p *Params, err error) {
+	defer simerr.RecoverInto(&err, "tline: solve")
 	if len(g.Strips) == 0 {
-		return nil, errors.New("tline: no strips")
+		return nil, simerr.BadInput("tline: solve", "no strips")
 	}
-	if g.H <= 0 || g.EpsR < 1 {
-		return nil, fmt.Errorf("tline: invalid substrate h=%g epsR=%g", g.H, g.EpsR)
+	if !(g.H > 0) || !(g.EpsR >= 1) || math.IsInf(g.H, 0) || math.IsInf(g.EpsR, 0) {
+		return nil, simerr.BadInput("tline: solve", "invalid substrate h=%g epsR=%g", g.H, g.EpsR)
 	}
 	for i, s := range g.Strips {
-		if s.W <= 0 {
-			return nil, fmt.Errorf("tline: strip %d has non-positive width", i)
+		if !(s.W > 0) || math.IsInf(s.W, 0) || math.IsNaN(s.X) || math.IsInf(s.X, 0) {
+			return nil, simerr.BadInput("tline: solve", "strip %d has invalid geometry x=%g w=%g", i, s.X, s.W)
 		}
 		for j := i + 1; j < len(g.Strips); j++ {
 			o := g.Strips[j]
 			if math.Abs(s.X-o.X) < (s.W+o.W)/2 {
-				return nil, fmt.Errorf("tline: strips %d and %d overlap", i, j)
+				return nil, simerr.BadInput("tline: solve", "strips %d and %d overlap", i, j)
 			}
 		}
 	}

@@ -23,6 +23,8 @@
 package pdnsim
 
 import (
+	"context"
+
 	"pdnsim/internal/bem"
 	"pdnsim/internal/cavity"
 	"pdnsim/internal/circuit"
@@ -36,9 +38,48 @@ import (
 	"pdnsim/internal/mat"
 	"pdnsim/internal/mesh"
 	"pdnsim/internal/pkgmodel"
+	"pdnsim/internal/simerr"
 	"pdnsim/internal/sparam"
 	"pdnsim/internal/ssn"
 	"pdnsim/internal/tline"
+)
+
+// Error taxonomy. Every error returned by the solve layer belongs to one of
+// these classes; test with errors.Is and read structured detail with
+// errors.As on the corresponding *Error types:
+//
+//	if errors.Is(err, pdnsim.ErrSingular) {
+//	    var se *pdnsim.SingularError
+//	    errors.As(err, &se) // se.Node names the offending circuit node
+//	}
+var (
+	// ErrSingular marks a singular or numerically unfactorable system.
+	ErrSingular = simerr.ErrSingular
+	// ErrNonConvergence marks an iteration that exhausted its budget.
+	ErrNonConvergence = simerr.ErrNonConvergence
+	// ErrBadInput marks invalid user input (including recovered panics).
+	ErrBadInput = simerr.ErrBadInput
+	// ErrCancelled marks a run stopped by context cancellation or timeout.
+	ErrCancelled = simerr.ErrCancelled
+	// ErrNaN marks a non-finite value detected in a solution vector.
+	ErrNaN = simerr.ErrNaN
+)
+
+// Structured error detail types (retrieve with errors.As).
+type (
+	// SingularError names the node/row where factorisation broke down.
+	SingularError = simerr.SingularError
+	// NonConvergenceError reports the iteration count and worst residual.
+	NonConvergenceError = simerr.NonConvergenceError
+	// BadInputError describes rejected input.
+	BadInputError = simerr.BadInputError
+	// CancelledError wraps the context error that stopped a run.
+	CancelledError = simerr.CancelledError
+	// NaNError reports the time point and first non-finite unknown.
+	NaNError = simerr.NaNError
+	// SolveStats counts Newton iterations, retries and timestep halvings of
+	// a transient run (TranResult.Stats).
+	SolveStats = circuit.SolveStats
 )
 
 // Physical constants (SI).
@@ -79,8 +120,12 @@ type (
 	MeshStats = mesh.Stats
 )
 
-// GridMesh meshes a shape into nx×ny boundary elements.
-func GridMesh(s Shape, nx, ny int) (*Mesh, error) { return mesh.Grid(s, nx, ny) }
+// GridMesh meshes a shape into nx×ny boundary elements. Degenerate shapes
+// that panic inside the geometry kernel surface as ErrBadInput.
+func GridMesh(s Shape, nx, ny int) (m *Mesh, err error) {
+	defer simerr.RecoverInto(&err, "pdnsim: GridMesh")
+	return mesh.Grid(s, nx, ny)
+}
 
 // Green's functions and BEM.
 type (
@@ -115,6 +160,12 @@ func Assemble(m *Mesh, k *Kernel, opts BEMOptions) (*Assembly, error) {
 	return bem.Assemble(m, k, opts)
 }
 
+// AssembleCtx is Assemble with cancellation: the panel-integral loops check
+// ctx periodically and return an ErrCancelled-class error once it is done.
+func AssembleCtx(ctx context.Context, m *Mesh, k *Kernel, opts BEMOptions) (*Assembly, error) {
+	return bem.AssembleCtx(ctx, m, k, opts)
+}
+
 // Extraction.
 type (
 	// Network is an extracted N-node RLC equivalent circuit.
@@ -128,6 +179,12 @@ type (
 // ExtractNetwork reduces an assembled plane to its equivalent circuit.
 func ExtractNetwork(a *Assembly, opts ExtractOptions) (*Network, error) {
 	return extract.Extract(a, opts)
+}
+
+// ExtractNetworkCtx is ExtractNetwork with cancellation checked at each
+// reduction stage.
+func ExtractNetworkCtx(ctx context.Context, a *Assembly, opts ExtractOptions) (*Network, error) {
+	return extract.ExtractCtx(ctx, a, opts)
 }
 
 // Foster-chain macromodels (exact model-order reduction of a lossless
@@ -230,7 +287,10 @@ type (
 )
 
 // NewCavity builds an analytic cavity model.
-func NewCavity(a, b, d, epsR float64) (*CavityModel, error) { return cavity.New(a, b, d, epsR) }
+func NewCavity(a, b, d, epsR float64) (m *CavityModel, err error) {
+	defer simerr.RecoverInto(&err, "pdnsim: NewCavity")
+	return cavity.New(a, b, d, epsR)
+}
 
 // S-parameters.
 type (
@@ -243,6 +303,11 @@ type (
 // SweepS computes S-parameters from a per-frequency impedance evaluator.
 func SweepS(freqs []float64, z0 float64, zAt func(omega float64) (*CMatrix, error)) (*SSweep, error) {
 	return sparam.SweepZ(freqs, z0, zAt)
+}
+
+// SweepSCtx is SweepS with cancellation checked at each frequency point.
+func SweepSCtx(ctx context.Context, freqs []float64, z0 float64, zAt func(omega float64) (*CMatrix, error)) (*SSweep, error) {
+	return sparam.SweepZCtx(ctx, freqs, z0, zAt)
 }
 
 // LinSpace returns n evenly spaced values from f0 to f1.
@@ -291,7 +356,8 @@ const (
 )
 
 // BuildSSN assembles the integrated co-simulation.
-func BuildSSN(b SSNBoard, vrm SSNVRM, chips []SSNChip, decaps []SSNDecap) (*SSNSystem, error) {
+func BuildSSN(b SSNBoard, vrm SSNVRM, chips []SSNChip, decaps []SSNDecap) (s *SSNSystem, err error) {
+	defer simerr.RecoverInto(&err, "pdnsim: BuildSSN")
 	return ssn.Build(b, vrm, chips, decaps)
 }
 
