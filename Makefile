@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check vet race
+.PHONY: build test bench check vet race lint
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,18 @@ bench:
 vet:
 	$(GO) vet ./...
 
+# lint is vet plus a formatting check: any file gofmt would rewrite fails
+# the target (and is listed).
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
-# check is the full hygiene gate: static analysis plus the whole test suite
-# under the race detector (the BEM assembly and S-parameter sweeps are
-# parallel, so races are a real failure mode here).
-check: vet race
+# check is the full hygiene gate: static analysis and formatting plus the
+# whole test suite under the race detector (the BEM assembly and S-parameter
+# sweeps are parallel, so races are a real failure mode here).
+check: lint race

@@ -45,6 +45,7 @@ func main() {
 	z0 := flag.Float64("z0", 50, "S-parameter reference impedance (Ω)")
 	irdrop := flag.String("irdrop", "", "DC IR-drop analysis: comma-separated PORT=amps load currents plus optional ref=PORT supply entry (default: first port)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for extraction and sweeps (0 = none); exceeding it exits 6")
+	diagVerbose := flag.Bool("diag", false, "print the full numerical-trust trail (healthy margins included), not just warnings")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -73,6 +74,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%s: %s → %d-node equivalent circuit (%d ports), C_total = %.3g nF\n",
 		spec.Name, res.Mesh.Stats(), res.Network.NumNodes(), res.Network.NumPorts,
 		res.Network.TotalCapacitance()*1e9)
+	cli.PrintDiagnostics(os.Stderr, res.Diagnostics(), *diagVerbose)
 
 	if *netlistOut != "" {
 		nl := res.Network.Netlist(spec.Name)
@@ -95,8 +97,12 @@ func main() {
 		if err := os.WriteFile(*tsOut, []byte(ts), 0o644); err != nil {
 			cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitIO)
 		}
-		if !sw.Passive(1e-6) {
-			fmt.Fprintln(os.Stderr, "warning: extracted S-parameters fail the passivity screen")
+		// Physics-invariant screen: passivity and reciprocity margins are
+		// printed as diagnostics; a gross violation fails the run.
+		verr := sw.Verify()
+		cli.PrintDiagnostics(os.Stderr, sw.Diag, *diagVerbose)
+		if verr != nil {
+			fatalSolve(verr)
 		}
 	}
 	if *irdrop != "" {

@@ -36,8 +36,13 @@ import (
 	"pdnsim/internal/simerr"
 )
 
+// diagVerbose mirrors the -diag flag: print Info-level trust diagnostics
+// (condition estimates, residuals) in addition to warnings.
+var diagVerbose bool
+
 func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for all analyses (0 = none); exceeding it exits 6")
+	flag.BoolVar(&diagVerbose, "diag", false, "print the full numerical-trust trail (healthy margins included), not just warnings")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pdnsim [-timeout 30s] deck.cir")
@@ -125,6 +130,7 @@ func runTran(ctx context.Context, deck *netlist.Deck) error {
 		fmt.Fprintf(os.Stderr, "pdnsim: transient recovered from %d non-convergent steps via %d timestep halvings (max depth %d)\n",
 			res.Stats.StepRetries, res.Stats.StepHalvings, res.Stats.MaxHalvingDepth)
 	}
+	cli.PrintDiagnostics(os.Stderr, res.Diag, diagVerbose)
 	cols := make([][]float64, len(deck.Probes))
 	for i, p := range deck.Probes {
 		switch p.Kind {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"pdnsim/internal/diag"
 	"pdnsim/internal/mat"
 	"pdnsim/internal/simerr"
 )
@@ -85,7 +86,7 @@ func (s *solver) op(ctx context.Context) ([]float64, error) {
 		}
 	}
 	return nil, &simerr.NonConvergenceError{
-		Op: "circuit: transmission-line DC relaxation",
+		Op:         "circuit: transmission-line DC relaxation",
 		Iterations: maxDCRelax, WorstResidual: math.NaN(), Time: 0,
 	}
 }
@@ -168,9 +169,13 @@ type Result struct {
 	// Stats reports the solver effort and automatic recovery actions the
 	// run needed (Newton iterations, timestep halvings, OP continuation).
 	Stats SolveStats
-	c     *Circuit
-	v     [][]float64          // per time point: node voltages (index node-1)
-	isrc  map[string][]float64 // vsource name → current waveform
+	// Diag summarises the run's numerical trust: the conditioning of the
+	// MNA factorisations and the worst per-step solve residual (after any
+	// refinement corrections).
+	Diag *diag.Diagnostics
+	c    *Circuit
+	v    [][]float64          // per time point: node voltages (index node-1)
+	isrc map[string][]float64 // vsource name → current waveform
 }
 
 // V returns the waveform of the given node index.
@@ -334,7 +339,35 @@ func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
 		record(t, x)
 	}
 	res.Stats = s.stats
+	res.Diag = tranDiagnostics(s.stats)
 	return res, nil
+}
+
+// stepResidualWarn is the per-step relative residual above which a transient
+// result is flagged as degraded (residuals this large survive even the
+// refinement pass, so the factorisation itself is losing digits).
+const stepResidualWarn = 1e-9
+
+// tranDiagnostics summarises the solver's trust tracking. MNA conditioning
+// never escalates to an error here: gshunt-regularised matrices carry
+// legitimately huge κ (a 1e-12 S shunt against kS conductances) while their
+// solves stay accurate — the residual is the authoritative signal.
+func tranDiagnostics(stats SolveStats) *diag.Diagnostics {
+	d := diag.New()
+	if c := stats.CondEstimate; c > diag.CondWarn {
+		d.Warnf("circuit", "MNA κ₁ estimate", c, diag.CondWarn, stats.RefinedSteps > 0,
+			"condition estimate %.3g; per-step residuals are being tracked", c)
+	} else if c > 0 {
+		d.Infof("circuit", "MNA κ₁ estimate", c, diag.CondWarn, "condition estimate %.3g", c)
+	}
+	if r := stats.WorstStepResidual; r > stepResidualWarn {
+		d.Warnf("circuit", "step residual", r, stepResidualWarn, stats.RefinedSteps > 0,
+			"worst per-step relative residual %.3g (%d steps refined)", r, stats.RefinedSteps)
+	} else {
+		d.Infof("circuit", "step residual", r, stepResidualWarn,
+			"worst per-step relative residual %.3g (%d steps refined)", r, stats.RefinedSteps)
+	}
+	return d
 }
 
 // ACResult is the complex solution of one AC frequency point.

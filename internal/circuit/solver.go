@@ -48,6 +48,14 @@ type SolveStats struct {
 	MaxHalvingDepth  int // deepest halving level reached (local dt = Dt/2^depth)
 	SourceSteps      int // source-stepping continuation solves in the OP
 	GminSteps        int // Gmin-stepping continuation solves in the OP
+
+	// Numerical-trust tracking: every time-point solve measures its
+	// relative residual ‖b − A·x‖∞/(‖A‖∞·‖x‖∞ + ‖b‖∞); solves above the
+	// refinement threshold get one iterative-refinement pass through the
+	// cached factorisation.
+	WorstStepResidual float64 // worst per-step relative residual (after refinement)
+	RefinedSteps      int     // steps that took a refinement correction
+	CondEstimate      float64 // worst κ₁ estimate across MNA factorisations
 }
 
 // solver holds the sized MNA system for one circuit.
@@ -57,8 +65,10 @@ type solver struct {
 	dim int // nv + branch unknowns
 
 	// Cached factorisation of the linear system matrix; invalidated when
-	// switch states change.
+	// switch states change. luA is the assembled matrix behind lu, kept for
+	// per-step residual evaluation and refinement.
 	lu        *mat.LU
+	luA       *mat.Matrix
 	luSwState []bool
 
 	dt     float64
@@ -379,8 +389,15 @@ func (s *solver) stampMTLRHS(rhs []float64, tl *MTL, st assembleState) {
 	inject(tl.End2, tl.Ref2, e2)
 }
 
+// stepRefineThreshold is the per-step relative residual past which the
+// solver applies one iterative-refinement correction through the cached
+// factorisation before accepting the solution.
+const stepRefineThreshold = 1e-11
+
 // solveLinearStep solves one time point of a linear circuit, reusing the LU
-// factorisation while switch states are unchanged.
+// factorisation while switch states are unchanged. Every solve measures its
+// relative residual; a residual above stepRefineThreshold triggers one
+// refinement pass, and the worst accepted residual is tracked in the stats.
 func (s *solver) solveLinearStep(st assembleState) ([]float64, error) {
 	states := make([]bool, len(s.c.switches))
 	for i, sw := range s.c.switches {
@@ -394,11 +411,42 @@ func (s *solver) solveLinearStep(st assembleState) ([]float64, error) {
 			return nil, s.singular("circuit: MNA matrix", err)
 		}
 		s.lu = lu
+		s.luA = a
 		s.luSwState = states
 		s.dt = st.dt
 		s.method = st.method
+		if cond := lu.Cond1Est(); cond > s.stats.CondEstimate {
+			s.stats.CondEstimate = cond
+		}
 	}
-	return s.lu.Solve(s.assembleRHS(st))
+	rhs := s.assembleRHS(st)
+	// Classify a non-finite RHS (a NaN source value, corrupted history) as
+	// ErrNaN naming the unknown, before the factorisation's own guard turns
+	// it into an untyped error.
+	if err := simerr.CheckFinite("circuit: transient assembly", st.t, rhs, s.unknownName); err != nil {
+		return nil, err
+	}
+	x, err := s.lu.Solve(rhs)
+	if err != nil {
+		return nil, err
+	}
+	res, relres := mat.ResidualVec(s.luA, x, rhs)
+	if relres > stepRefineThreshold {
+		if dx, derr := s.lu.Solve(res); derr == nil {
+			xn := make([]float64, len(x))
+			for i := range x {
+				xn[i] = x[i] + dx[i]
+			}
+			if _, rn := mat.ResidualVec(s.luA, xn, rhs); rn < relres {
+				x, relres = xn, rn
+				s.stats.RefinedSteps++
+			}
+		}
+	}
+	if relres > s.stats.WorstStepResidual {
+		s.stats.WorstStepResidual = relres
+	}
+	return x, nil
 }
 
 // solveNewtonStep solves one (DC or transient) time point with Newton
@@ -437,7 +485,7 @@ func (s *solver) solveNewtonStep(st assembleState, x0 []float64) ([]float64, err
 			// Divergence (inputs were finite): report as non-convergence so
 			// the transient loop can recover by halving the step.
 			return nil, &simerr.NonConvergenceError{
-				Op: "circuit: Newton iteration diverged to non-finite values",
+				Op:         "circuit: Newton iteration diverged to non-finite values",
 				Iterations: iter + 1, WorstResidual: math.Inf(1), Time: st.t,
 			}
 		}
@@ -465,6 +513,11 @@ func (s *solver) solveNewtonStep(st assembleState, x0 []float64) ([]float64, err
 			s.stats.NewtonIterations += iter + 1
 			if iter+1 > s.stats.WorstNewtonIters {
 				s.stats.WorstNewtonIters = iter + 1
+			}
+			// Residual of the final linearised solve: the linear-algebra
+			// trust signal, separate from Newton's own update criterion.
+			if _, relres := mat.ResidualVec(a, x, rhs); relres > s.stats.WorstStepResidual {
+				s.stats.WorstStepResidual = relres
 			}
 			return x, nil
 		}

@@ -1,0 +1,45 @@
+package circuit
+
+import (
+	"testing"
+
+	"pdnsim/internal/diag"
+)
+
+// TestTranCarriesTrustDiagnostics: every transient result must carry the
+// per-step residual and conditioning trail, and a healthy RC decay must not
+// record anything worse than a Warning (the regularised MNA matrix may
+// legitimately carry a large κ; the residual is the authoritative signal).
+func TestTranCarriesTrustDiagnostics(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	if _, err := c.AddVSource("V1", n, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Node("out")
+	if _, err := c.AddResistor("R1", n, out, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddCapacitor("C1", out, Ground, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Tran(TranOptions{Dt: 10e-9, Tstop: 5e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diag == nil || res.Diag.Len() == 0 {
+		t.Fatal("transient result must carry its trust trail")
+	}
+	if w, _ := res.Diag.Worst(); w >= diag.Error {
+		t.Fatalf("healthy RC transient recorded an Error diagnostic:\n%s", res.Diag.Render(true))
+	}
+	if res.Stats.WorstStepResidual <= 0 {
+		t.Fatal("per-step residual tracking must record a positive worst residual")
+	}
+	if res.Stats.WorstStepResidual > 1e-9 {
+		t.Fatalf("healthy RC transient residual %g is implausibly large", res.Stats.WorstStepResidual)
+	}
+	if res.Stats.CondEstimate <= 0 {
+		t.Fatal("conditioning of the factorised MNA matrix must be estimated")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"pdnsim/internal/diag"
 	"pdnsim/internal/simerr"
 )
 
@@ -58,10 +59,27 @@ func Describe(err error) string {
 	if errors.As(err, &ne) {
 		fmt.Fprintf(&b, "\n  first non-finite unknown: %s at t=%.4g s — check source waveforms and element values", ne.Unknown, ne.Time)
 	}
+	var ic *simerr.IllConditionedError
+	if errors.As(err, &ic) {
+		fmt.Fprintf(&b, "\n  trust check failed: %s = %.3g exceeds limit %.3g", ic.Quantity, ic.Value, ic.Limit)
+		b.WriteString("\n  the input drives the numerics outside the trustworthy regime; check geometry, element values and time step")
+	}
 	if errors.Is(err, simerr.ErrCancelled) {
 		b.WriteString("\n  run stopped early; raise -timeout to let it finish")
 	}
 	return b.String()
+}
+
+// PrintDiagnostics renders a stage's trust diagnostics to w. Warnings and
+// errors always print; verbose additionally shows the Info records (healthy
+// margins, condition estimates). A nil or empty collector prints nothing.
+func PrintDiagnostics(w io.Writer, d *diag.Diagnostics, verbose bool) {
+	if d == nil {
+		return
+	}
+	if out := d.Render(verbose); out != "" {
+		fmt.Fprint(w, out)
+	}
 }
 
 // Fatal prints the described error to w prefixed with the tool name and

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"pdnsim/internal/bem"
+	"pdnsim/internal/diag"
 	"pdnsim/internal/extract"
 	"pdnsim/internal/geom"
 	"pdnsim/internal/greens"
@@ -181,6 +182,17 @@ type Result struct {
 	Mesh     *mesh.Mesh
 	Assembly *bem.Assembly
 	Network  *extract.Network
+}
+
+// Diagnostics returns the merged numerical-trust trail of the run: every
+// invariant check, auto-repair, and conditioning estimate the pipeline
+// stages recorded. Never nil; render it with Diagnostics.Render.
+func (r *Result) Diagnostics() *diag.Diagnostics {
+	d := diag.New()
+	if r.Network != nil {
+		d.Merge(r.Network.Diag)
+	}
+	return d
 }
 
 // Extract runs the full pipeline: mesh, BEM assembly, port reduction.

@@ -28,6 +28,7 @@ import (
 
 	"pdnsim/internal/bem"
 	"pdnsim/internal/circuit"
+	"pdnsim/internal/diag"
 	"pdnsim/internal/mat"
 	"pdnsim/internal/simerr"
 )
@@ -59,6 +60,13 @@ type Network struct {
 	// implements. Time-domain realisations (Attach) always use the DC
 	// value. Use SkinCrossover to compute f_c from the conductor stackup.
 	SkinCrossoverHz float64
+
+	// Diag holds the numerical-trust trail of the extraction: symmetry and
+	// positive-(semi)definiteness of the reduced C and Γ operators, and the
+	// conditioning of the reduced capacitance system. Repairs (symmetrise,
+	// eigenvalue clip) are recorded here; violations past the escalation
+	// thresholds abort the extraction with simerr.ErrIllConditioned instead.
+	Diag *diag.Diagnostics
 }
 
 // SkinCrossover returns the frequency at which the skin depth of a
@@ -172,6 +180,15 @@ func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network
 		}
 	}
 
+	// Physics-invariant guards on the reduced operators (small matrices, so
+	// the eigen/condition checks cost nothing next to the O(n³) reductions).
+	// Tiny violations are repaired in place and recorded; gross ones abort
+	// with simerr.ErrIllConditioned carrying the measured margin.
+	d := diag.New()
+	if err := checkReduced(d, gammaRed, cRed, gRed); err != nil {
+		return nil, err
+	}
+
 	names := make([]string, len(a.Mesh.Ports))
 	for i, p := range a.Mesh.Ports {
 		names[i] = p.Name
@@ -183,7 +200,46 @@ func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network
 		Gamma:     gammaRed,
 		G:         gRed,
 		C:         cRed,
+		Diag:      d,
 	}, nil
+}
+
+// checkReduced runs the extraction-stage trust checks: the Maxwell
+// capacitance must be symmetric positive definite, the inverse-inductance
+// and conductance Laplacians symmetric positive semidefinite (both carry an
+// exact ones-nullspace, Γ·1 = 0), and the reduced capacitance system well
+// enough conditioned that branch values have trustworthy digits.
+func checkReduced(d *diag.Diagnostics, gamma, c, g *mat.Matrix) error {
+	if err := diag.CheckSymmetric(d, "extract", "reduced C", c); err != nil {
+		return err
+	}
+	if err := diag.CheckPSD(d, "extract", "reduced C", c); err != nil {
+		return err
+	}
+	if err := diag.CheckSymmetric(d, "extract", "reduced Γ", gamma); err != nil {
+		return err
+	}
+	if err := diag.CheckPSD(d, "extract", "reduced Γ", gamma); err != nil {
+		return err
+	}
+	if g != nil {
+		if err := diag.CheckSymmetric(d, "extract", "reduced G", g); err != nil {
+			return err
+		}
+	}
+	// κ of the reduced capacitance operator: near-duplicate BEM rows (e.g. a
+	// degenerate mesh) surface here as a blown-up condition estimate.
+	if f, err := mat.NewLU(c); err == nil {
+		if cerr := diag.CheckCond(d, "extract", "reduced C κ₁", f.Cond1Est()); cerr != nil {
+			return cerr
+		}
+	} else {
+		d.Errorf("extract", "reduced C κ₁", math.Inf(1), diag.CondFail,
+			"reduced capacitance matrix is singular: %v", err)
+		return &simerr.IllConditionedError{Op: "extract", Quantity: "reduced C κ₁",
+			Value: math.Inf(1), Limit: diag.CondFail, Err: err}
+	}
+	return nil
 }
 
 // guyanReduce computes Wᵀ·C·W with W = [I; −Γ_ii⁻¹·Γ_ik] (kept nodes first).

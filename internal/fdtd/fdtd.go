@@ -19,6 +19,7 @@ import (
 	"context"
 	"math"
 
+	"pdnsim/internal/diag"
 	"pdnsim/internal/geom"
 	"pdnsim/internal/greens"
 	"pdnsim/internal/simerr"
@@ -145,6 +146,10 @@ func (s *Sim) MaxStableDt() float64 {
 // ports themselves.
 type Result struct {
 	Time []float64
+
+	// Diag records the stability trail of the run: the CFL margin the step
+	// was taken at and the energy-watchdog verdict.
+	Diag *diag.Diagnostics
 }
 
 // Run leapfrogs the grid for tstop seconds with step dt, recording every
@@ -158,19 +163,47 @@ func (s *Sim) Run(dt, tstop float64) (*Result, error) {
 // microseconds without touching the per-step cost.
 const ctxCheckStride = 64
 
-// RunCtx is Run with cancellation (checked every ctxCheckStride steps) and a
-// divergence guard: a non-finite port voltage aborts the run with a
+// cflWarnRatio is the dt/dtmax ratio past which RunCtx records a Warning:
+// the leapfrog scheme is formally stable right up to the Courant limit, but
+// with no margin the dispersion error of the highest grid modes is extreme
+// and roundoff can tip a marginally-resolved grid over.
+const cflWarnRatio = 0.99
+
+// watchdogFactor is the energy-growth escalation threshold: the stored field
+// energy of a passive grid can never exceed the initial energy plus the
+// energy injected through the ports; past watchdogFactor times that bound
+// the run is numerically unstable and aborts with ErrIllConditioned.
+const watchdogFactor = 100.0
+
+// RunCtx is Run with cancellation (checked every ctxCheckStride steps), a
+// divergence guard — a non-finite port voltage aborts the run with a
 // simerr.ErrNaN-class error naming the port and time instead of filling the
-// record with NaNs.
+// record with NaNs — and two stability guards: an explicit CFL margin check
+// (dt past the Courant limit is an ErrIllConditioned-class error carrying the
+// ratio; dt within cflWarnRatio of it records a Warning), and an energy
+// watchdog that compares the stored field energy against the passivity bound
+// E(0) + E_injected every ctxCheckStride steps.
 func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
 	if !(dt > 0) || !(tstop > dt) || math.IsInf(dt, 0) || math.IsInf(tstop, 0) {
 		return nil, simerr.BadInput("fdtd: run", "invalid window dt=%g tstop=%g", dt, tstop)
 	}
-	if limit := s.MaxStableDt(); dt > limit {
-		return nil, simerr.BadInput("fdtd: run", "dt=%g exceeds the Courant limit %g", dt, limit)
+	d := diag.New()
+	limit := s.MaxStableDt()
+	cflRatio := dt / limit
+	switch {
+	case cflRatio > 1:
+		d.Errorf("fdtd", "CFL margin", cflRatio, 1,
+			"dt=%g exceeds the Courant limit %g (ratio %.4g)", dt, limit, cflRatio)
+		return &Result{Diag: d}, &simerr.IllConditionedError{Op: "fdtd: run",
+			Quantity: "CFL ratio dt/dtmax", Value: cflRatio, Limit: 1}
+	case cflRatio > cflWarnRatio:
+		d.Warnf("fdtd", "CFL margin", cflRatio, cflWarnRatio, false,
+			"dt=%g is within %.2g%% of the Courant limit; dispersion error is extreme", dt, 100*(1-cflRatio))
+	default:
+		d.Infof("fdtd", "CFL margin", cflRatio, cflWarnRatio, "dt/dtmax = %.4g", cflRatio)
 	}
 	steps := int(math.Round(tstop / dt))
-	res := &Result{}
+	res := &Result{Diag: d}
 	for _, p := range s.ports {
 		p.V = make([]float64, 0, steps+1)
 		p.V = append(p.V, s.v[p.I][p.J])
@@ -195,10 +228,24 @@ func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
 		coefs[[2]int{p.I, p.J}] = portCoef{p: p, beta: dt / (2 * p.R * s.Carea * cellArea)}
 	}
 
+	// Energy watchdog state: a passive grid can never hold more than its
+	// initial energy plus what the ports delivered (eInj upper-bounds the
+	// delivery by summing only inflowing midpoint power).
+	e0 := s.TotalEnergy()
+	var eInj float64
+
 	for n := 1; n <= steps; n++ {
 		if n%ctxCheckStride == 0 {
 			if err := simerr.CheckCtx(ctx, "fdtd: run"); err != nil {
 				return nil, err
+			}
+			if e, bound := s.TotalEnergy(), watchdogFactor*(e0+eInj); e > bound {
+				t := s.t0 + float64(n)*dt
+				d.Errorf("fdtd", "energy watchdog", e, bound,
+					"field energy %.3g J at t=%g exceeds %g× the passivity bound %.3g J; scheme is unstable",
+					e, t, watchdogFactor, e0+eInj)
+				return res, &simerr.IllConditionedError{Op: "fdtd: run",
+					Quantity: "field energy (J)", Value: e, Limit: bound}
 			}
 		}
 		t := s.t0 + float64(n)*dt
@@ -234,7 +281,15 @@ func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
 					if pc.p.Source != nil {
 						vs = pc.p.Source(t)
 					}
-					s.v[i][j] = (s.v[i][j]*(1-pc.beta) + dv + 2*pc.beta*vs) / (1 + pc.beta)
+					vold := s.v[i][j]
+					s.v[i][j] = (vold*(1-pc.beta) + dv + 2*pc.beta*vs) / (1 + pc.beta)
+					// Midpoint estimate of the energy the port pushed into
+					// the grid this step (inflow only — outflow tightening
+					// the bound would risk false watchdog trips).
+					vbar := (vold + s.v[i][j]) / 2
+					if inj := vbar * (vs - vbar) / pc.p.R * dt; inj > 0 {
+						eInj += inj
+					}
 				} else {
 					s.v[i][j] += dv
 				}

@@ -23,6 +23,11 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 	if len(b) != n {
 		return nil, errors.New("mat: CG rhs length mismatch")
 	}
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("mat: CG rhs has non-finite entry %g at index %d", v, i)
+		}
+	}
 	if tol <= 0 {
 		tol = 1e-10
 	}
@@ -78,6 +83,17 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 			z[i] = dinv[i] * r[i]
 		}
 		rzNew := dot(r, z)
+		if rz == 0 {
+			// Breakdown: the previous preconditioned residual vanished but
+			// the convergence test above did not fire (r ⊥ M⁻¹r). Dividing
+			// would make beta NaN and poison x; the current iterate is the
+			// best available, so return it if it meets tolerance, otherwise
+			// report the stall instead of fabricating NaNs.
+			if math.Sqrt(dot(r, r)) <= tol*bnorm {
+				return x, nil
+			}
+			return nil, errors.New("mat: CG breakdown (rᵀ·M⁻¹·r vanished before convergence)")
+		}
 		beta := rzNew / rz
 		rz = rzNew
 		for i := 0; i < n; i++ {

@@ -123,8 +123,24 @@ func (m *CMatrix) MulVec(x []complex128) []complex128 {
 
 // CLU is a complex LU factorisation with partial pivoting.
 type CLU struct {
-	lu  *CMatrix
-	piv []int
+	lu    *CMatrix
+	piv   []int
+	norm1 float64 // 1-norm of the original matrix, for Cond1Est
+}
+
+// CNorm1 returns the 1-norm (maximum absolute column sum).
+func CNorm1(m *CMatrix) float64 {
+	var mx float64
+	for c := 0; c < m.Cols; c++ {
+		var s float64
+		for r := 0; r < m.Rows; r++ {
+			s += cmplx.Abs(m.Data[r*m.Cols+c])
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
 }
 
 // NewCLU factors a square complex matrix with partial pivoting.
@@ -133,7 +149,7 @@ func NewCLU(a *CMatrix) (*CLU, error) {
 		return nil, errors.New("mat: CLU requires a square matrix")
 	}
 	n := a.Rows
-	f := &CLU{lu: a.Clone(), piv: make([]int, n)}
+	f := &CLU{lu: a.Clone(), piv: make([]int, n), norm1: CNorm1(a)}
 	lu := f.lu.Data
 	for i := range f.piv {
 		f.piv[i] = i
@@ -173,11 +189,17 @@ func NewCLU(a *CMatrix) (*CLU, error) {
 	return f, nil
 }
 
-// Solve solves A·x = b.
+// Solve solves A·x = b. Non-finite entries in b are rejected up front so a
+// NaN stimulus cannot propagate silently through the substitutions.
 func (f *CLU) Solve(b []complex128) ([]complex128, error) {
 	n := f.lu.Rows
 	if len(b) != n {
 		return nil, errors.New("mat: rhs length mismatch")
+	}
+	for i, v := range b {
+		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+			return nil, fmt.Errorf("mat: non-finite right-hand side entry at index %d", i)
+		}
 	}
 	x := make([]complex128, n)
 	for i := 0; i < n; i++ {

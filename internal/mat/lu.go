@@ -28,9 +28,10 @@ func (e *SingularError) Is(target error) bool { return target == ErrSingular }
 // LU holds an LU factorisation with partial pivoting: P·A = L·U, stored
 // compactly in lu (unit lower triangle implicit).
 type LU struct {
-	lu   *Matrix
-	piv  []int
-	sign int
+	lu    *Matrix
+	piv   []int
+	sign  int
+	norm1 float64 // 1-norm of the original matrix, for Cond1Est
 }
 
 // NewLU factors a square matrix with partial pivoting. The input is not
@@ -40,7 +41,7 @@ func NewLU(a *Matrix) (*LU, error) {
 		return nil, errors.New("mat: LU requires a square matrix")
 	}
 	n := a.Rows
-	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1, norm1: Norm1(a)}
 	lu := f.lu.Data
 	for i := range f.piv {
 		f.piv[i] = i
@@ -82,11 +83,18 @@ func NewLU(a *Matrix) (*LU, error) {
 	return f, nil
 }
 
-// Solve solves A·x = b for one right-hand side.
+// Solve solves A·x = b for one right-hand side. Non-finite entries in b are
+// rejected up front: a NaN right-hand side would otherwise propagate silently
+// through the substitutions and poison every unknown.
 func (f *LU) Solve(b []float64) ([]float64, error) {
 	n := f.lu.Rows
 	if len(b) != n {
 		return nil, errors.New("mat: rhs length mismatch")
+	}
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("mat: non-finite right-hand side entry %g at index %d", v, i)
+		}
 	}
 	x := make([]float64, n)
 	for i := 0; i < n; i++ {

@@ -180,6 +180,58 @@ func (m *Matrix) MaxAbs() float64 {
 	return mx
 }
 
+// Norm1 returns the 1-norm (maximum absolute column sum).
+func Norm1(m *Matrix) float64 {
+	var mx float64
+	for c := 0; c < m.Cols; c++ {
+		var s float64
+		for r := 0; r < m.Rows; r++ {
+			s += math.Abs(m.Data[r*m.Cols+c])
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// NormInf returns the ∞-norm (maximum absolute row sum).
+func NormInf(m *Matrix) float64 {
+	var mx float64
+	for r := 0; r < m.Rows; r++ {
+		var s float64
+		for _, v := range m.Data[r*m.Cols : (r+1)*m.Cols] {
+			s += math.Abs(v)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Asymmetry returns the largest absolute difference |a_ij − a_ji| relative to
+// the largest entry magnitude — 0 for an exactly symmetric matrix. It is the
+// quantitative margin behind IsSymmetric.
+func (m *Matrix) Asymmetry() float64 {
+	if m.Rows != m.Cols {
+		return math.Inf(1)
+	}
+	scale := m.MaxAbs()
+	if scale == 0 {
+		return 0
+	}
+	var worst float64
+	for r := 0; r < m.Rows; r++ {
+		for c := r + 1; c < m.Cols; c++ {
+			if d := math.Abs(m.At(r, c) - m.At(c, r)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst / scale
+}
+
 // FrobeniusNorm returns the Frobenius norm.
 func (m *Matrix) FrobeniusNorm() float64 {
 	var s float64

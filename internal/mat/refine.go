@@ -1,0 +1,288 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// This file implements the accuracy half of the numerical trust layer:
+// row/column equilibration (LAPACK xGEEQU-style power-of-two scaling, so the
+// scaled entries are exact), a ScaledLU that factors the equilibrated matrix
+// and maps solves back to the original system, and residual-based iterative
+// refinement with a compensated (error-free transform) residual, which
+// restores backward stability even when partial pivoting alone suffers large
+// element growth or the matrix is badly scaled.
+
+// Equilibrate computes power-of-two row and column scale factors r, c such
+// that every row and column of diag(r)·A·diag(c) has maximum magnitude in
+// [0.5, 2). Rounding the scales to powers of two makes the scaling exact in
+// floating point. Zero rows/columns get unit scales.
+func Equilibrate(a *Matrix) (r, c []float64) {
+	r = make([]float64, a.Rows)
+	c = make([]float64, a.Cols)
+	for i := range r {
+		var mx float64
+		for _, v := range a.Data[i*a.Cols : (i+1)*a.Cols] {
+			if av := math.Abs(v); av > mx {
+				mx = av
+			}
+		}
+		r[i] = pow2Inv(mx)
+	}
+	for j := range c {
+		var mx float64
+		for i := 0; i < a.Rows; i++ {
+			if av := math.Abs(a.Data[i*a.Cols+j]) * r[i]; av > mx {
+				mx = av
+			}
+		}
+		c[j] = pow2Inv(mx)
+	}
+	return r, c
+}
+
+// pow2Inv returns the power of two nearest to 1/m (1 for m == 0 or
+// non-finite m, keeping degenerate rows/columns unscaled).
+func pow2Inv(m float64) float64 {
+	if m == 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+		return 1
+	}
+	_, exp := math.Frexp(m)
+	return math.Ldexp(1, -exp+1)
+}
+
+// ScaledLU is an LU factorisation of the equilibrated matrix
+// diag(r)·A·diag(c). Solves against it answer the original system A·x = b:
+// x = diag(c)·(R·A·C)⁻¹·diag(r)·b.
+type ScaledLU struct {
+	f    *LU
+	r, c []float64
+}
+
+// NewScaledLU equilibrates a and factors the scaled matrix. Badly scaled
+// systems (MNA matrices mixing ~1e-12 F capacitances with ~1e9 Γ entries)
+// factor far more accurately this way; partial pivoting alone picks pivots
+// by raw magnitude and is defeated by row scaling.
+func NewScaledLU(a *Matrix) (*ScaledLU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("mat: ScaledLU requires a square matrix")
+	}
+	r, c := Equilibrate(a)
+	s := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			s.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] * r[i] * c[j]
+		}
+	}
+	f, err := NewLU(s)
+	if err != nil {
+		return nil, err
+	}
+	return &ScaledLU{f: f, r: r, c: c}, nil
+}
+
+// Solve solves A·x = b through the equilibrated factorisation.
+func (s *ScaledLU) Solve(b []float64) ([]float64, error) {
+	n := len(s.r)
+	if len(b) != n {
+		return nil, errors.New("mat: rhs length mismatch")
+	}
+	br := make([]float64, n)
+	for i, v := range b {
+		br[i] = v * s.r[i]
+	}
+	x, err := s.f.Solve(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := range x {
+		x[i] *= s.c[i]
+	}
+	return x, nil
+}
+
+// Cond1Est estimates κ₁ of the equilibrated matrix — the condition number
+// that governs the accuracy of solves through this factorisation. Scaling
+// frequently lowers κ by many orders of magnitude relative to the raw
+// matrix, which is exactly why the trust layer equilibrates first.
+func (s *ScaledLU) Cond1Est() float64 { return s.f.Cond1Est() }
+
+// Default iterative-refinement controls.
+const (
+	refineMaxIter = 8
+	// refineTarget is the relative residual at which refinement stops: a
+	// few ulps above double-precision roundoff on the residual scale.
+	refineTarget = 1e-15
+)
+
+// SolveRefined solves A·x = b by equilibrated LU factorisation followed by
+// residual-based iterative refinement, and reports the final relative
+// residual
+//
+//	relres = ‖b − A·x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)
+//
+// with the residual evaluated by a compensated (FMA error-free transform)
+// dot product, so the reported number is trustworthy well below 1e-16.
+// Refinement stops when the residual reaches roundoff, stops improving, or
+// refineMaxIter corrections have been applied. The returned residual lets
+// callers enforce quantitative trust thresholds instead of hoping.
+func SolveRefined(a *Matrix, b []float64) (x []float64, relres float64, err error) {
+	if a.Rows != a.Cols {
+		return nil, 0, errors.New("mat: SolveRefined requires a square matrix")
+	}
+	if len(b) != a.Rows {
+		return nil, 0, errors.New("mat: rhs length mismatch")
+	}
+	s, err := NewScaledLU(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	x, err = s.Solve(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	normA := NormInf(a)
+	normB := vecNormInf(b)
+	res := make([]float64, a.Rows)
+	relres = residualInto(res, a, x, b, normA, normB)
+	for iter := 0; iter < refineMaxIter && relres > refineTarget; iter++ {
+		dx, derr := s.Solve(res)
+		if derr != nil {
+			break
+		}
+		xn := make([]float64, len(x))
+		for i := range x {
+			xn[i] = x[i] + dx[i]
+		}
+		rn := residualInto(res, a, xn, b, normA, normB)
+		if rn >= relres {
+			break // no further progress; keep the better iterate
+		}
+		x, relres = xn, rn
+	}
+	return x, relres, nil
+}
+
+// residualInto fills res with b − A·x using compensated accumulation (Ogita–
+// Rump Dot2 via FMA) and returns the scaled ∞-norm relative residual.
+func residualInto(res []float64, a *Matrix, x, b []float64, normA, normB float64) float64 {
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		s, comp := b[i], 0.0
+		for j, v := range row {
+			p := -v * x[j]
+			e := math.FMA(-v, x[j], -p) // exact product error
+			t := s + p
+			if math.Abs(s) >= math.Abs(p) {
+				comp += (s - t) + p
+			} else {
+				comp += (p - t) + s
+			}
+			comp += e
+			s = t
+		}
+		res[i] = s + comp
+	}
+	den := normA*vecNormInf(x) + normB
+	if den == 0 {
+		return 0
+	}
+	return vecNormInf(res) / den
+}
+
+// ResidualVec computes res = b − A·x with compensated accumulation and
+// returns it together with the relative residual
+// ‖res‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞). It is the building block callers use to
+// track per-solve trustworthiness (e.g. the circuit engine's per-step
+// residual) and to run their own refinement passes against a cached
+// factorisation.
+func ResidualVec(a *Matrix, x, b []float64) (res []float64, relres float64) {
+	res = make([]float64, a.Rows)
+	relres = residualInto(res, a, x, b, NormInf(a), vecNormInf(b))
+	return res, relres
+}
+
+// CSolveRefined is the complex analogue of SolveRefined for the AC and
+// S-parameter path: one CLU factorisation plus residual-based refinement,
+// reporting ‖b − A·x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞). The complex residual is
+// accumulated in plain complex128 (the AC path's accuracy demands are set by
+// the ~1e-6 measurement floor of S-parameters, not by double roundoff).
+func CSolveRefined(a *CMatrix, b []complex128) (x []complex128, relres float64, err error) {
+	if a.Rows != a.Cols {
+		return nil, 0, errors.New("mat: CSolveRefined requires a square matrix")
+	}
+	if len(b) != a.Rows {
+		return nil, 0, errors.New("mat: rhs length mismatch")
+	}
+	f, err := NewCLU(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	x, err = f.Solve(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	normA := cNormInf(a)
+	normB := cvecNormInf(b)
+	res := make([]complex128, a.Rows)
+	relres = cResidualInto(res, a, x, b, normA, normB)
+	for iter := 0; iter < refineMaxIter && relres > refineTarget; iter++ {
+		dx, derr := f.Solve(res)
+		if derr != nil {
+			break
+		}
+		xn := make([]complex128, len(x))
+		for i := range x {
+			xn[i] = x[i] + dx[i]
+		}
+		rn := cResidualInto(res, a, xn, b, normA, normB)
+		if rn >= relres {
+			break
+		}
+		x, relres = xn, rn
+	}
+	return x, relres, nil
+}
+
+func cResidualInto(res []complex128, a *CMatrix, x, b []complex128, normA, normB float64) float64 {
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		s := b[i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		res[i] = s
+	}
+	den := normA*cvecNormInf(x) + normB
+	if den == 0 {
+		return 0
+	}
+	return cvecNormInf(res) / den
+}
+
+func cNormInf(m *CMatrix) float64 {
+	var mx float64
+	for r := 0; r < m.Rows; r++ {
+		var s float64
+		for _, v := range m.Data[r*m.Cols : (r+1)*m.Cols] {
+			s += cmplx.Abs(v)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+func cvecNormInf(v []complex128) float64 {
+	var mx float64
+	for _, x := range v {
+		if a := cmplx.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}

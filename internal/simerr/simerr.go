@@ -16,6 +16,10 @@
 //     expired mid-run (CancelledError wraps the ctx cause).
 //   - ErrNaN            — a solution vector went non-finite (NaNError names
 //     the time point and first offending unknown).
+//   - ErrIllConditioned — a quantitative trust check failed beyond repair: a
+//     condition estimate, residual, or physics-invariant margin crossed its
+//     escalation threshold (IllConditionedError carries the measured value
+//     and the limit it violated).
 //
 // The classes are sentinels: a typed error matches its class through
 // errors.Is regardless of what else it wraps, so
@@ -37,6 +41,7 @@ var (
 	ErrBadInput       = errors.New("bad input")
 	ErrCancelled      = errors.New("operation cancelled")
 	ErrNaN            = errors.New("non-finite solution")
+	ErrIllConditioned = errors.New("ill-conditioned system")
 )
 
 // SingularError reports a singular or numerically rank-deficient linear
@@ -170,6 +175,37 @@ func (e *NaNError) Error() string {
 
 // Is matches the ErrNaN class.
 func (e *NaNError) Is(target error) bool { return target == ErrNaN }
+
+// IllConditionedError reports a failed quantitative trust check: a condition
+// number, residual, stability margin, or physics invariant crossed the
+// threshold past which results cannot be repaired or believed. Quantity names
+// the measured number (e.g. "κ₁ estimate", "relative residual", "CFL ratio",
+// "passivity margin"); Value is what was measured and Limit the threshold it
+// violated.
+type IllConditionedError struct {
+	Op       string
+	Quantity string
+	Value    float64
+	Limit    float64
+	Err      error // underlying error, may be nil
+}
+
+func (e *IllConditionedError) Error() string {
+	msg := e.Op + ": ill-conditioned"
+	if e.Quantity != "" {
+		msg += fmt.Sprintf(": %s %.3g exceeds limit %.3g", e.Quantity, e.Value, e.Limit)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying error.
+func (e *IllConditionedError) Unwrap() error { return e.Err }
+
+// Is matches the ErrIllConditioned class.
+func (e *IllConditionedError) Is(target error) bool { return target == ErrIllConditioned }
 
 // CheckCtx returns a CancelledError when ctx is done, nil otherwise. A nil
 // ctx never cancels. Long loops call this periodically.

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pdnsim/internal/diag"
 	"pdnsim/internal/mat"
 	"pdnsim/internal/simerr"
 )
@@ -79,6 +80,102 @@ type Point struct {
 type Sweep struct {
 	Z0     float64
 	Points []Point
+
+	// Diag holds the physics-invariant trail of the sweep (passivity and
+	// reciprocity margins across frequency). Populated by Verify; SweepZCtx
+	// runs Verify automatically in observation mode so every computed sweep
+	// carries its margins.
+	Diag *diag.Diagnostics
+}
+
+// Passivity/reciprocity degradation thresholds. A passive reciprocal network
+// has max singular value ≤ 1 and S = Sᵀ exactly; roundoff through the solve
+// chain leaves margins many orders below these.
+const (
+	// PassWarnTol is the singular-value excess over 1 past which the sweep
+	// is flagged as (numerically) active.
+	PassWarnTol = 1e-8
+	// PassFailTol is the excess past which the model is non-physical and
+	// Verify escalates to ErrIllConditioned.
+	PassFailTol = 1e-2
+	// RecipWarnTol and RecipFailTol bound the relative asymmetry
+	// max|Sij − Sji| / max|S| of a reciprocal network.
+	RecipWarnTol = 1e-9
+	RecipFailTol = 1e-4
+)
+
+// Verify checks the physics invariants of the sweep — passivity (largest
+// singular value ≤ 1 at every frequency) and reciprocity (S = Sᵀ) — records
+// the worst margins in sw.Diag, and returns a simerr.ErrIllConditioned-class
+// error when either crosses its escalation threshold. Margins in the warn
+// band record Warnings and the sweep remains usable (graceful degradation);
+// healthy margins record a single Info line each.
+func (sw *Sweep) Verify() error {
+	sw.Diag = diag.New()
+	if len(sw.Points) == 0 {
+		return nil
+	}
+	var worstSigma, worstRecip float64
+	var sigmaFreq, recipFreq float64
+	for _, p := range sw.Points {
+		if s := MaxSingularValue(p.S); s > worstSigma {
+			worstSigma, sigmaFreq = s, p.Freq
+		}
+		if a := reciprocityAsymmetry(p.S); a > worstRecip {
+			worstRecip, recipFreq = a, p.Freq
+		}
+	}
+	excess := worstSigma - 1
+	switch {
+	case excess > PassFailTol:
+		sw.Diag.Errorf("sparam", "passivity", worstSigma, 1+PassFailTol,
+			"max singular value %.6g at %g Hz; model is non-passive", worstSigma, sigmaFreq)
+		return &simerr.IllConditionedError{Op: "sparam: verify", Quantity: "max singular value",
+			Value: worstSigma, Limit: 1 + PassFailTol}
+	case excess > PassWarnTol:
+		sw.Diag.Warnf("sparam", "passivity", worstSigma, 1+PassWarnTol, false,
+			"max singular value %.9g at %g Hz slightly exceeds 1", worstSigma, sigmaFreq)
+	default:
+		sw.Diag.Infof("sparam", "passivity", worstSigma, 1+PassWarnTol,
+			"max singular value %.6g across %d points", worstSigma, len(sw.Points))
+	}
+	switch {
+	case worstRecip > RecipFailTol:
+		sw.Diag.Errorf("sparam", "reciprocity", worstRecip, RecipFailTol,
+			"relative asymmetry %.3g at %g Hz; network is non-reciprocal", worstRecip, recipFreq)
+		return &simerr.IllConditionedError{Op: "sparam: verify", Quantity: "reciprocity asymmetry",
+			Value: worstRecip, Limit: RecipFailTol}
+	case worstRecip > RecipWarnTol:
+		sw.Diag.Warnf("sparam", "reciprocity", worstRecip, RecipWarnTol, false,
+			"relative asymmetry %.3g at %g Hz", worstRecip, recipFreq)
+	default:
+		sw.Diag.Infof("sparam", "reciprocity", worstRecip, RecipWarnTol,
+			"worst relative asymmetry %.3g", worstRecip)
+	}
+	return nil
+}
+
+// reciprocityAsymmetry returns max|Sij − Sji| / max|Sij| (0 for empty or
+// zero matrices).
+func reciprocityAsymmetry(s *mat.CMatrix) float64 {
+	var worst, scale float64
+	for i := 0; i < s.Rows; i++ {
+		for j := 0; j < s.Cols; j++ {
+			if a := cmplx.Abs(s.At(i, j)); a > scale {
+				scale = a
+			}
+			if j <= i {
+				continue
+			}
+			if d := cmplx.Abs(s.At(i, j) - s.At(j, i)); d > worst {
+				worst = d
+			}
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return worst / scale
 }
 
 // SweepZ converts a per-frequency impedance evaluator into an S sweep. The
@@ -135,6 +232,10 @@ func SweepZCtx(ctx context.Context, freqs []float64, z0 float64, zAt func(omega 
 			return nil, err
 		}
 	}
+	// Observation mode: every computed sweep carries its passivity and
+	// reciprocity margins in sw.Diag. Escalation is the caller's choice
+	// (call Verify and honour its error).
+	_ = sw.Verify()
 	return sw, nil
 }
 

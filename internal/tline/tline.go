@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"pdnsim/internal/circuit"
+	"pdnsim/internal/diag"
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mat"
 	"pdnsim/internal/simerr"
@@ -49,6 +50,11 @@ type Params struct {
 	L  *mat.Matrix // H/m
 	C  *mat.Matrix // F/m (with dielectric)
 	C0 *mat.Matrix // F/m (air-filled)
+
+	// Diag records the physics-invariant checks run on the extracted
+	// matrices: L and C must each be symmetric positive definite for the
+	// modal decomposition (and any passive realisation) to exist.
+	Diag *diag.Diagnostics
 }
 
 // Solve extracts the per-unit-length parameters of the cross-section.
@@ -91,7 +97,23 @@ func Solve(g Geometry) (p *Params, err error) {
 	}
 	l.Scale(greens.Mu0 * greens.Eps0)
 	l.Symmetrize()
-	return &Params{N: len(g.Strips), L: l, C: c, C0: c0}, nil
+	p = &Params{N: len(g.Strips), L: l, C: c, C0: c0, Diag: diag.New()}
+	// The per-unit-length matrices of a passive line are symmetric positive
+	// definite; anything else means the MoM discretisation broke down
+	// (degenerate strips, truncated image series). Tiny violations are
+	// repaired and recorded, gross ones abort with ErrIllConditioned.
+	for _, chk := range []struct {
+		name string
+		m    *mat.Matrix
+	}{{"L matrix", l}, {"C matrix", c}, {"C0 matrix", c0}} {
+		if err := diag.CheckSymmetric(p.Diag, "tline", chk.name, chk.m); err != nil {
+			return nil, err
+		}
+		if err := diag.CheckPSD(p.Diag, "tline", chk.name, chk.m); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // segment is one pulse basis function.

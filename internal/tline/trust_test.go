@@ -1,0 +1,63 @@
+package tline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdnsim/internal/diag"
+	"pdnsim/internal/mat"
+)
+
+// requireSymPD asserts m is numerically symmetric positive definite.
+func requireSymPD(t *testing.T, name string, m *mat.Matrix) {
+	t.Helper()
+	if asym := m.Asymmetry(); asym > 1e-9 {
+		t.Fatalf("%s: relative asymmetry %g", name, asym)
+	}
+	sym := m.Clone()
+	sym.Symmetrize()
+	vals, _, err := mat.JacobiEigen(sym)
+	if err != nil {
+		t.Fatalf("%s: eigen: %v", name, err)
+	}
+	if vals[0] <= 0 {
+		t.Fatalf("%s: not PD: λmin = %g (λmax %g)", name, vals[0], vals[len(vals)-1])
+	}
+}
+
+// TestTLineMatricesSymmetricPDRandomized is the property test of the 2-D MoM
+// extraction: for randomized multiconductor cross-sections the per-unit-length
+// L, C and C0 matrices must all come out symmetric positive definite — the
+// precondition for the modal decomposition and any passive realisation.
+func TestTLineMatricesSymmetricPDRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			n := 1 + rng.Intn(3)
+			h := (0.2 + 0.8*rng.Float64()) * 1e-3
+			epsR := 2 + 8*rng.Float64()
+			var strips []Strip
+			x := 0.0
+			for i := 0; i < n; i++ {
+				w := (0.1 + 0.9*rng.Float64()) * 1e-3
+				strips = append(strips, Strip{X: x, W: w})
+				x += w + (0.2+0.8*rng.Float64())*1e-3
+			}
+			g := Geometry{Strips: strips, H: h, EpsR: epsR, SegsPerStrip: 12}
+			p, err := Solve(g)
+			if err != nil {
+				t.Fatalf("n=%d h=%g epsR=%g: %v", n, h, epsR, err)
+			}
+			requireSymPD(t, "L", p.L)
+			requireSymPD(t, "C", p.C)
+			requireSymPD(t, "C0", p.C0)
+			if p.Diag == nil {
+				t.Fatal("solve must carry its trust trail")
+			}
+			if w, ok := p.Diag.Worst(); ok && w >= diag.Error {
+				t.Fatalf("healthy cross-section recorded an Error diagnostic:\n%s", p.Diag.Render(true))
+			}
+		})
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"pdnsim/internal/circuit"
 	"pdnsim/internal/core"
 	"pdnsim/internal/device"
+	"pdnsim/internal/diag"
 	"pdnsim/internal/extract"
 	"pdnsim/internal/eye"
 	"pdnsim/internal/fdtd"
@@ -63,6 +64,10 @@ var (
 	ErrCancelled = simerr.ErrCancelled
 	// ErrNaN marks a non-finite value detected in a solution vector.
 	ErrNaN = simerr.ErrNaN
+	// ErrIllConditioned marks a system whose conditioning or physics
+	// invariants (symmetry, passivity, stability margins) are too far gone
+	// for the results to be trusted.
+	ErrIllConditioned = simerr.ErrIllConditioned
 )
 
 // Structured error detail types (retrieve with errors.As).
@@ -77,6 +82,9 @@ type (
 	CancelledError = simerr.CancelledError
 	// NaNError reports the time point and first non-finite unknown.
 	NaNError = simerr.NaNError
+	// IllConditionedError reports the quantity, value and limit of a failed
+	// numerical-trust check.
+	IllConditionedError = simerr.IllConditionedError
 	// SolveStats counts Newton iterations, retries and timestep halvings of
 	// a transient run (TranResult.Stats).
 	SolveStats = circuit.SolveStats
@@ -416,6 +424,36 @@ func PRBS(n int, seed int64) []bool { return eye.PRBS(n, seed) }
 // BitWaveform builds a PWL waveform from a bit pattern.
 func BitWaveform(bits []bool, period, edge, vLow, vHigh float64) (PWL, error) {
 	return eye.BitWaveform(bits, period, edge, vLow, vHigh)
+}
+
+// Numerical-trust diagnostics. Pipeline stages record every invariant
+// check, auto-repair and conditioning estimate in a Diagnostics collector
+// attached to their results (ExtractResult.Diagnostics(), TranResult.Diag,
+// SSweep.Diag, FDTD Result.Diag); render it with Diagnostics.Render.
+type (
+	// Diagnostics is a thread-safe collector of trust-check records.
+	Diagnostics = diag.Diagnostics
+	// Diagnostic is one recorded check: stage, severity, margin, repair.
+	Diagnostic = diag.Diagnostic
+	// DiagSeverity grades a diagnostic: info, warning or error.
+	DiagSeverity = diag.Severity
+)
+
+// Diagnostic severities.
+const (
+	DiagInfo    = diag.Info
+	DiagWarning = diag.Warning
+	DiagError   = diag.Error
+)
+
+// NewDiagnostics returns an empty diagnostics collector.
+func NewDiagnostics() *Diagnostics { return diag.New() }
+
+// SolveRefined factors a (equilibrated if beneficial) and solves ax=b with
+// residual-based iterative refinement, returning the solution and the final
+// relative residual ‖b−ax‖∞/(‖a‖∞‖x‖∞+‖b‖∞).
+func SolveRefined(a *Matrix, b []float64) (x []float64, relres float64, err error) {
+	return mat.SolveRefined(a, b)
 }
 
 // CMatrix is the dense complex matrix used for port impedance/scattering
