@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check vet race lint
+.PHONY: build test bench check vet race lint pdnlint
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,16 @@ bench:
 vet:
 	$(GO) vet ./...
 
-# lint is vet plus a formatting check: any file gofmt would rewrite fails
-# the target (and is listed).
-lint: vet
+# pdnlint is the project's own static analyser (cmd/pdnlint): it enforces
+# the solver's safety contracts — typed errors, cancellation in hot loops,
+# no float equality, named tolerances, race-safe fan-out. Zero findings is
+# the contract; suppressions need a //pdnlint:ignore with a reason.
+pdnlint:
+	$(GO) run ./cmd/pdnlint ./...
+
+# lint is vet plus a formatting check plus pdnlint: any file gofmt would
+# rewrite fails the target (and is listed).
+lint: vet pdnlint
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Each analyzer runs over its fixture package under testdata/src; the
+// fixtures hold both flagged (want-annotated) and accepted cases, so these
+// tests pin down false negatives and false positives at once.
+
+func TestErrwrap(t *testing.T) {
+	// The synthetic internal/ import path is what arms the analyzer.
+	RunFixture(t, Errwrap, "errwrap", "pdnsim/internal/errwrapfix")
+}
+
+func TestErrwrapOutsideInternal(t *testing.T) {
+	// The same source outside internal/ must produce no findings: cmd/,
+	// examples/ and the facade are out of scope.
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir("testdata/src/errwrap", "pdnsim/errwrapfix")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if fs := Run([]*Package{pkg}, []*Analyzer{Errwrap}, ""); len(fs) != 0 {
+		t.Fatalf("errwrap must not fire outside internal/, got %v", fs)
+	}
+}
+
+func TestCtxflow(t *testing.T) {
+	RunFixture(t, Ctxflow, "ctxflow", "pdnsim/internal/ctxflowfix")
+}
+
+func TestFloateq(t *testing.T) {
+	RunFixture(t, Floateq, "floateq", "pdnsim/internal/floateqfix")
+}
+
+func TestMagictol(t *testing.T) {
+	RunFixture(t, Magictol, "magictol", "pdnsim/internal/magictolfix")
+}
+
+func TestParaloop(t *testing.T) {
+	RunFixture(t, Paraloop, "paraloop", "pdnsim/internal/paraloopfix")
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	// The ignore fixture runs under the full roster so suppression and
+	// directive hygiene interact exactly as in the real driver.
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir("testdata/src/ignore", "pdnsim/internal/ignorefix")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings := Run([]*Package{pkg}, Analyzers, "")
+	// Reuse the want-matching by delegating to RunFixture for the single
+	// magictol analyzer is not enough here (hygiene findings come from the
+	// engine), so check the shape directly: exactly 2 suppressed sites stay
+	// silent, 2 sites double-report.
+	var magictol, hygiene int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "magictol":
+			magictol++
+		case "pdnlint":
+			hygiene++
+		default:
+			t.Errorf("unexpected analyzer in ignore fixture: %v", f)
+		}
+	}
+	if magictol != 2 || hygiene != 2 {
+		t.Fatalf("want 2 magictol + 2 hygiene findings, got %d + %d: %v", magictol, hygiene, findings)
+	}
+}
+
+func TestWholeModuleIsClean(t *testing.T) {
+	// The acceptance gate in executable form: pdnlint over the entire
+	// repository reports zero findings. Every contract violation either got
+	// fixed in the findings sweep or carries a documented ignore.
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("module walk found only %d packages; loader is skipping code", len(pkgs))
+	}
+	for _, f := range Run(pkgs, Analyzers, l.ModuleRoot) {
+		t.Errorf("finding: %s", f)
+	}
+}
+
+// TestFindingJSONShape locks the -json output contract: findings marshal
+// with stable lowercase keys so downstream tooling can track the count and
+// location of findings across commits.
+func TestFindingJSONShape(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir("testdata/src/floateq", "pdnsim/internal/floateqfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{Floateq}, "")
+	if len(findings) == 0 {
+		t.Fatal("floateq fixture must produce findings for the JSON shape test")
+	}
+	raw, err := json.Marshal(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"file", "line", "col", "analyzer", "message"} {
+		if _, ok := decoded[0][k]; !ok {
+			t.Fatalf("finding JSON missing key %q: %s", k, raw)
+		}
+	}
+	if decoded[0]["analyzer"] != "floateq" {
+		t.Fatalf("analyzer key must carry the analyzer name, got %v", decoded[0]["analyzer"])
+	}
+}

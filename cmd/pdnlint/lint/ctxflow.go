@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces the cancellation contract threaded through the solver in
+// PR 1: long-running work must be interruptible. Three rules:
+//
+//  1. context.Background() / context.TODO() are forbidden outside package
+//     main (where the root context legitimately originates) and _test.go
+//     files (which are not analyzed). The documented non-Ctx compatibility
+//     shims carry a //pdnlint:ignore ctxflow directive — that is what the
+//     escape hatch is for.
+//  2. An exported function or method that accepts a context.Context and
+//     contains at least one loop must use the context *inside* a loop body
+//     (a simerr.CheckCtx call, a select, passing ctx to a callee doing the
+//     real work) or inside a function literal (per-item work handed to a
+//     driver such as mat.ParallelFor). A ctx checked only at entry leaves
+//     the frequency / timestep / cell loop that follows uncancellable for
+//     its whole run. Stage-granular pipelines whose loops are trivial
+//     bookkeeping between ctx-checked O(n³) stages document that with an
+//     ignore directive rather than sprinkling no-op checks.
+//  3. An accepted context.Context must be used at all; a dropped ctx
+//     parameter advertises cancellability the implementation does not have.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "long-running exported loops must accept and check a context.Context; no context.Background outside main",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Package) []RawFinding {
+	var out []RawFinding
+	isMain := p.Types.Name() == "main"
+	for _, f := range p.Files {
+		if !isMain {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := calleeFunc(p.Info, call); fn != nil {
+					switch fn.FullName() {
+					case "context.Background", "context.TODO":
+						out = append(out, RawFinding{Pos: call.Pos(), Message: fn.FullName() + "() outside package main pins an uncancellable context; thread a ctx parameter (documented compatibility shims use //pdnlint:ignore ctxflow <reason>)"})
+					}
+				}
+				return true
+			})
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxParams := contextParams(p.Info, fd)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			loops, used, usedInLoop := ctxUsage(p.Info, fd.Body, ctxParams)
+			switch {
+			case !used:
+				out = append(out, RawFinding{Pos: fd.Name.Pos(), Message: fmt.Sprintf("%s accepts a context.Context but never uses it; check it (simerr.CheckCtx) or drop the parameter", fd.Name.Name)})
+			case loops > 0 && !usedInLoop:
+				out = append(out, RawFinding{Pos: fd.Name.Pos(), Message: fmt.Sprintf("%s loops without checking ctx inside the loop; a run is uncancellable once the loop starts — call simerr.CheckCtx (or select on ctx.Done) in the loop body", fd.Name.Name)})
+			}
+		}
+	}
+	return out
+}
+
+// contextParams returns the objects of the function's context.Context
+// parameters.
+func contextParams(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var objs []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxUsage walks body counting for/range loops and recording whether any of
+// the ctx objects is referenced at all, and whether one is referenced
+// inside a loop body.
+func ctxUsage(info *types.Info, body *ast.BlockStmt, ctxs []types.Object) (loops int, used, usedInLoop bool) {
+	isCtx := func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Uses[id]
+		for _, c := range ctxs {
+			if obj == c {
+				return true
+			}
+		}
+		return false
+	}
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.ForStmt:
+				loops++
+				if s.Init != nil {
+					walk(s.Init, inLoop)
+				}
+				if s.Cond != nil {
+					walk(s.Cond, inLoop)
+				}
+				if s.Post != nil {
+					walk(s.Post, inLoop)
+				}
+				walk(s.Body, true)
+				return false
+			case *ast.RangeStmt:
+				loops++
+				walk(s.X, inLoop)
+				walk(s.Body, true)
+				return false
+			case *ast.FuncLit:
+				// A closure referencing ctx is per-item work handed to a
+				// driver (mat.ParallelFor, a sweep evaluator): the check
+				// happens once per invocation, which satisfies the contract.
+				walk(s.Body, true)
+				return false
+			default:
+				if m != nil && isCtx(m) {
+					used = true
+					if inLoop {
+						usedInLoop = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return loops, used, usedInLoop
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// internalPrefix scopes errwrap to the solver packages. The taxonomy package
+// itself is exempt (it *defines* the sentinels with errors.New), as are
+// cmd/, examples/ and the repo root facade, which sit above the boundary the
+// contract protects: errors.Is must resolve simerr classes across every
+// internal package boundary.
+const internalPrefix = "pdnsim/internal/"
+
+// errwrapExempt lists internal packages allowed to build untyped errors.
+var errwrapExempt = map[string]bool{
+	"pdnsim/internal/simerr": true,
+}
+
+// wrapVerb matches a %w (or indexed %[1]w) wrapping verb in a format string.
+var wrapVerb = regexp.MustCompile(`%(\[[0-9]+\])?w`)
+
+// Errwrap enforces the typed-error contract of internal/simerr: an error
+// built inside internal/... must either be a simerr type (constructors and
+// struct literals pass — they carry class identity) or wrap an existing
+// error with %w so the class identity of the cause survives. Bare
+// errors.New and fmt.Errorf-without-%w produce errors for which
+// errors.Is(err, simerr.ErrX) silently reports false in every other
+// package, which is exactly the erosion this analyzer stops. Package-level
+// variable initializers are exempt: that is where sentinels live.
+var Errwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "errors returned from internal/ must carry simerr class identity (simerr type or %w wrap)",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(p *Package) []RawFinding {
+	if !strings.HasPrefix(p.Path, internalPrefix) || errwrapExempt[p.Path] {
+		return nil
+	}
+	var out []RawFinding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue // package-level var/const initializers are sentinel territory
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if fn == nil {
+					return true
+				}
+				switch fn.FullName() {
+				case "errors.New":
+					out = append(out, RawFinding{Pos: call.Pos(), Message: "errors.New loses simerr class identity across packages; use simerr.Tagf/simerr.BadInput or wrap a sentinel with %w"})
+				case "fmt.Errorf":
+					if len(call.Args) == 0 {
+						return true
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						out = append(out, RawFinding{Pos: call.Pos(), Message: "fmt.Errorf with a non-constant format; cannot verify %w wrapping — build the error with simerr instead"})
+						return true
+					}
+					format, err := strconv.Unquote(lit.Value)
+					if err != nil || !wrapVerb.MatchString(format) {
+						out = append(out, RawFinding{Pos: call.Pos(), Message: "fmt.Errorf without %w loses simerr class identity across packages; wrap a sentinel/cause with %w or use simerr.Tagf"})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags == and != between floating-point or complex operands.
+// Exact equality on computed floats is the classic catastrophic-cancellation
+// trap: two mathematically equal quantities differ in the last ulps after
+// different round-off paths, so the comparison silently flips. Allowed:
+//
+//   - comparison against an exact constant zero (testing "never assigned" /
+//     "exactly symmetric" / underflow-flushed values is legitimate, and the
+//     project convention is an explicit guard before dividing);
+//   - comparisons where both operands are compile-time constants.
+//
+// Everything else must go through a named tolerance
+// (math.Abs(a-b) <= tol, cmplx.Abs for complex).
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on float64/complex128 operands except against constant zero",
+	Run:  runFloateq,
+}
+
+func runFloateq(p *Package) []RawFinding {
+	var out []RawFinding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := p.Info.Types[be.X]
+			yt, yok := p.Info.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloatish(xt.Type) && !isFloatish(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // compile-time comparison, exact by definition
+			}
+			if isConstZero(xt.Value) || isConstZero(yt.Value) {
+				return true
+			}
+			out = append(out, RawFinding{Pos: be.OpPos, Message: fmt.Sprintf("%s on floating-point operands is exact to the last ulp; compare through a named tolerance (or against constant zero behind a guard)", be.Op)})
+			return true
+		})
+	}
+	return out
+}
+
+// isFloatish reports whether t's underlying type is a float or complex
+// basic type (including untyped float constants).
+func isFloatish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isConstZero reports whether v is a compile-time constant equal to zero
+// (real and imaginary parts for complex values).
+func isConstZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixture testing: each analyzer has a package under testdata/src/<name>
+// whose files annotate expected findings with trailing comments of the form
+//
+//	code // want "regexp" ["regexp" ...]
+//
+// RunFixture loads the fixture with the full loader (so type information
+// and ignore directives behave exactly as in production), runs the one
+// analyzer, and cross-checks findings against annotations both ways:
+// an unannotated finding and an unmatched annotation are both failures.
+
+var (
+	testLoaderOnce sync.Once
+	testLoader     *Loader
+	testLoaderErr  error
+)
+
+// sharedLoader caches one Loader across fixture tests so the standard
+// library is type-checked once per test binary, not once per fixture.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	testLoaderOnce.Do(func() {
+		testLoader, testLoaderErr = NewLoader(".")
+	})
+	if testLoaderErr != nil {
+		t.Fatalf("loader: %v", testLoaderErr)
+	}
+	return testLoader
+}
+
+// wantRe extracts the quoted expectation patterns from a want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// RunFixture runs one analyzer over testdata/src/<fixture>, type-checked
+// under importPath (which lets errwrap fixtures live under a synthetic
+// pdnsim/internal/... path), and verifies the findings against the
+// fixture's want annotations.
+func RunFixture(t *testing.T, a *Analyzer, fixture, importPath string) {
+	t.Helper()
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir("testdata/src/"+fixture, importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixture, err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{a}, "")
+
+	type key struct {
+		file string
+		line int
+	}
+	want := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(t, m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					want[key{pos.Filename, pos.Line}] = append(want[key{pos.Filename, pos.Line}], re)
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		k := key{f.File, f.Line}
+		res := want[k]
+		matched := -1
+		for i, re := range res {
+			if re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding %s", f)
+			continue
+		}
+		want[k] = append(res[:matched], res[matched+1:]...)
+	}
+	for k, res := range want {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected finding matching %q did not fire", k.file, k.line, re)
+		}
+	}
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: `"a" "b"` → [a b].
+func splitQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("want annotation must be a sequence of quoted patterns, got %q", s)
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("bad quoted pattern in %q: %v", s, err)
+		}
+		q, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("bad quoted pattern %q: %v", prefix, err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[len(prefix):])
+	}
+	return out
+}

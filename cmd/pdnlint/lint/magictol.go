@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"math"
+)
+
+// magicTolMax is the magnitude below which a float literal in a comparison
+// is treated as a tolerance rather than a physical quantity. Frequency
+// bounds (2.5e9), geometry (1e-3 m) and unit factors sit at or above this
+// scale; convergence tolerances, symmetry bands, underflow guards and CFL
+// margins sit far below it. Anything under 1e-3 used directly in a
+// comparison is a numerical trust threshold and must be auditable.
+const magicTolMax = 1e-3
+
+// Magictol enforces that tolerance-scale literals are not buried inline in
+// comparisons. A 1e-9 in `if v <= 1e-9*scale` encodes a paper-derived or
+// empirically tuned trust bound; as an anonymous literal it cannot be
+// audited, cross-referenced by the diagnostics layer, or kept consistent
+// across call sites. Every such literal must be promoted to a named
+// package-level constant whose doc comment states its provenance. Zero is
+// exempt (exact-zero guards are floateq's domain), as is anything at or
+// above magicTolMax.
+var Magictol = &Analyzer{
+	Name: "magictol",
+	Doc:  "tolerance literals in comparisons must be named, documented package-level constants",
+	Run:  runMagictol,
+}
+
+func runMagictol(p *Package) []RawFinding {
+	var out []RawFinding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !isComparison(be.Op) {
+				return true
+			}
+			// A comparison of two compile-time constants is a static fact,
+			// not a runtime trust threshold.
+			if xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]; xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(m ast.Node) bool {
+					lit, ok := m.(*ast.BasicLit)
+					if !ok || lit.Kind != token.FLOAT {
+						return true
+					}
+					tv, ok := p.Info.Types[ast.Expr(lit)]
+					if !ok || tv.Value == nil {
+						return true
+					}
+					v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+					if v == 0 || math.Abs(v) >= magicTolMax {
+						return true
+					}
+					out = append(out, RawFinding{Pos: lit.Pos(), Message: fmt.Sprintf("tolerance literal %s inside a comparison; promote it to a documented package-level constant stating its provenance", lit.Value)})
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isComparison reports whether op is one of the six ordering/equality
+// operators.
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}

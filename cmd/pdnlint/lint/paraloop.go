@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Paraloop is a cheap static complement to the race detector for the
+// project's parallel fill patterns (BEM assembly, S-parameter sweeps,
+// mat.ParallelFor): the race detector only sees schedules that actually
+// executed, while this check flags the shape of the bug at the source.
+// Inside a `go func` body it flags:
+//
+//   - writes through an index captured from the enclosing scope
+//     (s[i] = ... where both s and i outlive the goroutine) — the
+//     partitioning that makes parallel fills safe requires the index to be
+//     goroutine-local (a parameter or a variable declared in the body);
+//   - writes to a captured map without a Lock() call in the body —
+//     concurrent map writes crash the runtime outright;
+//   - plain assignments to captured variables without a Lock() call in the
+//     body.
+//
+// It is deliberately heuristic: a Lock() anywhere in the body is taken as
+// evidence of a guarded critical section. The escape hatch
+// (//pdnlint:ignore paraloop <reason>) covers the patterns it cannot see.
+var Paraloop = &Analyzer{
+	Name: "paraloop",
+	Doc:  "goroutine bodies must index-partition or mutex-guard writes to shared slices and maps",
+	Run:  runParaloop,
+}
+
+func runParaloop(p *Package) []RawFinding {
+	var out []RawFinding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			out = append(out, checkGoBody(p, fl)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkGoBody inspects one goroutine function literal.
+func checkGoBody(p *Package, fl *ast.FuncLit) []RawFinding {
+	var out []RawFinding
+	// local reports whether the identifier's object is declared within the
+	// literal (parameters included): such objects are goroutine-private.
+	local := func(id *ast.Ident) bool {
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj == nil {
+			return true // unresolved: assume local rather than speculate
+		}
+		return obj.Pos() >= fl.Pos() && obj.Pos() <= fl.Body.End()
+	}
+	hasLock := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+				hasLock = true
+			}
+		}
+		return true
+	})
+	check := func(lhs ast.Expr) {
+		switch t := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			baseIdent, _ := ast.Unparen(t.X).(*ast.Ident)
+			captured := baseIdent == nil || !local(baseIdent)
+			if !captured {
+				return // goroutine-local container
+			}
+			name := "container"
+			if baseIdent != nil {
+				name = baseIdent.Name
+			}
+			if _, isMap := p.Info.Types[t.X].Type.Underlying().(*types.Map); isMap {
+				if !hasLock {
+					out = append(out, RawFinding{Pos: t.Pos(), Message: fmt.Sprintf("concurrent write to captured map %s in a goroutine without a Lock(); concurrent map writes fault at runtime", name)})
+				}
+				return
+			}
+			if hasLock {
+				return
+			}
+			if idx, ok := ast.Unparen(t.Index).(*ast.Ident); ok && local(idx) {
+				return // index-partitioned: goroutine-local index
+			}
+			out = append(out, RawFinding{Pos: t.Pos(), Message: fmt.Sprintf("goroutine writes %s[...] through a captured index; partition with a goroutine-local index or guard with a mutex", name)})
+		case *ast.Ident:
+			if t.Name == "_" || local(t) || hasLock {
+				return
+			}
+			out = append(out, RawFinding{Pos: t.Pos(), Message: fmt.Sprintf("goroutine assigns to captured variable %s without synchronization; every sibling goroutine races on it", t.Name)})
+		}
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			if s != fl {
+				return false // nested literals are checked when launched via their own go stmt
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(s.X)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,77 @@
+// Package ctxflowfix exercises the ctxflow analyzer: no
+// context.Background outside package main, and exported ctx-taking
+// functions with loops must check the ctx inside a loop.
+package ctxflowfix
+
+import (
+	"context"
+
+	"pdnsim/internal/simerr"
+)
+
+// Flagged: Background outside package main.
+func pinned() context.Context {
+	return context.Background() // want "outside package main pins an uncancellable context"
+}
+
+// Flagged: TODO is no better.
+func todo() context.Context {
+	return context.TODO() // want "outside package main pins an uncancellable context"
+}
+
+// Accepted: a documented compatibility shim uses the escape hatch.
+func Shim() error {
+	return LongRun(context.Background(), 10) //pdnlint:ignore ctxflow documented non-Ctx compatibility shim for fixture
+}
+
+// Flagged: ctx accepted but checked only before the loop, so the sweep is
+// uncancellable once started.
+func SweepBad(ctx context.Context, n int) error { // want "SweepBad loops without checking ctx inside the loop"
+	if err := simerr.CheckCtx(ctx, "fixture"); err != nil {
+		return err
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(i)
+	}
+	_ = sum
+	return nil
+}
+
+// Flagged: ctx accepted and dropped entirely.
+func Dropped(ctx context.Context, n int) int { // want "accepts a context.Context but never uses it"
+	return n + 1
+}
+
+// Accepted: the loop body checks cancellation every iteration.
+func LongRun(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := simerr.CheckCtx(ctx, "fixture: long run"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Accepted: passing ctx to the worker inside the range loop counts — the
+// callee owns the cancellation check.
+func Delegates(ctx context.Context, xs []int) error {
+	for range xs {
+		if err := LongRun(ctx, 4); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Accepted: unexported functions are the callee side of the contract; the
+// exported entry points carry the obligation.
+func quietLoop(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+	}
+}
+
+// Accepted: no loops — a straight-line ctx pass-through.
+func PassThrough(ctx context.Context) error {
+	return simerr.CheckCtx(ctx, "fixture: pass through")
+}

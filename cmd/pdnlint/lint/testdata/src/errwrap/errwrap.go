@@ -1,0 +1,51 @@
+// Package errwrapfix exercises the errwrap analyzer: errors built inside
+// internal/ must carry simerr class identity. The fixture is type-checked
+// under a synthetic pdnsim/internal/ import path so the analyzer engages.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+
+	"pdnsim/internal/simerr"
+)
+
+// Package-level sentinels are the one legitimate home for errors.New.
+var ErrSentinel = errors.New("errwrapfix: sentinel")
+
+// Flagged: untyped constructors inside function bodies.
+func bad(n int) error {
+	if n < 0 {
+		return errors.New("negative") // want "errors.New loses simerr class identity"
+	}
+	if n == 0 {
+		return fmt.Errorf("zero count %d", n) // want `fmt.Errorf without %w`
+	}
+	return nil
+}
+
+// Flagged: a non-constant format cannot be verified.
+func badDynamic(format string) error {
+	return fmt.Errorf(format) // want "non-constant format"
+}
+
+// Accepted: simerr constructors, %w wrapping (sentinel or cause), plain
+// propagation, and Tagf-style message-stable tagging.
+func good(n int) error {
+	if n < 0 {
+		return simerr.BadInput("errwrapfix", "negative %d", n)
+	}
+	if n == 0 {
+		return simerr.Tagf(simerr.ErrBadInput, "zero count %d", n)
+	}
+	if n == 1 {
+		return fmt.Errorf("errwrapfix: count %d: %w", n, simerr.ErrBadInput)
+	}
+	if n == 2 {
+		return &simerr.SingularError{Op: "errwrapfix", Row: n}
+	}
+	if err := bad(n); err != nil {
+		return fmt.Errorf("errwrapfix: inner: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Package floateqfix exercises the floateq analyzer: no exact ==/!= on
+// floating-point or complex operands except against constant zero.
+package floateqfix
+
+import "math"
+
+// eqTol is a named tolerance, the accepted way to compare floats.
+const eqTol = 1e-12
+
+// Flagged: exact equality between computed floats.
+func bad(a, b float64) bool {
+	return a == b // want "on floating-point operands is exact"
+}
+
+// Flagged: inequality is the same trap.
+func badNeq(a, b float64) bool {
+	return a*2 != b // want "on floating-point operands is exact"
+}
+
+// Flagged: complex equality.
+func badComplex(a, b complex128) bool {
+	return a == b // want "on floating-point operands is exact"
+}
+
+// Flagged: comparing against a non-zero constant is still exact.
+func badConst(a float64) bool {
+	return a == 0.5 // want "on floating-point operands is exact"
+}
+
+// Accepted: comparison against constant zero (guard before division,
+// never-assigned test, exact symmetric zero).
+func goodZero(a float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	if a != 0.0 {
+		return 1 / a
+	}
+	return 0
+}
+
+// Accepted: tolerance-based comparison.
+func goodTol(a, b float64) bool {
+	return math.Abs(a-b) <= eqTol
+}
+
+// Accepted: integer equality is exact and fine.
+func goodInt(a, b int) bool {
+	return a == b
+}
+
+// Accepted: compile-time constant comparison.
+func goodConst() bool {
+	return 0.1+0.2 == 0.3
+}

@@ -1,0 +1,55 @@
+// Package magictolfix exercises the magictol analyzer: tolerance-scale
+// float literals (|v| < 1e-3) may not appear inline in comparisons.
+package magictolfix
+
+import "math"
+
+// residualTol is the documented home for a tolerance: a named
+// package-level constant whose provenance can be audited. (Fixture value.)
+const residualTol = 1e-9
+
+// Flagged: inline tolerance in a comparison.
+func bad(v float64) bool {
+	return v < 1e-9 // want "tolerance literal 1e-9 inside a comparison"
+}
+
+// Flagged: the tolerance hides inside a product on one side.
+func badScaled(v, scale float64) bool {
+	return v <= 1e-12*scale // want "tolerance literal 1e-12 inside a comparison"
+}
+
+// Flagged: underflow guards are tolerances too.
+func badTiny(v float64) bool {
+	return math.Abs(v) > 1e-300 // want "tolerance literal 1e-300 inside a comparison"
+}
+
+// Flagged: both terms of a mixed absolute/relative band.
+func badBand(dv, v float64) bool {
+	return dv <= 1e-6+1e-4*math.Abs(v) // want "tolerance literal 1e-6 inside a comparison" "tolerance literal 1e-4 inside a comparison"
+}
+
+// Accepted: named constant.
+func good(v float64) bool {
+	return v < residualTol
+}
+
+// Accepted: physical-scale literals (frequency sweep bound) are not
+// tolerances.
+func goodScale(f float64) bool {
+	return f <= 5.5e9
+}
+
+// Accepted: zero is floateq's business, not a tolerance.
+func goodZero(v float64) bool {
+	return v > 0.0
+}
+
+// Accepted: literals outside comparisons (initialisers, arithmetic) are
+// not trust thresholds.
+func goodInit(v float64) float64 {
+	tol := 1e-9
+	return v * tol
+}
+
+// Accepted: compile-time constant comparisons are static facts.
+const fits = 1e-9 < 1e-3

@@ -1,0 +1,93 @@
+// Package paraloopfix exercises the paraloop analyzer: goroutine bodies
+// must index-partition or mutex-guard writes to shared containers.
+package paraloopfix
+
+import "sync"
+
+// Flagged: every goroutine writes through the same captured index — the
+// classic non-partitioned parallel fill.
+func badCapturedIndex(out []float64, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = float64(i * i) // want `goroutine writes out\[\.\.\.\] through a captured index`
+		}()
+	}
+	wg.Wait()
+}
+
+// Flagged: concurrent map write without a lock faults at runtime.
+func badMap(m map[int]float64, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			m[k] = float64(k) // want "concurrent write to captured map m"
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Flagged: captured scalar accumulated without synchronization.
+func badScalar(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			sum += v // want "goroutine assigns to captured variable sum without synchronization"
+		}(x)
+	}
+	wg.Wait()
+	return sum
+}
+
+// Accepted: index-partitioned fill — the index is a goroutine parameter,
+// each slot written by exactly one goroutine.
+func goodPartitioned(out []float64, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			out[k] = float64(k * k)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Accepted: mutex-guarded shared writes.
+func goodLocked(m map[int]float64, n int) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			mu.Lock()
+			m[k] = float64(k)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Accepted: goroutine-local containers are private.
+func goodLocal(n int) {
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]float64, n)
+			for i := 0; i < n; i++ {
+				buf[i] = float64(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+// Command pdnlint is the project's static-analysis suite: five analyzers
+// that mechanically enforce the solver's safety contracts (see DESIGN.md
+// §5e):
+//
+//	errwrap  — errors built in internal/ must carry simerr class identity
+//	ctxflow  — long-running exported loops accept and check a context;
+//	           context.Background only in package main
+//	floateq  — no ==/!= on floats except against constant zero
+//	magictol — tolerance literals in comparisons must be named constants
+//	paraloop — goroutine bodies index-partition or lock shared writes
+//
+// Usage:
+//
+//	pdnlint [-json] [packages]
+//
+// With no arguments (or "./...") the whole module containing the current
+// directory is analyzed. Specific package directories can be named instead.
+// Findings go to stdout, one per line (file:line:col: [analyzer] message),
+// or as a JSON array with -json for tooling that tracks the finding count
+// as a trajectory metric. A site may opt out with a trailing or preceding
+//
+//	//pdnlint:ignore <analyzer> <reason>
+//
+// comment; the reason is mandatory (an undocumented ignore is itself a
+// finding) and a directive in a function's doc comment covers the whole
+// function.
+//
+// Exit status: 0 clean, 1 findings, 2 load or internal failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pdnsim/cmd/pdnlint/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file, line, col, analyzer, message)")
+	verbose := flag.Bool("v", false, "list analyzed packages on stderr")
+	flag.Parse()
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdnlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdnlint:", err)
+		os.Exit(2)
+	}
+	if sel := selectPackages(pkgs, flag.Args(), loader.ModuleRoot); sel != nil {
+		pkgs = sel
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintln(os.Stderr, "pdnlint: analyzing", p.Path)
+		}
+	}
+	findings := lint.Run(pkgs, lint.Analyzers, loader.ModuleRoot)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "pdnlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "pdnlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// selectPackages filters the loaded packages by the command-line patterns:
+// "./..." (or nothing) keeps everything, "dir/..." keeps the subtree, a
+// plain directory keeps that package. Returns nil for "keep everything".
+func selectPackages(pkgs []*lint.Package, args []string, root string) []*lint.Package {
+	if len(args) == 0 {
+		return nil
+	}
+	var keep []*lint.Package
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			return nil
+		}
+		subtree := strings.HasSuffix(arg, "/...")
+		arg = strings.TrimSuffix(arg, "/...")
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			continue
+		}
+		for _, p := range pkgs {
+			pdir, err := filepath.Abs(p.Dir)
+			if err != nil {
+				continue
+			}
+			if pdir == abs || (subtree && strings.HasPrefix(pdir+string(filepath.Separator), abs+string(filepath.Separator))) {
+				keep = append(keep, p)
+			}
+		}
+	}
+	return keep
+}

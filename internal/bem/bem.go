@@ -26,7 +26,7 @@ package bem
 
 import (
 	"context"
-	"errors"
+
 	"fmt"
 	"math"
 
@@ -90,7 +90,7 @@ type Assembly struct {
 
 // Assemble fills P, L and R for the given mesh and Green's function kernel.
 func Assemble(m *mesh.Mesh, k *greens.Kernel, opts Options) (*Assembly, error) {
-	return AssembleCtx(context.Background(), m, k, opts)
+	return AssembleCtx(context.Background(), m, k, opts) //pdnlint:ignore ctxflow documented non-Ctx compatibility shim; cancellable callers use AssembleCtx
 }
 
 // AssembleCtx is Assemble with cancellation: the panel-integral loops (the
@@ -397,6 +397,13 @@ func (a *Assembly) ConductanceLaplacian() *mat.Matrix {
 	return g
 }
 
+// irDropResidTol is the relative residual ‖G·v − i‖/‖i‖ above which the
+// IR-drop solve is declared inconsistent. The grounded Laplacian solve
+// itself delivers residuals near machine epsilon; only a load placed on an
+// island with no conductive path to the reference produces an O(1)
+// residual, so 1e-6 cleanly separates the two regimes.
+const irDropResidTol = 1e-6
+
 // DCPotential solves the plane's DC (IR-drop) problem: given currents
 // injected into cells (positive = current drawn out of the plane into a
 // load) and one cell held at zero potential (the supply entry), it returns
@@ -406,17 +413,17 @@ func (a *Assembly) ConductanceLaplacian() *mat.Matrix {
 func (a *Assembly) DCPotential(injections map[int]float64, refCell int) ([]float64, error) {
 	g := a.ConductanceLaplacian()
 	if g == nil {
-		return nil, errors.New("bem: lossless assembly has no DC resistance network")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "bem: lossless assembly has no DC resistance network")
 	}
 	n := len(a.Mesh.Cells)
 	if refCell < 0 || refCell >= n {
-		return nil, fmt.Errorf("bem: reference cell %d out of range", refCell)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "bem: reference cell %d out of range", refCell)
 	}
 	var totalIn float64
 	rhs := make([]float64, n)
 	for cell, i := range injections {
 		if cell < 0 || cell >= n {
-			return nil, fmt.Errorf("bem: injection cell %d out of range", cell)
+			return nil, simerr.Tagf(simerr.ErrBadInput, "bem: injection cell %d out of range", cell)
 		}
 		rhs[cell] = -i // drawing current out of the plane
 		totalIn += i
@@ -463,8 +470,8 @@ func (a *Assembly) DCPotential(injections map[int]float64, refCell int) ([]float
 		rn += d * d
 		bn += rk[i] * rk[i]
 	}
-	if bn > 0 && math.Sqrt(rn) > 1e-6*math.Sqrt(bn) {
-		return nil, errors.New("bem: IR-drop system inconsistent — no conductive path from a loaded cell to the reference")
+	if bn > 0 && math.Sqrt(rn) > irDropResidTol*math.Sqrt(bn) {
+		return nil, simerr.Tagf(simerr.ErrSingular, "bem: IR-drop system inconsistent — no conductive path from a loaded cell to the reference")
 	}
 	out := make([]float64, n)
 	for i, c := range keep {
@@ -479,7 +486,7 @@ func (a *Assembly) DCPotential(injections map[int]float64, refCell int) ([]float
 // have no DC solution anyway).
 func (a *Assembly) DCCurrents(v []float64) ([]float64, error) {
 	if len(v) != len(a.Mesh.Cells) {
-		return nil, fmt.Errorf("bem: potential vector has %d entries, want %d", len(v), len(a.Mesh.Cells))
+		return nil, simerr.Tagf(simerr.ErrBadInput, "bem: potential vector has %d entries, want %d", len(v), len(a.Mesh.Cells))
 	}
 	out := make([]float64, len(a.Mesh.Links))
 	for i, l := range a.Mesh.Links {

@@ -82,3 +82,27 @@ func TestAssembleCtxMatchesAssemble(t *testing.T) {
 		}
 	}
 }
+
+func TestDCPotentialBadInputClass(t *testing.T) {
+	m := mustMesh(t, geom.RectShape(0, 0, 2e-3, 2e-3), 3, 3)
+	k := mustKernel(t, greens.OverGround, 0.4e-3, 4.5, 10)
+	lossless, err := Assemble(m, k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lossless.DCPotential(map[int]float64{0: 1e-3}, 0); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("lossless assembly has no DC network; want ErrBadInput, got %v", err)
+	}
+	opts := DefaultOptions()
+	opts.SheetResistance = 6e-3
+	lossy, err := Assemble(m, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lossy.DCPotential(map[int]float64{0: 1e-3}, -1); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("out-of-range reference cell must be ErrBadInput, got %v", err)
+	}
+	if _, err := lossy.DCPotential(map[int]float64{10_000: 1e-3}, 0); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("out-of-range injection cell must be ErrBadInput, got %v", err)
+	}
+}

@@ -15,12 +15,12 @@
 package cavity
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mat"
+
+	"pdnsim/internal/simerr"
 )
 
 // Model is a rectangular plane-pair cavity.
@@ -43,7 +43,7 @@ type port struct {
 // New validates and builds a cavity model.
 func New(a, b, d, epsR float64) (*Model, error) {
 	if a <= 0 || b <= 0 || d <= 0 || epsR < 1 {
-		return nil, fmt.Errorf("cavity: invalid geometry a=%g b=%g d=%g epsR=%g", a, b, d, epsR)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "cavity: invalid geometry a=%g b=%g d=%g epsR=%g", a, b, d, epsR)
 	}
 	return &Model{A: a, B: b, D: d, EpsR: epsR, LossTan: 1e-3, Modes: 40}, nil
 }
@@ -60,17 +60,22 @@ func (m *Model) AddPort(name string, x, y float64) error {
 // over by the standard sinc factors.
 func (m *Model) AddPortSized(name string, x, y, w, h float64) error {
 	if x < 0 || x > m.A || y < 0 || y > m.B {
-		return fmt.Errorf("cavity: port %s at (%g,%g) outside the plane", name, x, y)
+		return simerr.Tagf(simerr.ErrBadInput, "cavity: port %s at (%g,%g) outside the plane", name, x, y)
 	}
 	if w < 0 || h < 0 {
-		return fmt.Errorf("cavity: port %s has negative size", name)
+		return simerr.Tagf(simerr.ErrBadInput, "cavity: port %s has negative size", name)
 	}
 	m.ports = append(m.ports, port{name, x, y, w, h})
 	return nil
 }
 
+// sincArgCut is the |x| below which sinc(x) is evaluated as its Taylor
+// limit 1: the first neglected term is x²/6 ≈ 1e-25 at the cut, far below
+// float64 round-off, while sin(x)/x itself is safe everywhere above it.
+const sincArgCut = 1e-12
+
 func sinc(x float64) float64 {
-	if math.Abs(x) < 1e-12 {
+	if math.Abs(x) < sincArgCut {
 		return 1
 	}
 	return math.Sin(x) / x
@@ -83,10 +88,10 @@ func (m *Model) NumPorts() int { return len(m.ports) }
 func (m *Model) Z(omega float64) (*mat.CMatrix, error) {
 	n := len(m.ports)
 	if n == 0 {
-		return nil, errors.New("cavity: no ports")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "cavity: no ports")
 	}
 	if omega <= 0 {
-		return nil, errors.New("cavity: omega must be positive")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "cavity: omega must be positive")
 	}
 	modes := m.Modes
 	if modes <= 0 {

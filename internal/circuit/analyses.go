@@ -21,7 +21,7 @@ import (
 // histories); nonlinear devices by Newton-Raphson, falling back first to
 // source stepping and then to Gmin stepping when plain Newton fails.
 func (c *Circuit) OP() ([]float64, error) {
-	return c.OPCtx(context.Background())
+	return c.OPCtx(context.Background()) //pdnlint:ignore ctxflow documented non-Ctx compatibility shim; cancellable callers use OPCtx
 }
 
 // OPCtx is OP with cancellation: the relaxation/continuation loops check ctx
@@ -30,6 +30,20 @@ func (c *Circuit) OPCtx(ctx context.Context) ([]float64, error) {
 	s := newSolver(c)
 	return s.op(ctx)
 }
+
+const (
+	// dcRelaxTol is the mixed absolute/relative bound on the largest
+	// transmission-line DC state change between relaxation passes: nV-level
+	// absolute agreement, tightened to ppb of the solution scale once
+	// voltages exceed 1 V — well inside the Newton tolerances that consume
+	// the operating point.
+	dcRelaxTol = 1e-9
+	// gminFloor ends the Gmin continuation ramp: an artificial 0.1 pS/node
+	// shunt perturbs node voltages by less than the Newton voltage
+	// tolerance for any realistic PDN impedance level, so the walked
+	// solution is already on the true operating point.
+	gminFloor = 1e-13
+)
 
 func (s *solver) op(ctx context.Context) ([]float64, error) {
 	for _, tl := range s.c.mtls {
@@ -81,7 +95,7 @@ func (s *solver) op(ctx context.Context) ([]float64, error) {
 		for i := 0; i < s.nv; i++ {
 			scale = math.Max(scale, math.Abs(x[i]))
 		}
-		if maxDelta <= 1e-9*(1+scale) {
+		if maxDelta <= dcRelaxTol*(1+scale) {
 			return x, nil
 		}
 	}
@@ -118,7 +132,7 @@ func (s *solver) opContinuation(ctx context.Context, st assembleState) ([]float6
 		return xn, nil
 	}
 	xn = make([]float64, s.dim)
-	for g := 1e-2; g >= 1e-13; g /= 10 {
+	for g := 1e-2; g >= gminFloor; g /= 10 {
 		if cerr := simerr.CheckCtx(ctx, "circuit: OP Gmin stepping"); cerr != nil {
 			return nil, cerr
 		}
@@ -194,7 +208,7 @@ func (r *Result) V(node int) []float64 {
 func (r *Result) VByName(name string) ([]float64, error) {
 	n, ok := r.c.LookupNode(name)
 	if !ok {
-		return nil, fmt.Errorf("circuit: unknown node %q", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: unknown node %q", name)
 	}
 	return r.V(n), nil
 }
@@ -204,7 +218,7 @@ func (r *Result) VByName(name string) ([]float64, error) {
 func (r *Result) SourceCurrent(name string) ([]float64, error) {
 	w, ok := r.isrc[name]
 	if !ok {
-		return nil, fmt.Errorf("circuit: unknown voltage source %q", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: unknown voltage source %q", name)
 	}
 	return w, nil
 }
@@ -345,8 +359,10 @@ func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
 
 // stepResidualWarn is the per-step relative residual above which a transient
 // result is flagged as degraded (residuals this large survive even the
-// refinement pass, so the factorisation itself is losing digits).
-const stepResidualWarn = 1e-9
+// refinement pass, so the factorisation itself is losing digits). Expressed
+// as a multiple of the refinement stopping target: six decades of headroom
+// above what a healthy factorisation delivers.
+const stepResidualWarn = 1e6 * mat.RefineTarget
 
 // tranDiagnostics summarises the solver's trust tracking. MNA conditioning
 // never escalates to an error here: gshunt-regularised matrices carry
@@ -389,7 +405,7 @@ func (r *ACResult) V(node int) complex128 {
 func (r *ACResult) VByName(name string) (complex128, error) {
 	n, ok := r.c.LookupNode(name)
 	if !ok {
-		return 0, fmt.Errorf("circuit: unknown node %q", name)
+		return 0, simerr.Tagf(simerr.ErrBadInput, "circuit: unknown node %q", name)
 	}
 	return r.V(n), nil
 }
@@ -511,6 +527,12 @@ func (c *Circuit) AC(omega float64) (*ACResult, error) {
 // stampMTLAC stamps the exact frequency-domain admittance of a lossless MTL:
 // per mode, Y11 = −j·cot(ωτ)/Z, Y12 = j/(Z·sin(ωτ)), transformed to terminal
 // coordinates with TI and TVInv.
+// mtlResonanceGuard keeps the modal admittance finite at the internal
+// half-wave resonances ωτ = kπ where sin(ωτ) = 0: a 1e-9 rad nudge caps
+// |Y| near 1e9/Z — far beyond any physical stub Q — without visibly
+// shifting off-resonance points.
+const mtlResonanceGuard = 1e-9
+
 func stampMTLAC(a *mat.CMatrix, dim int, tl *MTL, omega float64) {
 	n := tl.Modes()
 	y11 := make([]complex128, n)
@@ -518,9 +540,9 @@ func stampMTLAC(a *mat.CMatrix, dim int, tl *MTL, omega float64) {
 	for k := 0; k < n; k++ {
 		theta := omega * tl.Td[k]
 		s := math.Sin(theta)
-		if math.Abs(s) < 1e-9 {
+		if math.Abs(s) < mtlResonanceGuard {
 			// Perturb away from the internal resonance singularity.
-			theta += 1e-9
+			theta += mtlResonanceGuard
 			s = math.Sin(theta)
 		}
 		ct := math.Cos(theta) / s

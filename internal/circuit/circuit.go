@@ -13,8 +13,7 @@
 package circuit
 
 import (
-	"errors"
-	"fmt"
+	"pdnsim/internal/simerr"
 )
 
 // Circuit is a netlist under construction. The ground node is named "0" and
@@ -73,7 +72,7 @@ func (c *Circuit) LookupNode(name string) (int, bool) {
 // AddResistor adds a resistor between nodes a and b.
 func (c *Circuit) AddResistor(name string, a, b int, r float64) (*Resistor, error) {
 	if r <= 0 {
-		return nil, fmt.Errorf("circuit: resistor %s must be positive, got %g", name, r)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: resistor %s must be positive, got %g", name, r)
 	}
 	el := &Resistor{name: name, A: a, B: b, R: r}
 	c.resistors = append(c.resistors, el)
@@ -83,7 +82,7 @@ func (c *Circuit) AddResistor(name string, a, b int, r float64) (*Resistor, erro
 // AddCapacitor adds a capacitor between nodes a and b.
 func (c *Circuit) AddCapacitor(name string, a, b int, f float64) (*Capacitor, error) {
 	if f <= 0 {
-		return nil, fmt.Errorf("circuit: capacitor %s must be positive, got %g", name, f)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: capacitor %s must be positive, got %g", name, f)
 	}
 	el := &Capacitor{name: name, A: a, B: b, C: f}
 	c.capacitors = append(c.capacitors, el)
@@ -94,7 +93,7 @@ func (c *Circuit) AddCapacitor(name string, a, b int, f float64) (*Capacitor, er
 // an MNA unknown, so mutual coupling and L → 0 are handled exactly.
 func (c *Circuit) AddInductor(name string, a, b int, l float64) (*Inductor, error) {
 	if l < 0 {
-		return nil, fmt.Errorf("circuit: inductor %s must be non-negative, got %g", name, l)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: inductor %s must be non-negative, got %g", name, l)
 	}
 	el := &Inductor{name: name, A: a, B: b, L: l}
 	c.inductors = append(c.inductors, el)
@@ -105,10 +104,10 @@ func (c *Circuit) AddInductor(name string, a, b int, l float64) (*Inductor, erro
 // exceed √(L1·L2).
 func (c *Circuit) AddMutual(name string, l1, l2 *Inductor, m float64) (*Mutual, error) {
 	if l1 == nil || l2 == nil || l1 == l2 {
-		return nil, errors.New("circuit: mutual requires two distinct inductors")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: mutual requires two distinct inductors")
 	}
 	if m*m > l1.L*l2.L {
-		return nil, fmt.Errorf("circuit: mutual %s exceeds √(L1·L2)", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: mutual %s exceeds √(L1·L2)", name)
 	}
 	el := &Mutual{name: name, L1: l1, L2: l2, M: m}
 	c.mutuals = append(c.mutuals, el)
@@ -118,7 +117,7 @@ func (c *Circuit) AddMutual(name string, l1, l2 *Inductor, m float64) (*Mutual, 
 // AddVSource adds an independent voltage source (a positive w.r.t. b).
 func (c *Circuit) AddVSource(name string, a, b int, w Waveform) (*VSource, error) {
 	if w == nil {
-		return nil, fmt.Errorf("circuit: source %s needs a waveform", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: source %s needs a waveform", name)
 	}
 	el := &VSource{name: name, A: a, B: b, W: w}
 	c.vsources = append(c.vsources, el)
@@ -129,7 +128,7 @@ func (c *Circuit) AddVSource(name string, a, b int, w Waveform) (*VSource, error
 // source to b: positive value pushes current into node b).
 func (c *Circuit) AddISource(name string, a, b int, w Waveform) (*ISource, error) {
 	if w == nil {
-		return nil, fmt.Errorf("circuit: source %s needs a waveform", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: source %s needs a waveform", name)
 	}
 	el := &ISource{name: name, A: a, B: b, W: w}
 	c.isources = append(c.isources, el)
@@ -139,10 +138,10 @@ func (c *Circuit) AddISource(name string, a, b int, w Waveform) (*ISource, error
 // AddSwitch adds a time-controlled switch with on/off resistances.
 func (c *Circuit) AddSwitch(name string, a, b int, ron, roff float64, ctrl func(t float64) bool) (*Switch, error) {
 	if ron <= 0 || roff <= 0 || ron >= roff {
-		return nil, fmt.Errorf("circuit: switch %s needs 0 < Ron < Roff", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: switch %s needs 0 < Ron < Roff", name)
 	}
 	if ctrl == nil {
-		return nil, fmt.Errorf("circuit: switch %s needs a control function", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: switch %s needs a control function", name)
 	}
 	el := &Switch{name: name, A: a, B: b, Ron: ron, Roff: roff, Ctrl: ctrl}
 	c.switches = append(c.switches, el)
@@ -154,7 +153,7 @@ func (c *Circuit) AddSwitch(name string, a, b int, ron, roff float64, ctrl func(
 // characteristic impedance z0 and one-way delay td.
 func (c *Circuit) AddTLine(name string, a1, b1, a2, b2 int, z0, td float64) (*MTL, error) {
 	if z0 <= 0 || td <= 0 {
-		return nil, fmt.Errorf("circuit: line %s needs positive Z0 and delay", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: line %s needs positive Z0 and delay", name)
 	}
 	return c.addMTL(&MTL{
 		name: name,
@@ -176,11 +175,11 @@ func (c *Circuit) AddMTLModal(name string, end1 []int, ref1 int, end2 []int, ref
 	n := len(end1)
 	if n == 0 || len(end2) != n || len(z) != n || len(td) != n ||
 		len(tv) != n || len(tvInv) != n || len(ti) != n {
-		return nil, fmt.Errorf("circuit: line %s has inconsistent dimensions", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: line %s has inconsistent dimensions", name)
 	}
 	for k := 0; k < n; k++ {
 		if z[k] <= 0 || td[k] <= 0 {
-			return nil, fmt.Errorf("circuit: line %s mode %d needs positive Z and delay", name, k)
+			return nil, simerr.Tagf(simerr.ErrBadInput, "circuit: line %s mode %d needs positive Z and delay", name, k)
 		}
 	}
 	return c.addMTL(&MTL{

@@ -305,3 +305,38 @@ func TestInductorLoopSingularAtDC(t *testing.T) {
 		t.Fatal("ideal inductor loop must report a singular DC matrix")
 	}
 }
+
+// TestInductorLoopSingularClass pins the class (not just non-nil-ness) of
+// the ideal-inductor-loop failure above: the DC matrix is structurally
+// singular and must surface as ErrSingular through errors.Is.
+func TestInductorLoopSingularClass(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	b := c.Node("b")
+	for _, step := range []error{
+		mustAdd(c.AddInductor("L1", a, b, 1e-9)),
+		mustAdd(c.AddInductor("L2", a, b, 2e-9)),
+		mustAdd(c.AddISource("I1", Ground, a, DC(1e-3))),
+		mustAdd(c.AddResistor("R1", b, Ground, 10)),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	_, err := c.OP()
+	if !errors.Is(err, simerr.ErrSingular) {
+		t.Fatalf("inductor loop at DC must be ErrSingular-class, got %v", err)
+	}
+}
+
+func mustAdd[T any](v T, err error) error { return err }
+
+func TestUnsortedPWLBadInputClass(t *testing.T) {
+	_, err := NewPWL([]float64{1e-9, 0}, []float64{0, 1})
+	if !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("unsorted PWL times must be ErrBadInput-class, got %v", err)
+	}
+	if _, err := NewPWL([]float64{0, 0}, []float64{0, 1}); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("duplicate PWL times must be ErrBadInput-class, got %v", err)
+	}
+}

@@ -6,6 +6,15 @@ import "math"
 const (
 	gmin     = 1e-12 // convergence aid across nonlinear junctions/channels
 	thermalV = 0.025852
+
+	// devAbsTol and devRelTol form the SPICE-style per-device convergence
+	// band |v − vPrev| ≤ devAbsTol + devRelTol·|v| on the control voltages
+	// used for the last linearisation: 1 µV absolute (well below thermalV,
+	// so the exponential is linear across the band) plus 0.01% relative
+	// slack for large-swing nodes. They mirror SPICE's vntol/reltol
+	// defaults.
+	devAbsTol = 1e-6
+	devRelTol = 1e-4
 )
 
 // Diode is an ideal-exponential junction diode.
@@ -57,7 +66,7 @@ func (d *Diode) Load(st *Stamper, x []float64) {
 // linearisation agrees with the solution (i.e. pnjlim did not clamp).
 func (d *Diode) Converged(x []float64) bool {
 	v := NodeVoltage(x, d.A) - NodeVoltage(x, d.K)
-	return math.Abs(v-d.vPrev) <= 1e-6+1e-4*math.Abs(v)
+	return math.Abs(v-d.vPrev) <= devAbsTol+devRelTol*math.Abs(v)
 }
 
 func (d *Diode) vcrit() float64 {
@@ -170,8 +179,8 @@ func (m *MOSFET) Converged(x []float64) bool {
 	}
 	vgs := sigma * (NodeVoltage(x, m.G) - NodeVoltage(x, m.S))
 	vds := sigma * (NodeVoltage(x, m.D) - NodeVoltage(x, m.S))
-	return math.Abs(vgs-m.vgsPrev) <= 1e-6+1e-4*math.Abs(vgs) &&
-		math.Abs(vds-m.vdsPrev) <= 1e-6+1e-4*math.Abs(vds)
+	return math.Abs(vgs-m.vgsPrev) <= devAbsTol+devRelTol*math.Abs(vgs) &&
+		math.Abs(vds-m.vdsPrev) <= devAbsTol+devRelTol*math.Abs(vds)
 }
 
 // fetlim limits the per-iteration change of a FET control voltage.

@@ -391,8 +391,11 @@ func (s *solver) stampMTLRHS(rhs []float64, tl *MTL, st assembleState) {
 
 // stepRefineThreshold is the per-step relative residual past which the
 // solver applies one iterative-refinement correction through the cached
-// factorisation before accepting the solution.
-const stepRefineThreshold = 1e-11
+// factorisation before accepting the solution. Four decades above the
+// refinement stopping target mat.RefineTarget (and two below
+// stepResidualWarn), so refinement kicks in well before a step is flagged
+// as degraded.
+const stepRefineThreshold = 1e4 * mat.RefineTarget
 
 // solveLinearStep solves one time point of a linear circuit, reusing the LU
 // factorisation while switch states are unchanged. Every solve measures its
@@ -404,7 +407,8 @@ func (s *solver) solveLinearStep(st assembleState) ([]float64, error) {
 		states[i] = sw.Ctrl(st.t)
 	}
 	if s.lu == nil || !equalBools(states, s.luSwState) ||
-		st.dt != s.dt || st.method != s.method {
+		st.dt != s.dt || st.method != s.method { //pdnlint:ignore floateq cache-key identity test: a bitwise-different dt must invalidate the cached LU factorisation, tolerance would reuse a stale matrix
+
 		a := s.assembleMatrix(st)
 		lu, err := mat.NewLU(a)
 		if err != nil {

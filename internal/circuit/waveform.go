@@ -100,8 +100,10 @@ func NewPWL(t, v []float64) (PWL, error) {
 	if !sort.Float64sAreSorted(t) {
 		return PWL{}, simerr.BadInput("circuit: PWL", "times must be sorted")
 	}
+	// The slice is already sorted, so t[i] <= t[i-1] can only mean an exact
+	// duplicate — and avoids a float equality test.
 	for i := 1; i < len(t); i++ {
-		if t[i] == t[i-1] {
+		if t[i] <= t[i-1] {
 			return PWL{}, simerr.BadInput("circuit: PWL", "times must be strictly increasing")
 		}
 	}

@@ -1,0 +1,143 @@
+package cli
+
+import (
+	"context"
+	"io/fs"
+	"strings"
+	"testing"
+
+	"pdnsim/internal/diag"
+	"pdnsim/internal/simerr"
+)
+
+// TestSolveExitCodeMapping pins the sentinel → exit-code contract scripts
+// depend on: every simerr class must land on its documented stage code.
+func TestSolveExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"singular sentinel", simerr.ErrSingular, ExitSolve},
+		{"singular struct", &simerr.SingularError{Op: "op", Node: "n1"}, ExitSolve},
+		{"non-convergence sentinel", simerr.ErrNonConvergence, ExitSolve},
+		{"non-convergence struct", &simerr.NonConvergenceError{Op: "op", Iterations: 7}, ExitSolve},
+		{"nan sentinel", simerr.ErrNaN, ExitSolve},
+		{"ill-conditioned sentinel", simerr.ErrIllConditioned, ExitSolve},
+		{"bad input sentinel", simerr.ErrBadInput, ExitSolve},
+		{"tagged singular", simerr.Tagf(simerr.ErrSingular, "mat: zero pivot"), ExitSolve},
+		{"cancelled sentinel", simerr.ErrCancelled, ExitCancelled},
+		{"context cancelled", context.Canceled, ExitCancelled},
+		{"deadline exceeded", context.DeadlineExceeded, ExitCancelled},
+		{"wrapped cancellation", &simerr.CancelledError{Op: "op", Err: context.Canceled}, ExitCancelled},
+		{"path error", &fs.PathError{Op: "open", Path: "deck.sp", Err: fs.ErrNotExist}, ExitIO},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SolveExitCode(tc.err); got != tc.want {
+				t.Fatalf("SolveExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestExitCodesAreStaged guards the documented numeric values — scripts and
+// CI pipelines match on the literal codes, so renumbering is a breaking
+// change that must be made deliberately.
+func TestExitCodesAreStaged(t *testing.T) {
+	codes := map[string]struct{ got, want int }{
+		"ExitUsage":     {ExitUsage, 2},
+		"ExitParse":     {ExitParse, 3},
+		"ExitSolve":     {ExitSolve, 4},
+		"ExitIO":        {ExitIO, 5},
+		"ExitCancelled": {ExitCancelled, 6},
+	}
+	for name, c := range codes {
+		if c.got != c.want {
+			t.Fatalf("%s = %d, want %d", name, c.got, c.want)
+		}
+	}
+}
+
+func TestDescribeSingularNamesNode(t *testing.T) {
+	err := &simerr.SingularError{Op: "circuit: DC matrix", Node: "vdd"}
+	out := Describe(err)
+	if !strings.Contains(out, `node "vdd"`) {
+		t.Fatalf("Describe must name the offending node, got %q", out)
+	}
+}
+
+func TestDescribeNonConvergenceShowsIterations(t *testing.T) {
+	err := &simerr.NonConvergenceError{Op: "circuit: tran", Iterations: 42, WorstResidual: 3.5e-3}
+	out := Describe(err)
+	if !strings.Contains(out, "42 iterations") || !strings.Contains(out, "0.0035") {
+		t.Fatalf("Describe must show iteration count and residual, got %q", out)
+	}
+	if !strings.Contains(out, "smaller timestep") {
+		t.Fatalf("Describe must suggest a remedy, got %q", out)
+	}
+}
+
+func TestDescribeNaNNamesUnknownAndTime(t *testing.T) {
+	err := &simerr.NaNError{Op: "circuit: tran", Unknown: "V(out)", Time: 1.5e-9}
+	out := Describe(err)
+	if !strings.Contains(out, "V(out)") || !strings.Contains(out, "1.5e-09") {
+		t.Fatalf("Describe must name the unknown and the time, got %q", out)
+	}
+}
+
+func TestDescribeIllConditionedShowsQuantity(t *testing.T) {
+	err := &simerr.IllConditionedError{
+		Op: "fdtd: run", Quantity: "CFL ratio dt/dtmax", Value: 1.2, Limit: 1,
+	}
+	out := Describe(err)
+	if !strings.Contains(out, "CFL ratio dt/dtmax") || !strings.Contains(out, "trust check failed") {
+		t.Fatalf("Describe must show the failed trust quantity, got %q", out)
+	}
+}
+
+func TestDescribeCancelledSuggestsTimeout(t *testing.T) {
+	err := &simerr.CancelledError{Op: "bem: assemble", Err: context.DeadlineExceeded}
+	out := Describe(err)
+	if !strings.Contains(out, "-timeout") {
+		t.Fatalf("Describe must point at -timeout for cancellations, got %q", out)
+	}
+}
+
+// TestDescribePlainErrorIsItsMessage: errors without typed detail render as
+// their exact text — the stability contract the cmd tests assert on.
+func TestDescribePlainErrorIsItsMessage(t *testing.T) {
+	err := simerr.Tagf(simerr.ErrSingular, "mat: LU pivot vanished at row 3")
+	if got := Describe(err); got != "mat: LU pivot vanished at row 3" {
+		t.Fatalf("plain tagged error must render verbatim, got %q", got)
+	}
+}
+
+func TestPrintDiagnosticsRendering(t *testing.T) {
+	var b strings.Builder
+	PrintDiagnostics(&b, nil, true)
+	if b.Len() != 0 {
+		t.Fatalf("nil diagnostics must print nothing, got %q", b.String())
+	}
+
+	d := diag.New()
+	d.Infof("mat", "condition", 1e3, 1e8, "condition estimate %.3g", 1e3)
+	d.Warnf("circuit", "step residual", 1e-7, 1e-9, false, "relative residual %.3g above target", 1e-7)
+
+	b.Reset()
+	PrintDiagnostics(&b, d, false)
+	quiet := b.String()
+	if !strings.Contains(quiet, "step residual") {
+		t.Fatalf("warnings must print without -diag verbosity, got %q", quiet)
+	}
+	if strings.Contains(quiet, "condition estimate") {
+		t.Fatalf("info records must stay quiet without verbose, got %q", quiet)
+	}
+
+	b.Reset()
+	PrintDiagnostics(&b, d, true)
+	verbose := b.String()
+	if !strings.Contains(verbose, "condition estimate") {
+		t.Fatalf("verbose rendering must include info records, got %q", verbose)
+	}
+}

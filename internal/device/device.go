@@ -17,11 +17,12 @@
 package device
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
 	"pdnsim/internal/circuit"
+
+	"pdnsim/internal/simerr"
 )
 
 // CMOSParams size a transistor-level inverter driver.
@@ -46,7 +47,7 @@ func DefaultCMOS() CMOSParams {
 func AddCMOSDriver(c *circuit.Circuit, name string, out, vdd, vss int,
 	gate circuit.Waveform, p CMOSParams) error {
 	if p.Vt <= 0 || p.KN <= 0 || p.KP <= 0 {
-		return fmt.Errorf("device: driver %s has non-positive transistor parameters", name)
+		return simerr.Tagf(simerr.ErrBadInput, "device: driver %s has non-positive transistor parameters", name)
 	}
 	g := c.Node(name + "_gate")
 	if _, err := c.AddVSource(name+"_vg", g, circuit.Ground, gate); err != nil {
@@ -101,10 +102,10 @@ func PeriodicSchedule(delay, width, period float64) Schedule {
 func AddRampDriver(c *circuit.Circuit, name string, out, vdd, vss int,
 	high Schedule, p RampParams) error {
 	if high == nil {
-		return fmt.Errorf("device: driver %s needs a schedule", name)
+		return simerr.Tagf(simerr.ErrBadInput, "device: driver %s needs a schedule", name)
 	}
 	if p.Ron <= 0 || p.Roff <= p.Ron {
-		return fmt.Errorf("device: driver %s needs 0 < Ron < Roff", name)
+		return simerr.Tagf(simerr.ErrBadInput, "device: driver %s needs 0 < Ron < Roff", name)
 	}
 	if _, err := c.AddSwitch(name+"_pu", vdd, out, p.Ron, p.Roff,
 		func(t float64) bool { return high(t) }); err != nil {
@@ -131,10 +132,10 @@ type IVTable struct {
 // Validate checks the table is usable.
 func (t IVTable) Validate() error {
 	if len(t.V) < 2 || len(t.V) != len(t.I) {
-		return errors.New("device: IV table needs ≥2 matched points")
+		return simerr.Tagf(simerr.ErrBadInput, "device: IV table needs ≥2 matched points")
 	}
 	if !sort.Float64sAreSorted(t.V) {
-		return errors.New("device: IV table voltages must ascend")
+		return simerr.Tagf(simerr.ErrBadInput, "device: IV table voltages must ascend")
 	}
 	return nil
 }
@@ -180,7 +181,7 @@ func NewIBISDriver(name string, out, vdd, vss int, pd, pu IVTable, high func(t f
 		return nil, fmt.Errorf("device: %s pull-up: %w", name, err)
 	}
 	if high == nil {
-		return nil, fmt.Errorf("device: %s needs a switching function", name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "device: %s needs a switching function", name)
 	}
 	return &IBISDriver{name: name, Out: out, Vdd: vdd, Vss: vss,
 		PullDown: pd, PullUp: pu, High: high}, nil

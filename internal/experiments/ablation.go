@@ -12,6 +12,8 @@ import (
 	"pdnsim/internal/geom"
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mesh"
+
+	"pdnsim/internal/simerr"
 )
 
 // The ablation studies quantify the design choices DESIGN.md §5 calls out.
@@ -347,7 +349,7 @@ func AblationMesh() (*AblationMeshResult, error) {
 		}
 		peaks := extract.FindPeaks(mags)
 		if len(peaks) == 0 {
-			return nil, fmt.Errorf("experiments: no resonance at mesh %d", n)
+			return nil, simerr.Tagf(simerr.ErrNonConvergence, "experiments: no resonance at mesh %d", n)
 		}
 		res.F0GHz = append(res.F0GHz, extract.RefinePeak(fs, mags, peaks[0]))
 	}

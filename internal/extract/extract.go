@@ -116,13 +116,15 @@ type Options struct {
 // Extract reduces an assembled plane to an equivalent circuit on the mesh
 // ports plus opts.ExtraNodes interior nodes.
 func Extract(a *bem.Assembly, opts Options) (*Network, error) {
-	return ExtractCtx(context.Background(), a, opts)
+	return ExtractCtx(context.Background(), a, opts) //pdnlint:ignore ctxflow documented non-Ctx compatibility shim; cancellable callers use ExtractCtx
 }
 
 // ExtractCtx is Extract with cancellation: each reduction stage (inductance,
 // capacitance, resistance — every one an O(n³) factorisation) checks ctx at
 // its boundary, so a timed-out extraction returns a simerr.ErrCancelled-class
 // error within one stage. Internal panics surface as simerr.ErrBadInput.
+//
+//pdnlint:ignore ctxflow cancellation is stage-granular by design: the in-body loops are O(ports) bookkeeping between ctx-checked O(n³) factorisation stages
 func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network, err error) {
 	defer simerr.RecoverInto(&err, "extract")
 	if a == nil {
@@ -410,7 +412,7 @@ func (n *Network) Y(omega float64) *mat.CMatrix {
 // open) at angular frequency omega.
 func (n *Network) Zin(port int, omega float64) (complex128, error) {
 	if port < 0 || port >= n.NumPorts {
-		return 0, fmt.Errorf("extract: port %d out of range [0,%d)", port, n.NumPorts)
+		return 0, simerr.Tagf(simerr.ErrBadInput, "extract: port %d out of range [0,%d)", port, n.NumPorts)
 	}
 	y := n.Y(omega)
 	rhs := make([]complex128, n.NumNodes())
@@ -497,6 +499,14 @@ func (n *Network) Netlist(title string) string {
 	return b.String()
 }
 
+// zeroModeRelTol classifies an eigenvalue of Γ·x = ω²·C·x as the floating
+// network's zero (common charging) mode when it is below this fraction of
+// the largest eigenvalue. A connected plane's true zero mode computes to
+// O(machine-epsilon × conditioning) ≲ 1e-11 relative, while the first
+// physical resonance sits many decades higher, so 1e-9 splits them with
+// margin on both sides. Shared by ResonantFrequencies and FosterModel.
+const zeroModeRelTol = 1e-9
+
 // ResonantFrequencies returns the natural (open-circuit) resonant
 // frequencies of the lossless equivalent circuit in Hz, ascending. They are
 // the generalized eigenvalues of Γ·x = ω²·C·x — the poles of the impedance
@@ -515,7 +525,7 @@ func (n *Network) ResonantFrequencies() ([]float64, error) {
 	}
 	out := make([]float64, 0, len(vals))
 	for _, v := range vals {
-		if v <= 1e-9*scale {
+		if v <= zeroModeRelTol*scale {
 			continue // the singular common mode (Γ·1 = 0)
 		}
 		out = append(out, math.Sqrt(v)/(2*math.Pi))

@@ -46,3 +46,18 @@ func TestExtractCtxMatchesExtract(t *testing.T) {
 			n1.NumNodes(), n1.TotalCapacitance(), n2.NumNodes(), n2.TotalCapacitance())
 	}
 }
+
+func TestFosterModelBadPortClass(t *testing.T) {
+	a := buildPlane(t, 1e-2, 1e-3, 4, 6,
+		[]geom.Point{{X: 1e-3, Y: 1e-3}}, []string{"P1"})
+	nw, err := Extract(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.FosterModel(-1, 0); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("negative port must be ErrBadInput, got %v", err)
+	}
+	if _, err := nw.FosterModel(nw.NumPorts, 0); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("out-of-range port must be ErrBadInput, got %v", err)
+	}
+}

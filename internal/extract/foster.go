@@ -1,12 +1,13 @@
 package extract
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"pdnsim/internal/circuit"
 	"pdnsim/internal/mat"
+
+	"pdnsim/internal/simerr"
 )
 
 // Foster synthesis: the lossless equivalent circuit's driving-point
@@ -45,7 +46,7 @@ type FosterTank struct {
 // represented — the synthesis is for the lossless reactance network.
 func (n *Network) FosterModel(port int, fmax float64) (*Foster, error) {
 	if port < 0 || port >= n.NumPorts {
-		return nil, fmt.Errorf("extract: port %d out of range [0,%d)", port, n.NumPorts)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "extract: port %d out of range [0,%d)", port, n.NumPorts)
 	}
 	vals, vecs, err := mat.GeneralizedSymEigen(n.Gamma, n.C)
 	if err != nil {
@@ -63,7 +64,7 @@ func (n *Network) FosterModel(port int, fmax float64) (*Foster, error) {
 		if a <= 0 {
 			continue // node not coupled to this mode
 		}
-		if lam <= 1e-9*scale {
+		if lam <= zeroModeRelTol*scale {
 			// Zero mode: 1/(s·C0) with C0 = 1/ΣA over all zero modes (a
 			// connected plane has exactly one).
 			f.C0 += a // accumulate residues; invert below
@@ -78,7 +79,7 @@ func (n *Network) FosterModel(port int, fmax float64) (*Foster, error) {
 		f.Tanks = append(f.Tanks, FosterTank{FHz: fk, L: a / lam, C: 1 / a})
 	}
 	if f.C0 <= 0 {
-		return nil, errors.New("extract: no zero mode found (disconnected network?)")
+		return nil, simerr.Tagf(simerr.ErrSingular, "extract: no zero mode found (disconnected network?)")
 	}
 	f.C0 = 1 / f.C0
 	return f, nil

@@ -6,12 +6,12 @@
 package eye
 
 import (
-	"errors"
-	"fmt"
 	"math"
 	"math/rand"
 
 	"pdnsim/internal/circuit"
+
+	"pdnsim/internal/simerr"
 )
 
 // Result is the measured eye opening.
@@ -30,13 +30,13 @@ type Result struct {
 // waveform must span at least three bit periods after skip.
 func Analyze(t, v []float64, period, vLow, vHigh, skip float64) (*Result, error) {
 	if len(t) != len(v) || len(t) < 8 {
-		return nil, errors.New("eye: need matched, non-trivial waveforms")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "eye: need matched, non-trivial waveforms")
 	}
 	if period <= 0 || vHigh <= vLow {
-		return nil, fmt.Errorf("eye: invalid period %g or levels [%g, %g]", period, vLow, vHigh)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "eye: invalid period %g or levels [%g, %g]", period, vLow, vHigh)
 	}
 	if t[len(t)-1]-skip < 3*period {
-		return nil, errors.New("eye: waveform too short for the bit period")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "eye: waveform too short for the bit period")
 	}
 	// Pick the phase resolution from the sampling density: more bins than
 	// samples per unit interval would leave empty bins that read as closed.
@@ -137,7 +137,7 @@ func PRBS(n int, seed int64) []bool {
 // between vLow and vHigh.
 func BitWaveform(bits []bool, period, edge, vLow, vHigh float64) (circuit.PWL, error) {
 	if len(bits) == 0 || period <= 0 || edge <= 0 || edge >= period {
-		return circuit.PWL{}, errors.New("eye: invalid bit waveform parameters")
+		return circuit.PWL{}, simerr.Tagf(simerr.ErrBadInput, "eye: invalid bit waveform parameters")
 	}
 	level := func(b bool) float64 {
 		if b {

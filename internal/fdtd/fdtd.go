@@ -155,7 +155,7 @@ type Result struct {
 // Run leapfrogs the grid for tstop seconds with step dt, recording every
 // port's inter-plane voltage. dt must respect the Courant limit.
 func (s *Sim) Run(dt, tstop float64) (*Result, error) {
-	return s.RunCtx(context.Background(), dt, tstop)
+	return s.RunCtx(context.Background(), dt, tstop) //pdnlint:ignore ctxflow documented non-Ctx compatibility shim; cancellable callers use RunCtx
 }
 
 // ctxCheckStride is how many leapfrog steps RunCtx advances between
@@ -163,24 +163,25 @@ func (s *Sim) Run(dt, tstop float64) (*Result, error) {
 // microseconds without touching the per-step cost.
 const ctxCheckStride = 64
 
-// cflWarnRatio is the dt/dtmax ratio past which RunCtx records a Warning:
+// CFLWarnRatio is the dt/dtmax ratio past which RunCtx records a Warning:
 // the leapfrog scheme is formally stable right up to the Courant limit, but
 // with no margin the dispersion error of the highest grid modes is extreme
-// and roundoff can tip a marginally-resolved grid over.
-const cflWarnRatio = 0.99
+// and roundoff can tip a marginally-resolved grid over. Exported so
+// callers sizing dt can stay inside the warning band deliberately.
+const CFLWarnRatio = 0.99
 
-// watchdogFactor is the energy-growth escalation threshold: the stored field
+// WatchdogFactor is the energy-growth escalation threshold: the stored field
 // energy of a passive grid can never exceed the initial energy plus the
-// energy injected through the ports; past watchdogFactor times that bound
+// energy injected through the ports; past WatchdogFactor times that bound
 // the run is numerically unstable and aborts with ErrIllConditioned.
-const watchdogFactor = 100.0
+const WatchdogFactor = 100.0
 
 // RunCtx is Run with cancellation (checked every ctxCheckStride steps), a
 // divergence guard — a non-finite port voltage aborts the run with a
 // simerr.ErrNaN-class error naming the port and time instead of filling the
 // record with NaNs — and two stability guards: an explicit CFL margin check
 // (dt past the Courant limit is an ErrIllConditioned-class error carrying the
-// ratio; dt within cflWarnRatio of it records a Warning), and an energy
+// ratio; dt within CFLWarnRatio of it records a Warning), and an energy
 // watchdog that compares the stored field energy against the passivity bound
 // E(0) + E_injected every ctxCheckStride steps.
 func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
@@ -196,11 +197,11 @@ func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
 			"dt=%g exceeds the Courant limit %g (ratio %.4g)", dt, limit, cflRatio)
 		return &Result{Diag: d}, &simerr.IllConditionedError{Op: "fdtd: run",
 			Quantity: "CFL ratio dt/dtmax", Value: cflRatio, Limit: 1}
-	case cflRatio > cflWarnRatio:
-		d.Warnf("fdtd", "CFL margin", cflRatio, cflWarnRatio, false,
+	case cflRatio > CFLWarnRatio:
+		d.Warnf("fdtd", "CFL margin", cflRatio, CFLWarnRatio, false,
 			"dt=%g is within %.2g%% of the Courant limit; dispersion error is extreme", dt, 100*(1-cflRatio))
 	default:
-		d.Infof("fdtd", "CFL margin", cflRatio, cflWarnRatio, "dt/dtmax = %.4g", cflRatio)
+		d.Infof("fdtd", "CFL margin", cflRatio, CFLWarnRatio, "dt/dtmax = %.4g", cflRatio)
 	}
 	steps := int(math.Round(tstop / dt))
 	res := &Result{Diag: d}
@@ -239,11 +240,11 @@ func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
 			if err := simerr.CheckCtx(ctx, "fdtd: run"); err != nil {
 				return nil, err
 			}
-			if e, bound := s.TotalEnergy(), watchdogFactor*(e0+eInj); e > bound {
+			if e, bound := s.TotalEnergy(), WatchdogFactor*(e0+eInj); e > bound {
 				t := s.t0 + float64(n)*dt
 				d.Errorf("fdtd", "energy watchdog", e, bound,
 					"field energy %.3g J at t=%g exceeds %g× the passivity bound %.3g J; scheme is unstable",
-					e, t, watchdogFactor, e0+eInj)
+					e, t, WatchdogFactor, e0+eInj)
 				return res, &simerr.IllConditionedError{Op: "fdtd: run",
 					Quantity: "field energy (J)", Value: e, Limit: bound}
 			}

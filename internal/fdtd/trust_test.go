@@ -46,7 +46,7 @@ func TestRunCFLViolationEscalates(t *testing.T) {
 	}
 }
 
-// TestRunCFLWarnBand: a step inside cflWarnRatio of the limit is formally
+// TestRunCFLWarnBand: a step inside CFLWarnRatio of the limit is formally
 // stable but dispersion-degraded — it must run to completion with a Warning.
 func TestRunCFLWarnBand(t *testing.T) {
 	s := trustSim(t, 0)

@@ -33,6 +33,8 @@ import (
 	"math"
 
 	"pdnsim/internal/geom"
+
+	"pdnsim/internal/simerr"
 )
 
 // Physical constants (SI).
@@ -40,6 +42,21 @@ const (
 	Eps0 = 8.8541878128e-12 // vacuum permittivity, F/m
 	Mu0  = 4e-7 * math.Pi   // vacuum permeability, H/m
 	C0   = 299792458.0      // speed of light, m/s
+)
+
+const (
+	// imageCoefTol truncates the microstrip image series once the
+	// reflection-coefficient product |(-kc)^n·(1+kc)| falls below it: the
+	// dropped tail is a geometric series bounded by imageCoefTol/(1−kc),
+	// invisible against the ~1e-12 relative accuracy of the potential
+	// integrals themselves.
+	imageCoefTol = 1e-14
+	// logArgFloor guards x·ln(y+r) in the analytic rectangle potential:
+	// y+r can underflow to exactly 0 when y<0 and x,z≈0, where the limit
+	// of the full term is 0. Anything above the smallest positive
+	// normalised float64 (~2.2e-308) keeps ln finite; the term it gates is
+	// then itself negligible.
+	logArgFloor = 1e-300
 )
 
 // KernelMode selects the layered-media model.
@@ -88,7 +105,7 @@ func NewKernel(mode KernelMode, h, epsR float64, nImages int) (*Kernel, error) {
 		nImages = 12
 	}
 	if mode != FreeSpace && h <= 0 {
-		return nil, fmt.Errorf("greens: mode %v requires a positive height, got %g", mode, h)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "greens: mode %v requires a positive height, got %g", mode, h)
 	}
 	return &Kernel{Mode: mode, H: h, EpsR: epsR, NImages: nImages}, nil
 }
@@ -119,7 +136,7 @@ func (k *Kernel) scalarSeries() (pref float64, terms []imageTerm) {
 		for n := 1; n <= k.NImages; n++ {
 			terms = append(terms, imageTerm{coef, 2 * float64(n) * k.H})
 			coef *= -kc
-			if math.Abs(coef) < 1e-14 {
+			if math.Abs(coef) < imageCoefTol {
 				break
 			}
 		}
@@ -209,10 +226,10 @@ func cornerF(x, y, z float64) float64 {
 	var s float64
 	// x·ln(y+r): the argument can underflow to 0 when y<0 and x,z≈0; the
 	// limit of the full term is then 0, so guard the logarithm.
-	if a := y + r; a > 1e-300 {
+	if a := y + r; a > logArgFloor {
 		s += x * math.Log(a)
 	}
-	if a := x + r; a > 1e-300 {
+	if a := x + r; a > logArgFloor {
 		s += y * math.Log(a)
 	}
 	if z != 0 {

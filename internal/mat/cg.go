@@ -1,10 +1,16 @@
 package mat
 
 import (
-	"errors"
-	"fmt"
 	"math"
+
+	"pdnsim/internal/simerr"
 )
+
+// DefaultCGTol is the relative residual target used when ConjugateGradient
+// is called with tol <= 0: five decades above RefineTarget, matching what
+// √κ iterations of CG can actually deliver on the κ ≲ 1e8 plane Laplacians
+// it serves, and well inside every downstream trust limit.
+const DefaultCGTol = 1e-10
 
 // ConjugateGradient solves A·x = b for a symmetric positive-definite A with
 // the Jacobi-preconditioned conjugate gradient method. It is the large-mesh
@@ -13,23 +19,24 @@ import (
 // paying the fixed O(n³) factorisation, which wins for the
 // diagonally-dominant Laplacians the plane solvers produce.
 //
-// tol is the relative residual target (default 1e-10); maxIter defaults to
-// 10·n. Returns an error if A is not usable or convergence fails.
+// tol is the relative residual target (DefaultCGTol when <= 0); maxIter
+// defaults to 10·n. Returns an error if A is not usable or convergence
+// fails.
 func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]float64, error) {
 	n := a.Rows
 	if a.Cols != n {
-		return nil, errors.New("mat: CG requires a square matrix")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: CG requires a square matrix")
 	}
 	if len(b) != n {
-		return nil, errors.New("mat: CG rhs length mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: CG rhs length mismatch")
 	}
 	for i, v := range b {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("mat: CG rhs has non-finite entry %g at index %d", v, i)
+			return nil, simerr.Tagf(simerr.ErrBadInput, "mat: CG rhs has non-finite entry %g at index %d", v, i)
 		}
 	}
 	if tol <= 0 {
-		tol = 1e-10
+		tol = DefaultCGTol
 	}
 	if maxIter <= 0 {
 		maxIter = 10 * n
@@ -39,7 +46,7 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 	for i := 0; i < n; i++ {
 		d := a.At(i, i)
 		if d <= 0 {
-			return nil, fmt.Errorf("mat: CG needs positive diagonal, got %g at %d", d, i)
+			return nil, simerr.Tagf(simerr.ErrBadInput, "mat: CG needs positive diagonal, got %g at %d", d, i)
 		}
 		dinv[i] = 1 / d
 	}
@@ -69,7 +76,7 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 		}
 		pap := dot(p, ap)
 		if pap <= 0 {
-			return nil, errors.New("mat: CG breakdown (matrix not positive definite?)")
+			return nil, simerr.Tagf(simerr.ErrSingular, "mat: CG breakdown (matrix not positive definite?)")
 		}
 		alpha := rz / pap
 		for i := 0; i < n; i++ {
@@ -92,7 +99,7 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 			if math.Sqrt(dot(r, r)) <= tol*bnorm {
 				return x, nil
 			}
-			return nil, errors.New("mat: CG breakdown (rᵀ·M⁻¹·r vanished before convergence)")
+			return nil, simerr.Tagf(simerr.ErrSingular, "mat: CG breakdown (rᵀ·M⁻¹·r vanished before convergence)")
 		}
 		beta := rzNew / rz
 		rz = rzNew
@@ -100,7 +107,7 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return nil, fmt.Errorf("mat: CG did not converge in %d iterations", maxIter)
+	return nil, simerr.Tagf(simerr.ErrNonConvergence, "mat: CG did not converge in %d iterations", maxIter)
 }
 
 func dot(a, b []float64) float64 {

@@ -3,6 +3,8 @@ package mat
 import (
 	"errors"
 	"math"
+
+	"pdnsim/internal/simerr"
 )
 
 // ErrNotPositiveDefinite is returned by the Cholesky factorisation when the
@@ -18,7 +20,7 @@ type Cholesky struct {
 // triangle of a is read; the input is not modified.
 func NewCholesky(a *Matrix) (*Cholesky, error) {
 	if a.Rows != a.Cols {
-		return nil, errors.New("mat: Cholesky requires a square matrix")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: Cholesky requires a square matrix")
 	}
 	n := a.Rows
 	l := New(n, n)
@@ -52,7 +54,7 @@ func (c *Cholesky) L() *Matrix { return c.l.Clone() }
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 	n := c.l.Rows
 	if len(b) != n {
-		return nil, errors.New("mat: rhs length mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs length mismatch")
 	}
 	ld := c.l.Data
 	x := make([]float64, n)
@@ -81,7 +83,7 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 func (c *Cholesky) SolveMatrix(b *Matrix) (*Matrix, error) {
 	n := c.l.Rows
 	if b.Rows != n {
-		return nil, errors.New("mat: rhs row count mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs row count mismatch")
 	}
 	out := New(n, b.Cols)
 	col := make([]float64, n)

@@ -1,10 +1,11 @@
 package mat
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"pdnsim/internal/simerr"
 )
 
 // CMatrix is a dense, row-major complex matrix.
@@ -146,7 +147,7 @@ func CNorm1(m *CMatrix) float64 {
 // NewCLU factors a square complex matrix with partial pivoting.
 func NewCLU(a *CMatrix) (*CLU, error) {
 	if a.Rows != a.Cols {
-		return nil, errors.New("mat: CLU requires a square matrix")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: CLU requires a square matrix")
 	}
 	n := a.Rows
 	f := &CLU{lu: a.Clone(), piv: make([]int, n), norm1: CNorm1(a)}
@@ -194,11 +195,11 @@ func NewCLU(a *CMatrix) (*CLU, error) {
 func (f *CLU) Solve(b []complex128) ([]complex128, error) {
 	n := f.lu.Rows
 	if len(b) != n {
-		return nil, errors.New("mat: rhs length mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs length mismatch")
 	}
 	for i, v := range b {
 		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
-			return nil, fmt.Errorf("mat: non-finite right-hand side entry at index %d", i)
+			return nil, simerr.Tagf(simerr.ErrBadInput, "mat: non-finite right-hand side entry at index %d", i)
 		}
 	}
 	x := make([]complex128, n)
@@ -233,7 +234,7 @@ func (f *CLU) Solve(b []complex128) ([]complex128, error) {
 func (f *CLU) SolveMatrix(b *CMatrix) (*CMatrix, error) {
 	n := f.lu.Rows
 	if b.Rows != n {
-		return nil, errors.New("mat: rhs row count mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs row count mismatch")
 	}
 	out := CNew(n, b.Cols)
 	col := make([]complex128, n)

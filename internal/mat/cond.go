@@ -1,9 +1,10 @@
 package mat
 
 import (
-	"errors"
 	"math"
 	"math/cmplx"
+
+	"pdnsim/internal/simerr"
 )
 
 // This file implements the 1-norm condition estimation half of the numerical
@@ -18,11 +19,11 @@ import (
 func (f *LU) SolveT(b []float64) ([]float64, error) {
 	n := f.lu.Rows
 	if len(b) != n {
-		return nil, errors.New("mat: rhs length mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs length mismatch")
 	}
 	for _, v := range b {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, errors.New("mat: non-finite right-hand side entry in transpose solve")
+			return nil, simerr.Tagf(simerr.ErrBadInput, "mat: non-finite right-hand side entry in transpose solve")
 		}
 	}
 	lu := f.lu.Data
@@ -203,7 +204,7 @@ func (f *CLU) Cond1Est() float64 {
 func (f *CLU) SolveH(b []complex128) ([]complex128, error) {
 	n := f.lu.Rows
 	if len(b) != n {
-		return nil, errors.New("mat: rhs length mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs length mismatch")
 	}
 	lu := f.lu.Data
 	w := make([]complex128, n)

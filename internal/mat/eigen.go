@@ -1,9 +1,22 @@
 package mat
 
 import (
-	"errors"
 	"math"
 	"sort"
+
+	"pdnsim/internal/simerr"
+)
+
+const (
+	// jacobiOffTol stops the Jacobi sweeps once the off-diagonal Frobenius
+	// norm falls below jacobiOffTol·n·max|A|: each rotation is accurate to
+	// ~1 ulp, so 1e-14 (≈ 50 ε) is the practical convergence floor — the
+	// off-diagonal mass no longer shrinks reliably beyond it.
+	jacobiOffTol = 1e-14
+	// jacobiPivotFloor skips rotations whose pivot is subnormal-small:
+	// theta = (aqq−app)/(2·apq) would overflow to ±Inf below it, and a
+	// pivot that small contributes nothing to the off-diagonal norm.
+	jacobiPivotFloor = 1e-300
 )
 
 // JacobiEigen computes all eigenvalues and eigenvectors of a symmetric
@@ -11,10 +24,10 @@ import (
 // in ascending order and the matrix of corresponding column eigenvectors.
 func JacobiEigen(a *Matrix) (vals []float64, vecs *Matrix, err error) {
 	if a.Rows != a.Cols {
-		return nil, nil, errors.New("mat: JacobiEigen requires a square matrix")
+		return nil, nil, simerr.Tagf(simerr.ErrBadInput, "mat: JacobiEigen requires a square matrix")
 	}
 	if !a.IsSymmetric(1e-9) {
-		return nil, nil, errors.New("mat: JacobiEigen requires a symmetric matrix")
+		return nil, nil, simerr.Tagf(simerr.ErrBadInput, "mat: JacobiEigen requires a symmetric matrix")
 	}
 	n := a.Rows
 	w := a.Clone()
@@ -28,13 +41,13 @@ func JacobiEigen(a *Matrix) (vals []float64, vecs *Matrix, err error) {
 			}
 		}
 		scale := w.MaxAbs()
-		if scale == 0 || math.Sqrt(off) <= 1e-14*float64(n)*scale {
+		if scale == 0 || math.Sqrt(off) <= jacobiOffTol*float64(n)*scale {
 			break
 		}
 		for p := 0; p < n; p++ {
 			for q := p + 1; q < n; q++ {
 				apq := w.At(p, q)
-				if math.Abs(apq) <= 1e-300 {
+				if math.Abs(apq) <= jacobiPivotFloor {
 					continue
 				}
 				app, aqq := w.At(p, p), w.At(q, q)
@@ -97,7 +110,7 @@ func JacobiEigen(a *Matrix) (vals []float64, vecs *Matrix, err error) {
 // transform.
 func GeneralizedSymEigen(a, b *Matrix) (vals []float64, vecs *Matrix, err error) {
 	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
-		return nil, nil, errors.New("mat: GeneralizedSymEigen dimension mismatch")
+		return nil, nil, simerr.Tagf(simerr.ErrBadInput, "mat: GeneralizedSymEigen dimension mismatch")
 	}
 	n := a.Rows
 	ch, err := NewCholesky(b)

@@ -1,0 +1,69 @@
+package mat
+
+import (
+	"errors"
+	"testing"
+
+	"pdnsim/internal/simerr"
+)
+
+// The solve layer's errors are part of its contract: every failure must
+// carry a simerr class reachable through errors.Is, and tagging an error
+// with a class must not change its user-visible text (the CLI asserts on
+// exact messages).
+
+func TestCGBreakdownIsSingularClass(t *testing.T) {
+	// Indefinite with a positive diagonal (so the Jacobi preconditioner
+	// accepts it): eigenvalues 3 and −1 drive pᵀ·A·p ≤ 0 immediately.
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1)
+	_, err := ConjugateGradient(a, []float64{1, -1}, 0, 0)
+	if !errors.Is(err, simerr.ErrSingular) {
+		t.Fatalf("CG breakdown must be ErrSingular-class, got %v", err)
+	}
+	if errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("CG breakdown must not cross-match ErrBadInput: %v", err)
+	}
+}
+
+func TestCGNonConvergenceClass(t *testing.T) {
+	// An SPD 3×3 with three distinct eigenvalues and a general rhs needs
+	// three CG iterations to reach 1e-14; one is not enough.
+	a := New(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 2)
+	}
+	a.Set(0, 1, -1)
+	a.Set(1, 0, -1)
+	a.Set(1, 2, -1)
+	a.Set(2, 1, -1)
+	_, err := ConjugateGradient(a, []float64{1, 0, 0}, 1e-14, 1)
+	if !errors.Is(err, simerr.ErrNonConvergence) {
+		t.Fatalf("CG iteration exhaustion must be ErrNonConvergence-class, got %v", err)
+	}
+}
+
+func TestSchurReduceBadInputClassAndMessage(t *testing.T) {
+	_, err := SchurReduce(New(2, 3), []int{0}, []int{1})
+	if !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("non-square SchurReduce must be ErrBadInput-class, got %v", err)
+	}
+	// Tagging must preserve the exact pre-taxonomy message text.
+	if got, want := err.Error(), "mat: SchurReduce requires a square matrix"; got != want {
+		t.Fatalf("tagged error text changed: got %q want %q", got, want)
+	}
+}
+
+func TestJacobiEigenBadInputClass(t *testing.T) {
+	if _, _, err := JacobiEigen(New(2, 3)); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("non-square JacobiEigen must be ErrBadInput-class, got %v", err)
+	}
+	asym := New(2, 2)
+	asym.Set(0, 1, 1)
+	if _, _, err := JacobiEigen(asym); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("asymmetric JacobiEigen must be ErrBadInput-class, got %v", err)
+	}
+}

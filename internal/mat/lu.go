@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"pdnsim/internal/simerr"
 )
 
 // ErrSingular is returned when a factorisation encounters a (numerically)
@@ -38,7 +40,7 @@ type LU struct {
 // modified.
 func NewLU(a *Matrix) (*LU, error) {
 	if a.Rows != a.Cols {
-		return nil, errors.New("mat: LU requires a square matrix")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: LU requires a square matrix")
 	}
 	n := a.Rows
 	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1, norm1: Norm1(a)}
@@ -89,11 +91,11 @@ func NewLU(a *Matrix) (*LU, error) {
 func (f *LU) Solve(b []float64) ([]float64, error) {
 	n := f.lu.Rows
 	if len(b) != n {
-		return nil, errors.New("mat: rhs length mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs length mismatch")
 	}
 	for i, v := range b {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("mat: non-finite right-hand side entry %g at index %d", v, i)
+			return nil, simerr.Tagf(simerr.ErrBadInput, "mat: non-finite right-hand side entry %g at index %d", v, i)
 		}
 	}
 	x := make([]float64, n)
@@ -130,7 +132,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
 	n := f.lu.Rows
 	if b.Rows != n {
-		return nil, errors.New("mat: rhs row count mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs row count mismatch")
 	}
 	out := New(n, b.Cols)
 	col := make([]float64, n)

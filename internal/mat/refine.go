@@ -1,9 +1,10 @@
 package mat
 
 import (
-	"errors"
 	"math"
 	"math/cmplx"
+
+	"pdnsim/internal/simerr"
 )
 
 // This file implements the accuracy half of the numerical trust layer:
@@ -66,7 +67,7 @@ type ScaledLU struct {
 // by raw magnitude and is defeated by row scaling.
 func NewScaledLU(a *Matrix) (*ScaledLU, error) {
 	if a.Rows != a.Cols {
-		return nil, errors.New("mat: ScaledLU requires a square matrix")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: ScaledLU requires a square matrix")
 	}
 	r, c := Equilibrate(a)
 	s := New(a.Rows, a.Cols)
@@ -86,7 +87,7 @@ func NewScaledLU(a *Matrix) (*ScaledLU, error) {
 func (s *ScaledLU) Solve(b []float64) ([]float64, error) {
 	n := len(s.r)
 	if len(b) != n {
-		return nil, errors.New("mat: rhs length mismatch")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs length mismatch")
 	}
 	br := make([]float64, n)
 	for i, v := range b {
@@ -111,9 +112,13 @@ func (s *ScaledLU) Cond1Est() float64 { return s.f.Cond1Est() }
 // Default iterative-refinement controls.
 const (
 	refineMaxIter = 8
-	// refineTarget is the relative residual at which refinement stops: a
-	// few ulps above double-precision roundoff on the residual scale.
-	refineTarget = 1e-15
+	// RefineTarget is the relative residual at which iterative refinement
+	// stops: a few ulps above double-precision roundoff on the residual
+	// scale. It is the accuracy floor of the whole trust layer — residual
+	// warn/fail limits elsewhere (diag.ResidualWarnFloor, the circuit
+	// engine's per-step thresholds) are expressed as multiples of it so a
+	// retuning here propagates consistently.
+	RefineTarget = 1e-15
 )
 
 // SolveRefined solves A·x = b by equilibrated LU factorisation followed by
@@ -129,10 +134,10 @@ const (
 // callers enforce quantitative trust thresholds instead of hoping.
 func SolveRefined(a *Matrix, b []float64) (x []float64, relres float64, err error) {
 	if a.Rows != a.Cols {
-		return nil, 0, errors.New("mat: SolveRefined requires a square matrix")
+		return nil, 0, simerr.Tagf(simerr.ErrBadInput, "mat: SolveRefined requires a square matrix")
 	}
 	if len(b) != a.Rows {
-		return nil, 0, errors.New("mat: rhs length mismatch")
+		return nil, 0, simerr.Tagf(simerr.ErrBadInput, "mat: rhs length mismatch")
 	}
 	s, err := NewScaledLU(a)
 	if err != nil {
@@ -146,7 +151,7 @@ func SolveRefined(a *Matrix, b []float64) (x []float64, relres float64, err erro
 	normB := vecNormInf(b)
 	res := make([]float64, a.Rows)
 	relres = residualInto(res, a, x, b, normA, normB)
-	for iter := 0; iter < refineMaxIter && relres > refineTarget; iter++ {
+	for iter := 0; iter < refineMaxIter && relres > RefineTarget; iter++ {
 		dx, derr := s.Solve(res)
 		if derr != nil {
 			break
@@ -211,10 +216,10 @@ func ResidualVec(a *Matrix, x, b []float64) (res []float64, relres float64) {
 // the ~1e-6 measurement floor of S-parameters, not by double roundoff).
 func CSolveRefined(a *CMatrix, b []complex128) (x []complex128, relres float64, err error) {
 	if a.Rows != a.Cols {
-		return nil, 0, errors.New("mat: CSolveRefined requires a square matrix")
+		return nil, 0, simerr.Tagf(simerr.ErrBadInput, "mat: CSolveRefined requires a square matrix")
 	}
 	if len(b) != a.Rows {
-		return nil, 0, errors.New("mat: rhs length mismatch")
+		return nil, 0, simerr.Tagf(simerr.ErrBadInput, "mat: rhs length mismatch")
 	}
 	f, err := NewCLU(a)
 	if err != nil {
@@ -228,7 +233,7 @@ func CSolveRefined(a *CMatrix, b []complex128) (x []complex128, relres float64, 
 	normB := cvecNormInf(b)
 	res := make([]complex128, a.Rows)
 	relres = cResidualInto(res, a, x, b, normA, normB)
-	for iter := 0; iter < refineMaxIter && relres > refineTarget; iter++ {
+	for iter := 0; iter < refineMaxIter && relres > RefineTarget; iter++ {
 		dx, derr := f.Solve(res)
 		if derr != nil {
 			break

@@ -1,6 +1,6 @@
 package mat
 
-import "errors"
+import "pdnsim/internal/simerr"
 
 // SchurReduce eliminates the "internal" index set from a square nodal matrix
 // and returns the Schur complement on the "kept" index set:
@@ -12,15 +12,15 @@ import "errors"
 // internal nodes yields the exact reduced-port matrix at the kept nodes.
 func SchurReduce(a *Matrix, keep, internal []int) (*Matrix, error) {
 	if a.Rows != a.Cols {
-		return nil, errors.New("mat: SchurReduce requires a square matrix")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: SchurReduce requires a square matrix")
 	}
 	if len(keep)+len(internal) != a.Rows {
-		return nil, errors.New("mat: SchurReduce index sets must partition the matrix")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: SchurReduce index sets must partition the matrix")
 	}
 	seen := make([]bool, a.Rows)
 	for _, i := range append(append([]int{}, keep...), internal...) {
 		if i < 0 || i >= a.Rows || seen[i] {
-			return nil, errors.New("mat: SchurReduce index sets must be a disjoint cover")
+			return nil, simerr.Tagf(simerr.ErrBadInput, "mat: SchurReduce index sets must be a disjoint cover")
 		}
 		seen[i] = true
 	}

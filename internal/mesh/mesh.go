@@ -7,12 +7,13 @@
 package mesh
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"pdnsim/internal/geom"
 	"pdnsim/internal/mat"
+
+	"pdnsim/internal/simerr"
 )
 
 // Direction of a current link.
@@ -83,11 +84,11 @@ type Mesh struct {
 // every pair of kept cells that share an edge.
 func Grid(shape geom.Shape, nx, ny int) (*Mesh, error) {
 	if nx < 1 || ny < 1 {
-		return nil, fmt.Errorf("mesh: grid dimensions must be positive, got %dx%d", nx, ny)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mesh: grid dimensions must be positive, got %dx%d", nx, ny)
 	}
 	b := shape.Bounds()
 	if b.W() <= 0 || b.H() <= 0 {
-		return nil, errors.New("mesh: shape has an empty bounding box")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mesh: shape has an empty bounding box")
 	}
 	m := &Mesh{
 		Shape: shape,
@@ -113,7 +114,7 @@ func Grid(shape geom.Shape, nx, ny int) (*Mesh, error) {
 		}
 	}
 	if len(m.Cells) == 0 {
-		return nil, errors.New("mesh: no cell centres fall inside the shape; refine the grid")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mesh: no cell centres fall inside the shape; refine the grid")
 	}
 	m.buildLinks()
 	return m, nil
@@ -123,7 +124,7 @@ func Grid(shape geom.Shape, nx, ny int) (*Mesh, error) {
 // rounded to an integer cell count per axis).
 func GridWithPitch(shape geom.Shape, pitch float64) (*Mesh, error) {
 	if pitch <= 0 {
-		return nil, errors.New("mesh: pitch must be positive")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "mesh: pitch must be positive")
 	}
 	b := shape.Bounds()
 	nx := int(math.Max(1, math.Round(b.W()/pitch)))
@@ -178,14 +179,14 @@ func (m *Mesh) NearestCell(p geom.Point) int {
 func (m *Mesh) AddPort(name string, p geom.Point) (Port, error) {
 	ci := m.NearestCell(p)
 	if ci < 0 {
-		return Port{}, errors.New("mesh: no cells to attach port to")
+		return Port{}, simerr.Tagf(simerr.ErrBadInput, "mesh: no cells to attach port to")
 	}
 	for _, ex := range m.Ports {
 		if ex.Cell == ci {
-			return Port{}, fmt.Errorf("mesh: port %q would share cell %d with port %q; refine the mesh or move the port", name, ci, ex.Name)
+			return Port{}, simerr.Tagf(simerr.ErrBadInput, "mesh: port %q would share cell %d with port %q; refine the mesh or move the port", name, ci, ex.Name)
 		}
 		if ex.Name == name {
-			return Port{}, fmt.Errorf("mesh: duplicate port name %q", name)
+			return Port{}, simerr.Tagf(simerr.ErrBadInput, "mesh: duplicate port name %q", name)
 		}
 	}
 	port := Port{Name: name, Cell: ci, Point: p}

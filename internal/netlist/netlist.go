@@ -19,13 +19,14 @@
 package netlist
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"strconv"
 	"strings"
 
 	"pdnsim/internal/circuit"
+
+	"pdnsim/internal/simerr"
 )
 
 // Probe is one .print request.
@@ -52,7 +53,7 @@ type Deck struct {
 // Parse reads a netlist deck.
 func Parse(src string) (*Deck, error) {
 	if strings.TrimSpace(src) == "" {
-		return nil, errors.New("netlist: empty deck")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: empty deck")
 	}
 	lines := joinContinuations(src)
 	d := &Deck{Title: strings.TrimSpace(lines[0]), Circuit: circuit.New()}
@@ -68,7 +69,7 @@ func Parse(src string) (*Deck, error) {
 			continue
 		}
 		if ended {
-			return nil, fmt.Errorf("netlist: line %d: content after .end", ln+2)
+			return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: line %d: content after .end", ln+2)
 		}
 		if err := d.parseLine(line, inductors, &ended); err != nil {
 			return nil, fmt.Errorf("netlist: line %d: %w", ln+2, err)
@@ -143,7 +144,7 @@ func (d *Deck) parseDot(fields []string, ended *bool) error {
 		return nil
 	case ".tran":
 		if len(fields) < 3 {
-			return errors.New(".tran needs <dt> <tstop>")
+			return simerr.Tagf(simerr.ErrBadInput, ".tran needs <dt> <tstop>")
 		}
 		dt, err := ParseValue(fields[1])
 		if err != nil {
@@ -163,11 +164,11 @@ func (d *Deck) parseDot(fields []string, ended *bool) error {
 		return nil
 	case ".ac":
 		if len(fields) < 5 || !strings.EqualFold(fields[1], "lin") {
-			return errors.New(".ac needs: lin <n> <fstart> <fstop>")
+			return simerr.Tagf(simerr.ErrBadInput, ".ac needs: lin <n> <fstart> <fstop>")
 		}
 		n, err := strconv.Atoi(fields[2])
 		if err != nil || n < 1 {
-			return fmt.Errorf("bad .ac point count %q", fields[2])
+			return simerr.Tagf(simerr.ErrBadInput, "bad .ac point count %q", fields[2])
 		}
 		f0, err := ParseValue(fields[3])
 		if err != nil {
@@ -189,22 +190,22 @@ func (d *Deck) parseDot(fields []string, ended *bool) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown directive %s", fields[0])
+		return simerr.Tagf(simerr.ErrBadInput, "unknown directive %s", fields[0])
 	}
 }
 
 func parseProbe(tok string) (Probe, error) {
 	lower := strings.ToLower(tok)
 	if len(lower) < 4 || lower[1] != '(' || !strings.HasSuffix(lower, ")") {
-		return Probe{}, fmt.Errorf("bad probe %q (want v(node) or i(vsrc))", tok)
+		return Probe{}, simerr.Tagf(simerr.ErrBadInput, "bad probe %q (want v(node) or i(vsrc))", tok)
 	}
 	kind := rune(lower[0])
 	if kind != 'v' && kind != 'i' {
-		return Probe{}, fmt.Errorf("bad probe kind in %q", tok)
+		return Probe{}, simerr.Tagf(simerr.ErrBadInput, "bad probe kind in %q", tok)
 	}
 	name := tok[2 : len(tok)-1]
 	if name == "" {
-		return Probe{}, fmt.Errorf("empty probe %q", tok)
+		return Probe{}, simerr.Tagf(simerr.ErrBadInput, "empty probe %q", tok)
 	}
 	return Probe{Kind: kind, Name: name}, nil
 }
@@ -215,7 +216,7 @@ func (d *Deck) parseElement(fields []string, inductors map[string]*circuit.Induc
 	switch head := strings.ToUpper(name[:1]); head {
 	case "R", "C", "L":
 		if len(fields) != 4 {
-			return fmt.Errorf("%s needs <n1> <n2> <value>", name)
+			return simerr.Tagf(simerr.ErrBadInput, "%s needs <n1> <n2> <value>", name)
 		}
 		v, err := ParseValue(fields[3])
 		if err != nil {
@@ -237,26 +238,26 @@ func (d *Deck) parseElement(fields []string, inductors map[string]*circuit.Induc
 		return err
 	case "K":
 		if len(fields) != 4 {
-			return fmt.Errorf("%s needs <L1> <L2> <k>", name)
+			return simerr.Tagf(simerr.ErrBadInput, "%s needs <L1> <L2> <k>", name)
 		}
 		l1 := inductors[strings.ToUpper(fields[1])]
 		l2 := inductors[strings.ToUpper(fields[2])]
 		if l1 == nil || l2 == nil {
-			return fmt.Errorf("%s references unknown inductors", name)
+			return simerr.Tagf(simerr.ErrBadInput, "%s references unknown inductors", name)
 		}
 		k, err := ParseValue(fields[3])
 		if err != nil {
 			return err
 		}
 		if k < -1 || k > 1 {
-			return fmt.Errorf("%s coupling %g outside [-1,1]", name, k)
+			return simerr.Tagf(simerr.ErrBadInput, "%s coupling %g outside [-1,1]", name, k)
 		}
 		m := k * sqrt(l1.L*l2.L)
 		_, err = c.AddMutual(name, l1, l2, m)
 		return err
 	case "E", "G":
 		if len(fields) != 6 {
-			return fmt.Errorf("%s needs <n+> <n-> <nc+> <nc-> <gain>", name)
+			return simerr.Tagf(simerr.ErrBadInput, "%s needs <n+> <n-> <nc+> <nc-> <gain>", name)
 		}
 		gain, err := ParseValue(fields[5])
 		if err != nil {
@@ -272,7 +273,7 @@ func (d *Deck) parseElement(fields []string, inductors map[string]*circuit.Induc
 		return err
 	case "V", "I":
 		if len(fields) < 4 {
-			return fmt.Errorf("%s needs <n1> <n2> <source>", name)
+			return simerr.Tagf(simerr.ErrBadInput, "%s needs <n1> <n2> <source>", name)
 		}
 		w, err := parseSource(fields[3:])
 		if err != nil {
@@ -287,14 +288,14 @@ func (d *Deck) parseElement(fields []string, inductors map[string]*circuit.Induc
 		return err
 	case "T":
 		if len(fields) != 7 {
-			return fmt.Errorf("%s needs <a1> <b1> <a2> <b2> Z0=<ohm> TD=<s>", name)
+			return simerr.Tagf(simerr.ErrBadInput, "%s needs <a1> <b1> <a2> <b2> Z0=<ohm> TD=<s>", name)
 		}
 		var z0, td float64
 		var haveZ, haveT bool
 		for _, f := range fields[5:] {
 			kv := strings.SplitN(f, "=", 2)
 			if len(kv) != 2 {
-				return fmt.Errorf("%s: bad parameter %q", name, f)
+				return simerr.Tagf(simerr.ErrBadInput, "%s: bad parameter %q", name, f)
 			}
 			v, err := ParseValue(kv[1])
 			if err != nil {
@@ -306,21 +307,21 @@ func (d *Deck) parseElement(fields []string, inductors map[string]*circuit.Induc
 			case "TD":
 				td, haveT = v, true
 			default:
-				return fmt.Errorf("%s: unknown parameter %q", name, kv[0])
+				return simerr.Tagf(simerr.ErrBadInput, "%s: unknown parameter %q", name, kv[0])
 			}
 		}
 		// The Z0/TD pair may appear in either order across fields[5:6].
 		if !haveZ || !haveT {
 			// Try the first key=value too (fields[5] consumed above covers
 			// both; reaching here means one was missing).
-			return fmt.Errorf("%s needs both Z0= and TD=", name)
+			return simerr.Tagf(simerr.ErrBadInput, "%s needs both Z0= and TD=", name)
 		}
 		_, err := c.AddTLine(name,
 			c.Node(fields[1]), c.Node(fields[2]),
 			c.Node(fields[3]), c.Node(fields[4]), z0, td)
 		return err
 	default:
-		return fmt.Errorf("unknown element type %q", name)
+		return simerr.Tagf(simerr.ErrBadInput, "unknown element type %q", name)
 	}
 }
 
@@ -330,7 +331,7 @@ func parseSource(fields []string) (circuit.Waveform, error) {
 	switch {
 	case first == "DC":
 		if len(fields) < 2 {
-			return nil, errors.New("DC needs a value")
+			return nil, simerr.Tagf(simerr.ErrBadInput, "DC needs a value")
 		}
 		v, err := ParseValue(fields[1])
 		if err != nil {
@@ -339,7 +340,7 @@ func parseSource(fields []string) (circuit.Waveform, error) {
 		return circuit.DC(v), nil
 	case first == "AC":
 		if len(fields) < 2 {
-			return nil, errors.New("AC needs a magnitude")
+			return nil, simerr.Tagf(simerr.ErrBadInput, "AC needs a magnitude")
 		}
 		v, err := ParseValue(fields[1])
 		if err != nil {
@@ -352,7 +353,7 @@ func parseSource(fields []string) (circuit.Waveform, error) {
 			return nil, err
 		}
 		if len(args) < 6 || len(args) > 7 {
-			return nil, errors.New("PULSE needs 6 or 7 arguments: v1 v2 td tr tf pw [per]")
+			return nil, simerr.Tagf(simerr.ErrBadInput, "PULSE needs 6 or 7 arguments: v1 v2 td tr tf pw [per]")
 		}
 		p := circuit.Pulse{V1: args[0], V2: args[1], Delay: args[2],
 			Rise: args[3], Fall: args[4], Width: args[5]}
@@ -366,7 +367,7 @@ func parseSource(fields []string) (circuit.Waveform, error) {
 			return nil, err
 		}
 		if len(args) < 2 || len(args)%2 != 0 {
-			return nil, errors.New("PWL needs an even number of arguments")
+			return nil, simerr.Tagf(simerr.ErrBadInput, "PWL needs an even number of arguments")
 		}
 		t := make([]float64, len(args)/2)
 		v := make([]float64, len(args)/2)
@@ -380,7 +381,7 @@ func parseSource(fields []string) (circuit.Waveform, error) {
 			return nil, err
 		}
 		if len(args) < 3 || len(args) > 4 {
-			return nil, errors.New("SIN needs 3 or 4 arguments: offset amp freq [delay]")
+			return nil, simerr.Tagf(simerr.ErrBadInput, "SIN needs 3 or 4 arguments: offset amp freq [delay]")
 		}
 		s := circuit.Sine{Offset: args[0], Amp: args[1], Freq: args[2]}
 		if len(args) == 4 {
@@ -391,7 +392,7 @@ func parseSource(fields []string) (circuit.Waveform, error) {
 		// Bare number means DC.
 		v, err := ParseValue(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("unknown source %q", fields[0])
+			return nil, simerr.Tagf(simerr.ErrBadInput, "unknown source %q", fields[0])
 		}
 		return circuit.DC(v), nil
 	}
@@ -401,7 +402,7 @@ func parseSource(fields []string) (circuit.Waveform, error) {
 func parseArgs(tok string) ([]float64, error) {
 	open := strings.IndexByte(tok, '(')
 	if open < 0 || !strings.HasSuffix(tok, ")") {
-		return nil, fmt.Errorf("malformed argument list %q", tok)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "malformed argument list %q", tok)
 	}
 	body := strings.ReplaceAll(tok[open+1:len(tok)-1], ",", " ")
 	var out []float64
@@ -421,7 +422,7 @@ func parseArgs(tok string) ([]float64, error) {
 func ParseValue(s string) (float64, error) {
 	lower := strings.ToLower(strings.TrimSpace(s))
 	if lower == "" {
-		return 0, errors.New("empty value")
+		return 0, simerr.Tagf(simerr.ErrBadInput, "empty value")
 	}
 	// Split mantissa from the suffix.
 	end := len(lower)
@@ -442,7 +443,7 @@ func ParseValue(s string) (float64, error) {
 	}
 	mant, err := strconv.ParseFloat(lower[:end], 64)
 	if err != nil {
-		return 0, fmt.Errorf("bad number %q", s)
+		return 0, simerr.Tagf(simerr.ErrBadInput, "bad number %q", s)
 	}
 	suffix := lower[end:]
 	mult := 1.0
@@ -473,7 +474,7 @@ func ParseValue(s string) (float64, error) {
 	// strconv accepts "nan" and "inf" spellings; neither is a usable
 	// component value and both would poison every downstream solve.
 	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return 0, fmt.Errorf("non-finite value %q", s)
+		return 0, simerr.Tagf(simerr.ErrBadInput, "non-finite value %q", s)
 	}
 	return v, nil
 }

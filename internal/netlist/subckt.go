@@ -1,8 +1,9 @@
 package netlist
 
 import (
-	"fmt"
 	"strings"
+
+	"pdnsim/internal/simerr"
 )
 
 // Subcircuit support: the deck may define reusable blocks
@@ -46,18 +47,18 @@ func expandSubckts(lines []string) ([]string, error) {
 		switch {
 		case lower == ".subckt":
 			if cur != nil {
-				return nil, fmt.Errorf("netlist: nested .subckt definition in %q", cur.name)
+				return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: nested .subckt definition in %q", cur.name)
 			}
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("netlist: .subckt needs a name and at least one port")
+				return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: .subckt needs a name and at least one port")
 			}
 			cur = &subcktDef{name: strings.ToLower(fields[1]), ports: fields[2:]}
 		case lower == ".ends":
 			if cur == nil {
-				return nil, fmt.Errorf("netlist: .ends without .subckt")
+				return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: .ends without .subckt")
 			}
 			if _, dup := defs[cur.name]; dup {
-				return nil, fmt.Errorf("netlist: duplicate subcircuit %q", cur.name)
+				return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: duplicate subcircuit %q", cur.name)
 			}
 			defs[cur.name] = cur
 			cur = nil
@@ -66,7 +67,7 @@ func expandSubckts(lines []string) ([]string, error) {
 				continue
 			}
 			if strings.HasPrefix(lower, ".") {
-				return nil, fmt.Errorf("netlist: directive %s not allowed inside .subckt %q", fields[0], cur.name)
+				return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: directive %s not allowed inside .subckt %q", fields[0], cur.name)
 			}
 			cur.lines = append(cur.lines, line)
 		default:
@@ -74,7 +75,7 @@ func expandSubckts(lines []string) ([]string, error) {
 		}
 	}
 	if cur != nil {
-		return nil, fmt.Errorf("netlist: unterminated .subckt %q", cur.name)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: unterminated .subckt %q", cur.name)
 	}
 	if len(defs) == 0 {
 		return body, nil
@@ -84,7 +85,7 @@ func expandSubckts(lines []string) ([]string, error) {
 
 func expandBody(lines []string, defs map[string]*subcktDef, depth int) ([]string, error) {
 	if depth > maxSubcktDepth {
-		return nil, fmt.Errorf("netlist: subcircuit nesting exceeds %d (recursive definition?)", maxSubcktDepth)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: subcircuit nesting exceeds %d (recursive definition?)", maxSubcktDepth)
 	}
 	var out []string
 	for _, raw := range lines {
@@ -95,20 +96,20 @@ func expandBody(lines []string, defs map[string]*subcktDef, depth int) ([]string
 			continue
 		}
 		if len(fields) < 3 {
-			return nil, fmt.Errorf("netlist: %s needs <nodes…> <subckt>", fields[0])
+			return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: %s needs <nodes…> <subckt>", fields[0])
 		}
 		inst := fields[0][1:]
 		if inst == "" {
-			return nil, fmt.Errorf("netlist: X card needs an instance name")
+			return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: X card needs an instance name")
 		}
 		defName := strings.ToLower(fields[len(fields)-1])
 		def, ok := defs[defName]
 		if !ok {
-			return nil, fmt.Errorf("netlist: unknown subcircuit %q", fields[len(fields)-1])
+			return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: unknown subcircuit %q", fields[len(fields)-1])
 		}
 		conns := fields[1 : len(fields)-1]
 		if len(conns) != len(def.ports) {
-			return nil, fmt.Errorf("netlist: %s connects %d nodes, subcircuit %q has %d ports",
+			return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: %s connects %d nodes, subcircuit %q has %d ports",
 				fields[0], len(conns), def.name, len(def.ports))
 		}
 		nodeMap := map[string]string{"0": "0"}
@@ -156,7 +157,7 @@ func instantiate(def *subcktDef, inst string, nodeMap map[string]string) ([]stri
 		case "K":
 			// K references inductor names, not nodes.
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("netlist: bad K card in subcircuit %q", def.name)
+				return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: bad K card in subcircuit %q", def.name)
 			}
 			renamed[1] = fields[1] + "." + inst
 			renamed[2] = fields[2] + "." + inst
@@ -168,7 +169,7 @@ func instantiate(def *subcktDef, inst string, nodeMap map[string]string) ([]stri
 				renamed[i] = mapNode(fields[i])
 			}
 		default:
-			return nil, fmt.Errorf("netlist: unsupported card %q inside subcircuit %q", name, def.name)
+			return nil, simerr.Tagf(simerr.ErrBadInput, "netlist: unsupported card %q inside subcircuit %q", name, def.name)
 		}
 		for _, i := range nodeIdx {
 			if i < len(renamed) {

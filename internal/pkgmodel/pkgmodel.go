@@ -4,10 +4,11 @@
 package pkgmodel
 
 import (
-	"fmt"
 	"math"
 
 	"pdnsim/internal/circuit"
+
+	"pdnsim/internal/simerr"
 )
 
 // Pin holds the lumped parasitics of one package pin: series resistance and
@@ -22,10 +23,10 @@ type Pin struct {
 // Validate checks the pin parameters.
 func (p Pin) Validate() error {
 	if p.R < 0 || p.L < 0 || p.C < 0 {
-		return fmt.Errorf("pkgmodel: negative pin parasitics %+v", p)
+		return simerr.Tagf(simerr.ErrBadInput, "pkgmodel: negative pin parasitics %+v", p)
 	}
 	if p.R == 0 && p.L == 0 {
-		return fmt.Errorf("pkgmodel: pin needs series R or L")
+		return simerr.Tagf(simerr.ErrBadInput, "pkgmodel: pin needs series R or L")
 	}
 	return nil
 }

@@ -207,6 +207,31 @@ func (e *IllConditionedError) Unwrap() error { return e.Err }
 // Is matches the ErrIllConditioned class.
 func (e *IllConditionedError) Is(target error) bool { return target == ErrIllConditioned }
 
+// Tagf builds an error whose message is exactly the formatted string and
+// whose identity is the given class sentinel: errors.Is(err, class) holds
+// across package boundaries, but — unlike wrapping with %w — the class text
+// is not appended to the message. It upgrades pre-taxonomy call sites that
+// built their messages with errors.New/fmt.Errorf to typed errors without
+// changing a single user-visible byte, which matters wherever CLI output or
+// tests assert on exact strings. If an underlying error chain matters (not
+// just the class), wrap it with fmt.Errorf("...: %w", err) instead.
+func Tagf(class error, format string, args ...any) error {
+	return &taggedError{msg: fmt.Sprintf(format, args...), class: class}
+}
+
+// taggedError is the concrete type behind Tagf: message and class identity
+// are carried separately so the rendered text stays byte-identical to the
+// pre-taxonomy message while errors.Is still resolves the class.
+type taggedError struct {
+	msg   string
+	class error
+}
+
+func (e *taggedError) Error() string { return e.msg }
+
+// Unwrap exposes the class sentinel so errors.Is matches it.
+func (e *taggedError) Unwrap() error { return e.class }
+
 // CheckCtx returns a CancelledError when ctx is done, nil otherwise. A nil
 // ctx never cancels. Long loops call this periodically.
 func CheckCtx(ctx context.Context, op string) error {

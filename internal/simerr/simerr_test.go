@@ -92,3 +92,23 @@ func TestRecoverInto(t *testing.T) {
 		t.Fatalf("panic payload lost: %v", err)
 	}
 }
+
+func TestTagf(t *testing.T) {
+	err := Tagf(ErrBadInput, "mesh: grid dimensions must be positive, got %dx%d", -1, 4)
+	if got, want := err.Error(), "mesh: grid dimensions must be positive, got -1x4"; got != want {
+		t.Fatalf("Tagf must not alter the message: got %q want %q", got, want)
+	}
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("Tagf(ErrBadInput, ...) must match its class")
+	}
+	for _, other := range []error{ErrSingular, ErrNonConvergence, ErrCancelled, ErrNaN, ErrIllConditioned} {
+		if errors.Is(err, other) {
+			t.Fatalf("Tagf error wrongly matches %v", other)
+		}
+	}
+	// Identity survives further wrapping, which is the whole point.
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !errors.Is(wrapped, ErrBadInput) {
+		t.Fatalf("class identity lost through wrapping")
+	}
+}

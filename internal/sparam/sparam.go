@@ -23,10 +23,10 @@ import (
 // real reference impedance z0: S = (Z − z0·I)(Z + z0·I)⁻¹.
 func FromZ(z *mat.CMatrix, z0 float64) (*mat.CMatrix, error) {
 	if z.Rows != z.Cols {
-		return nil, errors.New("sparam: Z must be square")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: Z must be square")
 	}
 	if z0 <= 0 {
-		return nil, errors.New("sparam: reference impedance must be positive")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: reference impedance must be positive")
 	}
 	n := z.Rows
 	num := z.Clone()
@@ -45,10 +45,10 @@ func FromZ(z *mat.CMatrix, z0 float64) (*mat.CMatrix, error) {
 // FromY converts an admittance matrix: S = (I − z0·Y)(I + z0·Y)⁻¹.
 func FromY(y *mat.CMatrix, z0 float64) (*mat.CMatrix, error) {
 	if y.Rows != y.Cols {
-		return nil, errors.New("sparam: Y must be square")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: Y must be square")
 	}
 	if z0 <= 0 {
-		return nil, errors.New("sparam: reference impedance must be positive")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: reference impedance must be positive")
 	}
 	n := y.Rows
 	num := y.Clone().Scale(complex(-z0, 0))
@@ -183,7 +183,7 @@ func reciprocityAsymmetry(s *mat.CMatrix) float64 {
 // concurrent calls (the extraction and cavity evaluators are: they only read
 // shared matrices).
 func SweepZ(freqs []float64, z0 float64, zAt func(omega float64) (*mat.CMatrix, error)) (*Sweep, error) {
-	return SweepZCtx(context.Background(), freqs, z0, zAt)
+	return SweepZCtx(context.Background(), freqs, z0, zAt) //pdnlint:ignore ctxflow documented non-Ctx compatibility shim; cancellable callers use SweepZCtx
 }
 
 // SweepZCtx is SweepZ with cancellation: each frequency point checks ctx
@@ -255,7 +255,7 @@ func (sw *Sweep) MagDBSeries(i, j int) (freqs, db []float64) {
 // S11 S21 S12 S22 column order.
 func (sw *Sweep) Touchstone(comment string) (string, error) {
 	if len(sw.Points) == 0 {
-		return "", errors.New("sparam: empty sweep")
+		return "", simerr.Tagf(simerr.ErrBadInput, "sparam: empty sweep")
 	}
 	n := sw.Points[0].S.Rows
 	var b strings.Builder
@@ -265,7 +265,7 @@ func (sw *Sweep) Touchstone(comment string) (string, error) {
 	fmt.Fprintf(&b, "# HZ S RI R %g\n", sw.Z0)
 	for _, p := range sw.Points {
 		if p.S.Rows != n {
-			return "", errors.New("sparam: inconsistent port counts in sweep")
+			return "", simerr.Tagf(simerr.ErrBadInput, "sparam: inconsistent port counts in sweep")
 		}
 		fmt.Fprintf(&b, "%.9e", p.Freq)
 		if n == 2 {
@@ -294,7 +294,7 @@ func (sw *Sweep) Touchstone(comment string) (string, error) {
 // use the historical S11 S21 S12 S22 column order.
 func ParseTouchstone(src string, nPorts int) (*Sweep, error) {
 	if nPorts < 1 {
-		return nil, errors.New("sparam: port count must be positive")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: port count must be positive")
 	}
 	sw := &Sweep{Z0: 50}
 	sawOption := false
@@ -308,11 +308,11 @@ func ParseTouchstone(src string, nPorts int) (*Sweep, error) {
 			// Expect: # HZ S RI R <z0>
 			if len(fields) < 5 || !strings.EqualFold(fields[1], "hz") ||
 				!strings.EqualFold(fields[2], "s") || !strings.EqualFold(fields[3], "ri") {
-				return nil, fmt.Errorf("sparam: unsupported option line %q (need HZ S RI)", line)
+				return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: unsupported option line %q (need HZ S RI)", line)
 			}
 			z0, err := strconv.ParseFloat(fields[len(fields)-1], 64)
 			if err != nil {
-				return nil, fmt.Errorf("sparam: bad reference impedance in %q", line)
+				return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: bad reference impedance in %q", line)
 			}
 			sw.Z0 = z0
 			sawOption = true
@@ -321,14 +321,14 @@ func ParseTouchstone(src string, nPorts int) (*Sweep, error) {
 		fields := strings.Fields(line)
 		want := 1 + 2*nPorts*nPorts
 		if len(fields) != want {
-			return nil, fmt.Errorf("sparam: line %d has %d columns, want %d for %d ports",
+			return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: line %d has %d columns, want %d for %d ports",
 				ln+1, len(fields), want, nPorts)
 		}
 		nums := make([]float64, len(fields))
 		for i, f := range fields {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
-				return nil, fmt.Errorf("sparam: line %d: bad number %q", ln+1, f)
+				return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: line %d: bad number %q", ln+1, f)
 			}
 			nums[i] = v
 		}
@@ -350,7 +350,7 @@ func ParseTouchstone(src string, nPorts int) (*Sweep, error) {
 		sw.Points = append(sw.Points, Point{Freq: nums[0], S: s})
 	}
 	if !sawOption || len(sw.Points) == 0 {
-		return nil, errors.New("sparam: no option line or data found")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "sparam: no option line or data found")
 	}
 	return sw, nil
 }
@@ -367,6 +367,14 @@ func (sw *Sweep) Passive(tol float64) bool {
 	}
 	return true
 }
+
+// sigmaIterTol is the relative stagnation bound that ends the spectral-norm
+// power iteration: successive σ estimates converge geometrically at the
+// eigenvalue-gap ratio, so agreement to 1e-12·(1+σ) — a few hundred ulp —
+// means further sweeps only churn round-off. Passivity classification uses
+// PassWarnTol = 1e-8, four decades coarser, so the estimate is never the
+// limiting accuracy.
+const sigmaIterTol = 1e-12
 
 // MaxSingularValue returns the spectral norm of a complex matrix via power
 // iteration on SᴴS (sufficiently accurate for the small port counts of
@@ -404,7 +412,7 @@ func MaxSingularValue(s *mat.CMatrix) float64 {
 		for i := range z {
 			x[i] = z[i] / complex(norm, 0)
 		}
-		if math.Abs(next-sigma) <= 1e-12*(1+next) {
+		if math.Abs(next-sigma) <= sigmaIterTol*(1+next) {
 			return next
 		}
 		sigma = next

@@ -1,7 +1,6 @@
 package ssn
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -12,6 +11,8 @@ import (
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mat"
 	"pdnsim/internal/mesh"
+
+	"pdnsim/internal/simerr"
 )
 
 // The paper's §6.2 motivation: decaps are placed "play it safe and put as
@@ -55,13 +56,13 @@ type OptimizeResult struct {
 // decap and VRM admittances onto the reduced network.
 func OptimizeDecaps(spec OptimizeSpec) (*OptimizeResult, error) {
 	if len(spec.Candidates) == 0 {
-		return nil, errors.New("ssn: no decap candidates")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "ssn: no decap candidates")
 	}
 	if spec.TargetOhm <= 0 {
-		return nil, errors.New("ssn: target impedance must be positive")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "ssn: target impedance must be positive")
 	}
 	if spec.FminHz <= 0 || spec.FmaxHz <= spec.FminHz {
-		return nil, errors.New("ssn: invalid frequency band")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "ssn: invalid frequency band")
 	}
 	if spec.NFreq <= 0 {
 		spec.NFreq = 40
@@ -89,7 +90,7 @@ func OptimizeDecaps(spec OptimizeSpec) (*OptimizeResult, error) {
 	}
 	for i, c := range spec.Candidates {
 		if c.C <= 0 {
-			return nil, fmt.Errorf("ssn: candidate %d has no capacitance", i)
+			return nil, simerr.Tagf(simerr.ErrBadInput, "ssn: candidate %d has no capacitance", i)
 		}
 		if _, err := m.AddPort(fmt.Sprintf("CAND%d", i), c.At); err != nil {
 			return nil, fmt.Errorf("ssn: candidate %d: %w", i, err)

@@ -13,7 +13,6 @@
 package ssn
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -25,6 +24,8 @@ import (
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mesh"
 	"pdnsim/internal/pkgmodel"
+
+	"pdnsim/internal/simerr"
 )
 
 // Board describes the power/ground plane pair.
@@ -110,7 +111,7 @@ type System struct {
 // Build meshes and extracts the plane, then assembles the full circuit.
 func Build(b Board, vrm VRM, chips []Chip, decaps []Decap) (*System, error) {
 	if b.PlaneSep <= 0 || b.EpsR <= 0 {
-		return nil, errors.New("ssn: invalid board stackup")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "ssn: invalid board stackup")
 	}
 	if b.MeshNx <= 0 {
 		b.MeshNx = 16
@@ -197,7 +198,7 @@ func Build(b Board, vrm VRM, chips []Chip, decaps []Decap) (*System, error) {
 
 func buildChip(c *circuit.Circuit, ch Chip, planeVdd int) (ChipNodes, error) {
 	if ch.Drivers <= 0 || ch.Switching < 0 || ch.Switching > ch.Drivers {
-		return ChipNodes{}, fmt.Errorf("invalid driver counts %d/%d", ch.Switching, ch.Drivers)
+		return ChipNodes{}, simerr.Tagf(simerr.ErrBadInput, "invalid driver counts %d/%d", ch.Switching, ch.Drivers)
 	}
 	if ch.Vdd <= 0 {
 		ch.Vdd = 3.3
@@ -259,7 +260,7 @@ func buildChip(c *circuit.Circuit, ch Chip, planeVdd int) (ChipNodes, error) {
 				return ChipNodes{}, err
 			}
 		default:
-			return ChipNodes{}, fmt.Errorf("unknown driver kind %d", ch.Kind)
+			return ChipNodes{}, simerr.Tagf(simerr.ErrBadInput, "unknown driver kind %d", ch.Kind)
 		}
 		if d == 0 && ch.Line != nil {
 			far := c.Node(fmt.Sprintf("u_%s_far%d", ch.Name, d))
@@ -278,7 +279,7 @@ func buildChip(c *circuit.Circuit, ch Chip, planeVdd int) (ChipNodes, error) {
 
 func attachDecap(c *circuit.Circuit, dc Decap, port int) error {
 	if dc.C <= 0 {
-		return errors.New("decap needs positive capacitance")
+		return simerr.Tagf(simerr.ErrBadInput, "decap needs positive capacitance")
 	}
 	esr := dc.ESR
 	if esr <= 0 {

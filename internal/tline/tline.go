@@ -18,7 +18,6 @@
 package tline
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -182,6 +181,13 @@ type lnTerm struct {
 	z float64
 }
 
+// lnImageCoefTol truncates the 2-D image series once the reflection
+// coefficient product |(-kc)^n·(1+kc)| drops below it: the neglected tail
+// is geometric, bounded by lnImageCoefTol/(1−kc), comfortably under the
+// per-unit-length parameter accuracy (~1e-12) of the closed-form segment
+// integrals that consume the series.
+const lnImageCoefTol = 1e-15
+
 // lnSeries returns the prefactor and image expansion of the 2-D scalar
 // kernel G(ρ) = pref · Σ c_i · (−ln √(ρ² + z_i²)).
 func lnSeries(h, epsR float64, nImages int) (float64, []lnTerm) {
@@ -192,7 +198,7 @@ func lnSeries(h, epsR float64, nImages int) (float64, []lnTerm) {
 	for n := 1; n <= nImages; n++ {
 		terms = append(terms, lnTerm{coef, 2 * float64(n) * h})
 		coef *= -kc
-		if math.Abs(coef) < 1e-15 {
+		if math.Abs(coef) < lnImageCoefTol {
 			break
 		}
 	}
@@ -249,7 +255,7 @@ func (p *Params) Modal() (*Modal, error) {
 	m.Vel = make([]float64, n)
 	for k := 0; k < n; k++ {
 		if vals[k] <= 0 {
-			return nil, fmt.Errorf("tline: non-positive modal eigenvalue %g", vals[k])
+			return nil, simerr.Tagf(simerr.ErrIllConditioned, "tline: non-positive modal eigenvalue %g", vals[k])
 		}
 		m.Z[k] = 1 / math.Sqrt(vals[k])
 		m.Vel[k] = 1 / math.Sqrt(vals[k])
@@ -272,7 +278,7 @@ func toRows(a *mat.Matrix) [][]float64 {
 // one-conductor cross-sections.
 func (p *Params) Z0() (float64, error) {
 	if p.N != 1 {
-		return 0, fmt.Errorf("tline: Z0 is defined for one conductor, have %d", p.N)
+		return 0, simerr.Tagf(simerr.ErrBadInput, "tline: Z0 is defined for one conductor, have %d", p.N)
 	}
 	return math.Sqrt(p.L.At(0, 0) / p.C.At(0, 0)), nil
 }
@@ -287,12 +293,12 @@ func (p *Params) EpsEff(i int) float64 {
 // symmetric two-conductor pair.
 func (p *Params) EvenOddImpedances() (zeven, zodd float64, err error) {
 	if p.N != 2 {
-		return 0, 0, errors.New("tline: even/odd modes require two conductors")
+		return 0, 0, simerr.Tagf(simerr.ErrBadInput, "tline: even/odd modes require two conductors")
 	}
 	le, ce := p.L.At(0, 0)+p.L.At(0, 1), p.C.At(0, 0)+p.C.At(0, 1)
 	lo, co := p.L.At(0, 0)-p.L.At(0, 1), p.C.At(0, 0)-p.C.At(0, 1)
 	if ce <= 0 || co <= 0 || le <= 0 || lo <= 0 {
-		return 0, 0, errors.New("tline: degenerate even/odd parameters")
+		return 0, 0, simerr.Tagf(simerr.ErrIllConditioned, "tline: degenerate even/odd parameters")
 	}
 	return math.Sqrt(le / ce), math.Sqrt(lo / co), nil
 }
@@ -302,10 +308,10 @@ func (p *Params) EvenOddImpedances() (zeven, zodd float64, err error) {
 func (p *Params) Attach(c *circuit.Circuit, name string, end1 []int, ref1 int,
 	end2 []int, ref2 int, length float64) (*circuit.MTL, error) {
 	if length <= 0 {
-		return nil, errors.New("tline: length must be positive")
+		return nil, simerr.Tagf(simerr.ErrBadInput, "tline: length must be positive")
 	}
 	if len(end1) != p.N || len(end2) != p.N {
-		return nil, fmt.Errorf("tline: need %d terminals per end", p.N)
+		return nil, simerr.Tagf(simerr.ErrBadInput, "tline: need %d terminals per end", p.N)
 	}
 	m, err := p.Modal()
 	if err != nil {
