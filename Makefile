@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check vet race lint pdnlint
+.PHONY: build test bench check vet race lint pdnlint smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,11 @@ lint: vet pdnlint
 
 race:
 	$(GO) test -race ./...
+
+# smoke kills a checkpointed transient mid-run with SIGTERM and verifies a
+# -resume run reproduces the uninterrupted output byte-for-byte.
+smoke:
+	./scripts/smoke-killresume.sh
 
 # check is the full hygiene gate: static analysis and formatting plus the
 # whole test suite under the race detector (the BEM assembly and S-parameter

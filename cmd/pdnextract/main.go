@@ -8,7 +8,14 @@
 //	pdnextract [-timeout 5m] [-netlist out.cir] [-touchstone out.sNp -fmin 0.1e9 -fmax 10e9 -nf 100] board.json
 //
 // Exit codes: 2 usage, 3 parse failure, 4 solve failure, 5 I/O failure,
-// 6 cancelled/timeout.
+// 6 cancelled/timeout, 7 partial results (some sweep points skipped).
+//
+// Long sweeps survive interruption: -checkpoint snapshots completed points
+// periodically (and on SIGINT/SIGTERM/timeout), and -resume restores them so
+// a killed run recomputes only what is missing. The extraction and every
+// sweep point run supervised — retryable numerical failures get bounded
+// retries with escalating perturbation, and a point that still fails is
+// skipped (exit 7) instead of aborting the sweep.
 //
 // A minimal board description:
 //
@@ -24,16 +31,22 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"pdnsim/internal/bem"
+	"pdnsim/internal/checkpoint"
 	"pdnsim/internal/cli"
 	"pdnsim/internal/core"
+	"pdnsim/internal/simerr"
 	"pdnsim/internal/sparam"
+	"pdnsim/internal/supervise"
 )
 
 func main() {
@@ -46,6 +59,9 @@ func main() {
 	irdrop := flag.String("irdrop", "", "DC IR-drop analysis: comma-separated PORT=amps load currents plus optional ref=PORT supply entry (default: first port)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for extraction and sweeps (0 = none); exceeding it exits 6")
 	diagVerbose := flag.Bool("diag", false, "print the full numerical-trust trail (healthy margins included), not just warnings")
+	ckptPath := flag.String("checkpoint", "", "snapshot completed sweep points to this file periodically and on interruption")
+	ckptEvery := flag.Int("checkpoint-every", 0, fmt.Sprintf("sweep points between snapshots (default %d)", checkpoint.DefaultEvery))
+	resume := flag.String("resume", "", "restore completed sweep points from this snapshot before sweeping")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -53,7 +69,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(cli.ExitUsage)
 	}
-	ctx := context.Background()
+	if (*ckptPath != "" || *resume != "") && *tsOut == "" {
+		fmt.Fprintln(os.Stderr, "pdnextract: -checkpoint/-resume apply to the S-parameter sweep; add -touchstone to run one")
+	}
+	// SIGINT/SIGTERM cancel the context: the sweep flushes a final snapshot
+	// (when -checkpoint is set) and the run exits through the staged
+	// cancellation code instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -67,9 +90,13 @@ func main() {
 	if err != nil {
 		cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitParse)
 	}
-	res, err := spec.ExtractCtx(ctx)
+	res, supSt, err := spec.ExtractSupervisedCtx(ctx, supervise.Policy{})
 	if err != nil {
-		fatalSolve(err)
+		fatalSolve(err, *ckptPath)
+	}
+	if supSt.Attempts > 1 {
+		fmt.Fprintf(os.Stderr, "pdnextract: extraction recovered on attempt %d (diagonal regularization %.3g)\n",
+			supSt.Attempts, supSt.PerturbRel)
 	}
 	fmt.Fprintf(os.Stderr, "%s: %s → %d-node equivalent circuit (%d ports), C_total = %.3g nF\n",
 		spec.Name, res.Mesh.Stats(), res.Network.NumNodes(), res.Network.NumPorts,
@@ -84,35 +111,71 @@ func main() {
 			cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitIO)
 		}
 	}
+	partial := false
 	if *tsOut != "" {
 		freqs := sparam.LinSpace(*fmin, *fmax, *nf)
-		sw, err := sparam.SweepZCtx(ctx, freqs, *z0, res.Network.PortZ)
+		sw, statuses, err := sparam.SweepZSupervised(ctx, freqs, sparam.SweepOptions{
+			Z0:         *z0,
+			Checkpoint: checkpoint.Policy{Path: *ckptPath, Every: *ckptEvery},
+			ResumeFrom: *resume,
+		}, res.Network.PortZCtx)
+		reportSkippedPoints(statuses)
+		if err != nil && !errors.Is(err, simerr.ErrPartial) {
+			fatalSolve(err, *ckptPath)
+		}
 		if err != nil {
-			fatalSolve(err)
+			// Partial completion: the surviving points are valid, so the
+			// Touchstone file is still written; the exit code says "partial".
+			partial = true
+			fmt.Fprintf(os.Stderr, "pdnextract: %s\n", cli.Describe(err))
 		}
 		ts, err := sw.Touchstone(spec.Name)
 		if err != nil {
-			fatalSolve(err)
+			fatalSolve(err, *ckptPath)
 		}
 		if err := os.WriteFile(*tsOut, []byte(ts), 0o644); err != nil {
 			cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitIO)
 		}
-		// Physics-invariant screen: passivity and reciprocity margins are
-		// printed as diagnostics; a gross violation fails the run.
-		verr := sw.Verify()
+		// Physics-invariant screen: the sweep already carries its passivity
+		// and reciprocity margins plus the supervision trail (print before
+		// re-running Verify — it rebuilds the trail from scratch); a gross
+		// violation fails the run.
 		cli.PrintDiagnostics(os.Stderr, sw.Diag, *diagVerbose)
-		if verr != nil {
-			fatalSolve(verr)
+		if verr := sw.Verify(); verr != nil {
+			fatalSolve(verr, *ckptPath)
 		}
 	}
 	if *irdrop != "" {
 		if err := runIRDrop(spec, res, *irdrop); err != nil {
-			fatalSolve(err)
+			fatalSolve(err, *ckptPath)
+		}
+	}
+	if partial {
+		os.Exit(cli.ExitPartial)
+	}
+}
+
+// reportSkippedPoints prints the per-point supervision outcomes worth a
+// human's attention: skipped points and points that needed retries.
+func reportSkippedPoints(statuses []sparam.PointStatus) {
+	for _, st := range statuses {
+		switch {
+		case st.Err != nil:
+			fmt.Fprintf(os.Stderr, "pdnextract: point %g Hz skipped after %d attempts: %v\n",
+				st.Freq, st.Attempts, st.Err)
+		case st.Attempts > 1:
+			fmt.Fprintf(os.Stderr, "pdnextract: point %g Hz recovered on attempt %d (perturbation %.3g)\n",
+				st.Freq, st.Attempts, st.PerturbRel)
 		}
 	}
 }
 
-func fatalSolve(err error) {
+// fatalSolve exits through the staged solve codes; a cancelled run with
+// checkpointing enabled first tells the user how to pick the work back up.
+func fatalSolve(err error, ckptPath string) {
+	if ckptPath != "" && errors.Is(err, simerr.ErrCancelled) {
+		fmt.Fprintf(os.Stderr, "pdnextract: checkpoint flushed; resume with -resume %s\n", ckptPath)
+	}
 	cli.Fatal(os.Stderr, "pdnextract", err, cli.SolveExitCode(err))
 }
 

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	pdnsim [-timeout 30s] deck.cir
+//	pdnsim [-timeout 30s] [-checkpoint run.ckpt [-checkpoint-every N]] [-resume run.ckpt] deck.cir
 //
 // Exit codes: 2 usage, 3 parse failure, 4 solve failure, 5 I/O failure,
-// 6 cancelled/timeout.
+// 6 cancelled/timeout, 7 partial results.
+//
+// Long transients survive interruption: -checkpoint snapshots the solver
+// state every -checkpoint-every accepted steps and flushes a final snapshot
+// on SIGINT/SIGTERM/timeout; -resume restores it and continues the run,
+// reproducing the uninterrupted waveforms exactly.
 //
 // Example deck:
 //
@@ -23,13 +28,17 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"pdnsim/internal/checkpoint"
 	"pdnsim/internal/circuit"
 	"pdnsim/internal/cli"
 	"pdnsim/internal/netlist"
@@ -40,16 +49,30 @@ import (
 // (condition estimates, residuals) in addition to warnings.
 var diagVerbose bool
 
+// Checkpointing flags, read by runTran.
+var (
+	ckptPath  string
+	ckptEvery int
+	resume    string
+)
+
 func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for all analyses (0 = none); exceeding it exits 6")
 	flag.BoolVar(&diagVerbose, "diag", false, "print the full numerical-trust trail (healthy margins included), not just warnings")
+	flag.StringVar(&ckptPath, "checkpoint", "", "snapshot transient solver state to this file periodically and on interruption")
+	flag.IntVar(&ckptEvery, "checkpoint-every", 0, fmt.Sprintf("accepted steps between snapshots (default %d)", checkpoint.DefaultEvery))
+	flag.StringVar(&resume, "resume", "", "restore transient state from this snapshot and continue the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pdnsim [-timeout 30s] deck.cir")
 		flag.PrintDefaults()
 		os.Exit(cli.ExitUsage)
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the context: the transient loop flushes a final
+	// snapshot (when -checkpoint is set) and the process exits through the
+	// staged cancellation code instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -83,7 +106,12 @@ func main() {
 	}
 }
 
+// fatalSolve exits through the staged solve codes; a cancelled run with
+// checkpointing enabled first tells the user how to pick the work back up.
 func fatalSolve(err error) {
+	if ckptPath != "" && errors.Is(err, simerr.ErrCancelled) {
+		fmt.Fprintf(os.Stderr, "pdnsim: checkpoint flushed; resume with -resume %s\n", ckptPath)
+	}
 	cli.Fatal(os.Stderr, "pdnsim", err, cli.SolveExitCode(err))
 }
 
@@ -122,6 +150,8 @@ func runOP(ctx context.Context, deck *netlist.Deck) error {
 func runTran(ctx context.Context, deck *netlist.Deck) error {
 	opts := *deck.Tran
 	opts.Ctx = ctx
+	opts.Checkpoint = checkpoint.Policy{Path: ckptPath, Every: ckptEvery}
+	opts.ResumeFrom = resume
 	res, err := deck.Circuit.Tran(opts)
 	if err != nil {
 		return err

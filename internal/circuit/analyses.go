@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"pdnsim/internal/checkpoint"
 	"pdnsim/internal/diag"
 	"pdnsim/internal/mat"
 	"pdnsim/internal/simerr"
@@ -170,6 +171,24 @@ type TranOptions struct {
 	// down to Dt/64); negative disables recovery. Circuits with transmission
 	// lines never sub-step (the Bergeron history needs a uniform dt).
 	MaxHalvings int
+
+	// Checkpoint, when enabled, periodically writes the full resumable run
+	// state (node vector, companion state, line histories, recorded
+	// waveforms) to Checkpoint.Path every Checkpoint.Every accepted steps,
+	// and flushes a final snapshot when the run is cancelled mid-way. A
+	// failed checkpoint write fails the run (the survivability guarantee is
+	// the whole point of enabling it).
+	Checkpoint checkpoint.Policy
+
+	// ResumeFrom, when non-empty, restores a snapshot written by Checkpoint
+	// and continues the run from its step instead of starting at t = 0. The
+	// snapshot must come from an identical run configuration (same circuit,
+	// dt, tstop, method, UIC) — any mismatch is a simerr.ErrBadInput-class
+	// error. Because the snapshot carries every value the stepping loop
+	// depends on and JSON round-trips float64 exactly, a resumed run
+	// reproduces the uninterrupted run bit-for-bit (checkpoint.ResumeRelTol
+	// documents the guaranteed bound).
+	ResumeFrom string
 }
 
 // DefaultMaxHalvings is the default adaptive-recovery depth: a failing
@@ -249,29 +268,6 @@ func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
 		maxHalvings = 0
 	}
 	s := newSolver(c)
-	var x []float64
-	if opts.UIC {
-		x = make([]float64, s.dim)
-		for _, tl := range c.mtls {
-			tl.resetDC()
-		}
-		for _, l := range c.inductors {
-			x[l.branch] = l.IC
-		}
-	} else {
-		var err error
-		x, err = s.op(opts.Ctx)
-		if err != nil {
-			return nil, fmt.Errorf("circuit: transient OP: %w", err)
-		}
-	}
-	for _, tl := range c.mtls {
-		tl.startTran()
-	}
-	// Companion state.
-	capCurr := make([]float64, len(c.capacitors))
-	indVolt := make([]float64, len(c.inductors))
-
 	nSteps := int(math.Round(opts.Tstop / opts.Dt))
 	res := &Result{c: c, isrc: make(map[string][]float64)}
 	record := func(t float64, xv []float64) {
@@ -283,9 +279,50 @@ func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
 			res.isrc[vs.name] = append(res.isrc[vs.name], xv[vs.branch])
 		}
 	}
-	record(0, x)
+	// Companion state.
+	capCurr := make([]float64, len(c.capacitors))
+	indVolt := make([]float64, len(c.inductors))
+
+	var x []float64
+	startStep := 0
+	if opts.ResumeFrom != "" {
+		snap, err := restoreTranSnapshot(opts.ResumeFrom, opts, s)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: transient resume: %w", err)
+		}
+		x, startStep = applyTranSnapshot(snap, s, capCurr, indVolt, res)
+	} else {
+		if opts.UIC {
+			x = make([]float64, s.dim)
+			for _, tl := range c.mtls {
+				tl.resetDC()
+			}
+			for _, l := range c.inductors {
+				x[l.branch] = l.IC
+			}
+		} else {
+			var err error
+			x, err = s.op(opts.Ctx)
+			if err != nil {
+				return nil, fmt.Errorf("circuit: transient OP: %w", err)
+			}
+		}
+		for _, tl := range c.mtls {
+			tl.startTran()
+		}
+		record(0, x)
+	}
 
 	s.lu = nil // force matrix assembly with transient companions
+
+	// Checkpointing only ever serialises a copy of the state at the last
+	// *recorded* uniform step: the live x/companion slices are mutated in
+	// place, and an abandoned step can leave them mid-halving, off the grid.
+	ckpt := opts.Checkpoint
+	var lastGood *tranState
+	if ckpt.Enabled() {
+		lastGood = captureTranState(c, startStep, x, capCurr, indVolt)
+	}
 
 	// advance integrates one step from t0 to t0+dt, recursively halving the
 	// local timestep (bounded by maxHalvings) when Newton fails to converge.
@@ -344,13 +381,36 @@ func (c *Circuit) Tran(opts TranOptions) (*Result, error) {
 		return nil
 	}
 
-	for n := 1; n <= nSteps; n++ {
+	for n := startStep + 1; n <= nSteps; n++ {
 		t := float64(n) * opts.Dt
 		if err := advance(float64(n-1)*opts.Dt, opts.Dt, 0); err != nil {
+			if ckpt.Enabled() && lastGood != nil && errors.Is(err, simerr.ErrCancelled) {
+				// Flush a final snapshot so the interrupted run is resumable.
+				// Numerical failures deliberately do not flush: re-running the
+				// same arithmetic from the same state fails the same way.
+				if serr := saveTranSnapshot(ckpt.Path, opts, s, lastGood, res); serr != nil {
+					return nil, fmt.Errorf("circuit: transient cancelled at t=%g and checkpoint flush failed: %w",
+						t, errors.Join(err, serr))
+				}
+			}
 			return nil, fmt.Errorf("circuit: transient failed at t=%g: %w", t, err)
 		}
 		s.stats.Steps++
 		record(t, x)
+		if ckpt.Enabled() {
+			lastGood = captureTranState(c, n, x, capCurr, indVolt)
+			if ckpt.Due(n) {
+				if err := saveTranSnapshot(ckpt.Path, opts, s, lastGood, res); err != nil {
+					return nil, fmt.Errorf("circuit: transient checkpoint at t=%g: %w", t, err)
+				}
+			}
+		}
+	}
+	if ckpt.Enabled() && lastGood != nil {
+		// Final snapshot: a resume of a completed run returns immediately.
+		if err := saveTranSnapshot(ckpt.Path, opts, s, lastGood, res); err != nil {
+			return nil, fmt.Errorf("circuit: transient final checkpoint: %w", err)
+		}
 	}
 	res.Stats = s.stats
 	res.Diag = tranDiagnostics(s.stats)

@@ -24,11 +24,19 @@ const (
 	ExitSolve     = 4 // numerical failure (singular, non-convergent, NaN)
 	ExitIO        = 5 // file system failure
 	ExitCancelled = 6 // context cancelled or timeout expired
+	ExitPartial   = 7 // run completed but some work items failed; partial results were produced
 )
 
 // SolveExitCode refines a solve-stage failure: cancellation gets its own
-// code so a timeout is distinguishable from a numerical breakdown.
+// code so a timeout is distinguishable from a numerical breakdown, and a
+// partial completion (usable results were produced, some items skipped)
+// gets ExitPartial so scripts can accept-and-log instead of aborting.
+// Partial is checked first: a PartialError may wrap a per-item numerical
+// cause, but the run as a whole did complete.
 func SolveExitCode(err error) int {
+	if errors.Is(err, simerr.ErrPartial) {
+		return ExitPartial
+	}
 	if errors.Is(err, simerr.ErrCancelled) ||
 		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return ExitCancelled
@@ -63,6 +71,11 @@ func Describe(err error) string {
 	if errors.As(err, &ic) {
 		fmt.Fprintf(&b, "\n  trust check failed: %s = %.3g exceeds limit %.3g", ic.Quantity, ic.Value, ic.Limit)
 		b.WriteString("\n  the input drives the numerics outside the trustworthy regime; check geometry, element values and time step")
+	}
+	var part *simerr.PartialError
+	if errors.As(err, &part) {
+		fmt.Fprintf(&b, "\n  %d of %d work items failed and were skipped; the remaining results are valid", part.Failed, part.Total)
+		b.WriteString("\n  inspect the per-item statuses above; a retry with different numerical settings may recover the skipped items")
 	}
 	if errors.Is(err, simerr.ErrCancelled) {
 		b.WriteString("\n  run stopped early; raise -timeout to let it finish")

@@ -31,6 +31,11 @@ func TestSolveExitCodeMapping(t *testing.T) {
 		{"deadline exceeded", context.DeadlineExceeded, ExitCancelled},
 		{"wrapped cancellation", &simerr.CancelledError{Op: "op", Err: context.Canceled}, ExitCancelled},
 		{"path error", &fs.PathError{Op: "open", Path: "deck.sp", Err: fs.ErrNotExist}, ExitIO},
+		{"partial sentinel", simerr.ErrPartial, ExitPartial},
+		{"partial struct", &simerr.PartialError{Op: "sweep", Failed: 1, Total: 10}, ExitPartial},
+		// Partial beats its wrapped per-item cause: the run completed.
+		{"partial wrapping singular", &simerr.PartialError{Op: "sweep", Failed: 1, Total: 10,
+			Err: &simerr.SingularError{Op: "point", Row: -1}}, ExitPartial},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -51,6 +56,7 @@ func TestExitCodesAreStaged(t *testing.T) {
 		"ExitSolve":     {ExitSolve, 4},
 		"ExitIO":        {ExitIO, 5},
 		"ExitCancelled": {ExitCancelled, 6},
+		"ExitPartial":   {ExitPartial, 7},
 	}
 	for name, c := range codes {
 		if c.got != c.want {
@@ -93,6 +99,15 @@ func TestDescribeIllConditionedShowsQuantity(t *testing.T) {
 	out := Describe(err)
 	if !strings.Contains(out, "CFL ratio dt/dtmax") || !strings.Contains(out, "trust check failed") {
 		t.Fatalf("Describe must show the failed trust quantity, got %q", out)
+	}
+}
+
+func TestDescribePartialShowsCounts(t *testing.T) {
+	err := &simerr.PartialError{Op: "sparam: sweep", Failed: 2, Total: 100,
+		Err: &simerr.SingularError{Op: "point", Row: -1}}
+	out := Describe(err)
+	if !strings.Contains(out, "2 of 100") || !strings.Contains(out, "remaining results are valid") {
+		t.Fatalf("Describe must show the failed/total counts and reassure on the rest, got %q", out)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mesh"
 	"pdnsim/internal/simerr"
+	"pdnsim/internal/supervise"
 )
 
 // PortSpec places a named external connection (power/ground pin, via,
@@ -207,8 +208,45 @@ func (b *BoardSpec) Extract() (*Result, error) {
 //pdnlint:ignore ctxflow cancellation is stage-granular by design: the in-body loop is O(ports) port placement between the ctx-checked assembly and reduction stages
 func (b *BoardSpec) ExtractCtx(ctx context.Context) (res *Result, err error) {
 	defer simerr.RecoverInto(&err, "core: extract")
-	if err := b.Validate(); err != nil {
+	m, asm, err := b.buildAssembly(ctx)
+	if err != nil {
 		return nil, err
+	}
+	nw, err := extract.ExtractCtx(ctx, asm, extract.Options{ExtraNodes: b.ExtraNodes})
+	if err != nil {
+		return nil, fmt.Errorf("core: extraction: %w", err)
+	}
+	return &Result{Mesh: m, Assembly: asm, Network: nw}, nil
+}
+
+// ExtractSupervisedCtx is ExtractCtx with the reduction stage run under a
+// supervision policy: a singular or ill-conditioned reduction is retried
+// with escalating diagonal regularization (see extract.ExtractSupervised)
+// before the pipeline gives up. The returned Status reports the attempts;
+// Status.PerturbRel > 0 means the network was extracted from a regularized
+// assembly and the repair is recorded in the network's Diag trail.
+//
+//pdnlint:ignore ctxflow cancellation is stage-granular by design: the in-body loop is O(ports) port placement between the ctx-checked assembly and reduction stages
+func (b *BoardSpec) ExtractSupervisedCtx(ctx context.Context, pol supervise.Policy) (res *Result, st supervise.Status, err error) {
+	defer simerr.RecoverInto(&err, "core: extract")
+	m, asm, err := b.buildAssembly(ctx)
+	if err != nil {
+		return nil, st, err
+	}
+	nw, st, err := extract.ExtractSupervised(ctx, asm, extract.Options{ExtraNodes: b.ExtraNodes}, pol)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: extraction: %w", err)
+	}
+	return &Result{Mesh: m, Assembly: asm, Network: nw}, st, nil
+}
+
+// buildAssembly runs the geometry → mesh → BEM stages shared by the plain
+// and supervised extraction entry points.
+//
+//pdnlint:ignore ctxflow cancellation is stage-granular by design: the in-body loop is O(ports) port placement before the ctx-checked assembly stage
+func (b *BoardSpec) buildAssembly(ctx context.Context) (*mesh.Mesh, *bem.Assembly, error) {
+	if err := b.Validate(); err != nil {
+		return nil, nil, err
 	}
 	nx, ny := b.MeshNx, b.MeshNy
 	if nx <= 0 {
@@ -219,11 +257,11 @@ func (b *BoardSpec) ExtractCtx(ctx context.Context) (res *Result, err error) {
 	}
 	m, err := mesh.Grid(b.BuildShape(), nx, ny)
 	if err != nil {
-		return nil, fmt.Errorf("core: meshing: %w", err)
+		return nil, nil, fmt.Errorf("core: meshing: %w", err)
 	}
 	for _, p := range b.Ports {
 		if _, err := m.AddPort(p.Name, geom.Point{X: p.X * mm, Y: p.Y * mm}); err != nil {
-			return nil, fmt.Errorf("core: port %s: %w", p.Name, err)
+			return nil, nil, fmt.Errorf("core: port %s: %w", p.Name, err)
 		}
 	}
 	mode := greens.OverGround
@@ -232,7 +270,7 @@ func (b *BoardSpec) ExtractCtx(ctx context.Context) (res *Result, err error) {
 	}
 	k, err := greens.NewKernel(mode, b.PlaneSepMM*mm, b.EpsR, b.NImages)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opts := bem.DefaultOptions()
 	if b.Testing == "galerkin" {
@@ -242,11 +280,7 @@ func (b *BoardSpec) ExtractCtx(ctx context.Context) (res *Result, err error) {
 	opts.ReturnSheetResistance = b.SheetRes
 	asm, err := bem.AssembleCtx(ctx, m, k, opts)
 	if err != nil {
-		return nil, fmt.Errorf("core: BEM assembly: %w", err)
+		return nil, nil, fmt.Errorf("core: BEM assembly: %w", err)
 	}
-	nw, err := extract.ExtractCtx(ctx, asm, extract.Options{ExtraNodes: b.ExtraNodes})
-	if err != nil {
-		return nil, fmt.Errorf("core: extraction: %w", err)
-	}
-	return &Result{Mesh: m, Assembly: asm, Network: nw}, nil
+	return m, asm, nil
 }

@@ -111,6 +111,15 @@ type Options struct {
 	// reduction produces a complete graph with many negligible couplings.
 	// Default 1e-9.
 	BranchTol float64
+	// Regularize, when positive, applies relative diagonal loading to the
+	// assembled Γ and C operators before reduction: each diagonal entry
+	// grows by Regularize times the operator's mean diagonal. This is the
+	// supervision escape hatch for a rank-deficient or near-singular
+	// assembly (degenerate mesh, duplicated BEM rows) — a loading of
+	// 1e-9…1e-6 lifts the offending eigenvalues without visibly moving the
+	// extracted element values. The loading is recorded in the extraction's
+	// Diag trail. Zero (the default) extracts the assembly exactly.
+	Regularize float64
 }
 
 // Extract reduces an assembled plane to an equivalent circuit on the mesh
@@ -137,16 +146,26 @@ func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network
 	if opts.BranchTol <= 0 {
 		opts.BranchTol = 1e-9
 	}
+	if math.IsNaN(opts.Regularize) || math.IsInf(opts.Regularize, 0) || opts.Regularize < 0 {
+		return nil, simerr.BadInput("extract", "regularization must be a finite non-negative fraction, got %g", opts.Regularize)
+	}
 	nodeCells := selectNodes(ports, len(a.Mesh.Cells), opts.ExtraNodes)
 
 	internal := mat.Complement(len(a.Mesh.Cells), nodeCells)
 
+	d := diag.New()
 	if err := simerr.CheckCtx(ctx, "extract: inductance system"); err != nil {
 		return nil, err
 	}
 	gamma, err := a.InverseInductanceLaplacian()
 	if err != nil {
 		return nil, fmt.Errorf("extract: inductance system: %w", err)
+	}
+	if opts.Regularize > 0 {
+		loadDiagonal(gamma, opts.Regularize)
+		d.Warnf("extract", "regularization", opts.Regularize, 0, true,
+			"diagonal loading %.3g applied to Γ and C before reduction (supervised retry or explicit request)",
+			opts.Regularize)
 	}
 	gammaRed, err := mat.SchurReduce(gamma, nodeCells, internal)
 	if err != nil {
@@ -158,6 +177,9 @@ func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network
 	cFull, err := a.CellCapacitance()
 	if err != nil {
 		return nil, fmt.Errorf("extract: capacitance system: %w", err)
+	}
+	if opts.Regularize > 0 {
+		loadDiagonal(cFull, opts.Regularize)
 	}
 	// Capacitance is reduced by Guyan congruence, C_red = Wᵀ·C·W, where W
 	// interpolates eliminated cells from the kept nodes through the
@@ -186,7 +208,6 @@ func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network
 	// the eigen/condition checks cost nothing next to the O(n³) reductions).
 	// Tiny violations are repaired in place and recorded; gross ones abort
 	// with simerr.ErrIllConditioned carrying the measured margin.
-	d := diag.New()
 	if err := checkReduced(d, gammaRed, cRed, gRed); err != nil {
 		return nil, err
 	}
@@ -242,6 +263,27 @@ func checkReduced(d *diag.Diagnostics, gamma, c, g *mat.Matrix) error {
 			Value: math.Inf(1), Limit: diag.CondFail, Err: err}
 	}
 	return nil
+}
+
+// loadDiagonal adds rel times the mean diagonal entry to every diagonal
+// entry of the square matrix m — the relative Tikhonov loading used by
+// supervised extraction retries. Loading by a fraction of the mean diagonal
+// (rather than an absolute value) keeps the perturbation dimensionless and
+// meaningful for operators of any unit (1/H, F).
+func loadDiagonal(m *mat.Matrix, rel float64) {
+	n := m.Rows
+	if n == 0 {
+		return
+	}
+	var mean float64
+	for i := 0; i < n; i++ {
+		mean += m.At(i, i)
+	}
+	mean /= float64(n)
+	shift := rel * math.Abs(mean)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, shift)
+	}
 }
 
 // guyanReduce computes Wᵀ·C·W with W = [I; −Γ_ii⁻¹·Γ_ik] (kept nodes first).
@@ -427,6 +469,18 @@ func (n *Network) Zin(port int, omega float64) (complex128, error) {
 // PortZ returns the NumPorts×NumPorts open-circuit impedance matrix at
 // angular frequency omega (interior nodes eliminated by the solve).
 func (n *Network) PortZ(omega float64) (*mat.CMatrix, error) {
+	return n.PortZCtx(context.Background(), omega) //pdnlint:ignore ctxflow documented non-Ctx compatibility shim; cancellable callers use PortZCtx
+}
+
+// PortZCtx is PortZ with cancellation: the context is checked before the
+// factorisation and between port-column solves, so a many-port evaluation
+// inside a sweep stops promptly (simerr.ErrCancelled-class error) instead of
+// finishing the whole matrix after its deadline. It is the natural
+// sparam.ZFunc for supervised sweeps.
+func (n *Network) PortZCtx(ctx context.Context, omega float64) (*mat.CMatrix, error) {
+	if err := simerr.CheckCtx(ctx, "extract: port impedance"); err != nil {
+		return nil, err
+	}
 	y := n.Y(omega)
 	lu, err := mat.NewCLU(y)
 	if err != nil {
@@ -436,6 +490,9 @@ func (n *Network) PortZ(omega float64) (*mat.CMatrix, error) {
 	z := mat.CNew(np, np)
 	rhs := make([]complex128, n.NumNodes())
 	for p := 0; p < np; p++ {
+		if err := simerr.CheckCtx(ctx, "extract: port impedance"); err != nil {
+			return nil, err
+		}
 		for i := range rhs {
 			rhs[i] = 0
 		}

@@ -1,0 +1,29 @@
+package extract
+
+import (
+	"context"
+
+	"pdnsim/internal/bem"
+	"pdnsim/internal/supervise"
+)
+
+// ExtractSupervised runs ExtractCtx under a supervision policy: a retryable
+// numerical failure (singular or ill-conditioned reduction — e.g. a
+// degenerate mesh producing near-duplicate BEM rows) is re-attempted with
+// escalating diagonal regularization instead of aborting the run on first
+// contact. The perturbation fraction handed down by the policy becomes the
+// Options.Regularize loading (never weakening an explicitly requested one),
+// so attempt 1 extracts exactly and retries load the diagonals by
+// parts-per-billion steps. The returned Status records the attempts and the
+// final loading; the extraction's own Diag trail records the repair too.
+func ExtractSupervised(ctx context.Context, a *bem.Assembly, opts Options, pol supervise.Policy) (*Network, supervise.Status, error) {
+	nw, st := supervise.Do(ctx, pol, 0,
+		func(ctx context.Context, perturbRel float64) (*Network, error) {
+			o := opts
+			if perturbRel > o.Regularize {
+				o.Regularize = perturbRel
+			}
+			return ExtractCtx(ctx, a, o)
+		})
+	return nw, st, st.Err
+}

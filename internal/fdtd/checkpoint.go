@@ -1,0 +1,158 @@
+package fdtd
+
+import (
+	"math"
+
+	"pdnsim/internal/checkpoint"
+	"pdnsim/internal/simerr"
+)
+
+// fdtdSnapshotKind tags plane-pair FDTD snapshots in the checkpoint envelope.
+const fdtdSnapshotKind = "fdtd"
+
+// fdtdPortState is one port's identity and recorded waveform inside a
+// snapshot. Identity fields are validated on resume so a snapshot cannot be
+// replayed onto a differently-portted simulation.
+type fdtdPortState struct {
+	Name string    `json:"name"`
+	I    int       `json:"i"`
+	J    int       `json:"j"`
+	R    float64   `json:"r"`
+	V    []float64 `json:"v"`
+}
+
+// fdtdSnapshot is the complete resumable state of one Run invocation after a
+// whole leapfrog step: the three staggered field grids, the accumulated time
+// base, the recorded waveforms, and the energy-watchdog accumulators. The
+// leapfrog scheme has no sub-stepping, so the live grids are always
+// consistent at a step boundary and serialise directly.
+type fdtdSnapshot struct {
+	Nx    int     `json:"nx"`
+	Ny    int     `json:"ny"`
+	Dt    float64 `json:"dt"`
+	Tstop float64 `json:"tstop"`
+	Lsq   float64 `json:"lsq"`
+	Carea float64 `json:"carea"`
+	Rsq   float64 `json:"rsq"`
+	T0    float64 `json:"t0"` // simulated-time base at the start of the run
+
+	Step int             `json:"step"` // completed leapfrog steps
+	V    [][]float64     `json:"v"`
+	Ix   [][]float64     `json:"ix"`
+	Iy   [][]float64     `json:"iy"`
+	Port []fdtdPortState `json:"ports"`
+
+	Time []float64 `json:"time"`
+	E0   float64   `json:"e0"`    // watchdog: energy at the start of the run
+	EInj float64   `json:"e_inj"` // watchdog: port-injected energy so far
+}
+
+// saveFDTDSnapshot atomically writes the run state after completed step n.
+func saveFDTDSnapshot(path string, s *Sim, dt, tstop, t0 float64, n int, time []float64, e0, eInj float64) error {
+	snap := &fdtdSnapshot{
+		Nx: s.Nx, Ny: s.Ny,
+		Dt: dt, Tstop: tstop,
+		Lsq: s.Lsq, Carea: s.Carea, Rsq: s.Rsq,
+		T0:   t0,
+		Step: n,
+		V:    copyGrid(s.v),
+		Ix:   copyGrid(s.ix),
+		Iy:   copyGrid(s.iy),
+		Time: time[:n+1],
+		E0:   e0,
+		EInj: eInj,
+	}
+	for _, p := range s.ports {
+		snap.Port = append(snap.Port, fdtdPortState{
+			Name: p.Name, I: p.I, J: p.J, R: p.R, V: p.V[:n+1],
+		})
+	}
+	return checkpoint.Save(path, fdtdSnapshotKind, snap)
+}
+
+func copyGrid(g [][]float64) [][]float64 {
+	out := make([][]float64, len(g))
+	for i, row := range g {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// restoreFDTDSnapshot loads and validates a snapshot against this simulation
+// and run window: grid dimensions, stackup coefficients, ports, and the
+// dt/tstop pair must all match bit-for-bit, or the resumed fields would
+// silently evolve a different problem. Mismatches are
+// simerr.ErrBadInput-class errors.
+func restoreFDTDSnapshot(path string, s *Sim, dt, tstop float64) (*fdtdSnapshot, error) {
+	bad := func(format string, args ...any) error {
+		return simerr.BadInput("fdtd: resume", format, args...)
+	}
+	var snap fdtdSnapshot
+	if err := checkpoint.Load(path, fdtdSnapshotKind, &snap); err != nil {
+		return nil, err
+	}
+	if snap.Nx != s.Nx || snap.Ny != s.Ny {
+		return nil, bad("snapshot grid is %dx%d, simulation grid is %dx%d", snap.Nx, snap.Ny, s.Nx, s.Ny)
+	}
+	if !checkpoint.SameBits(snap.Dt, dt) || !checkpoint.SameBits(snap.Tstop, tstop) {
+		return nil, bad("snapshot is of a dt=%g tstop=%g run, this run is dt=%g tstop=%g",
+			snap.Dt, snap.Tstop, dt, tstop)
+	}
+	if !checkpoint.SameBits(snap.Lsq, s.Lsq) || !checkpoint.SameBits(snap.Carea, s.Carea) || !checkpoint.SameBits(snap.Rsq, s.Rsq) {
+		return nil, bad("snapshot stackup (L′=%g C″=%g R′=%g) does not match the simulation (L′=%g C″=%g R′=%g)",
+			snap.Lsq, snap.Carea, snap.Rsq, s.Lsq, s.Carea, s.Rsq)
+	}
+	if len(snap.Port) != len(s.ports) {
+		return nil, bad("snapshot has %d ports, simulation has %d", len(snap.Port), len(s.ports))
+	}
+	for k, p := range s.ports {
+		ps := snap.Port[k]
+		if ps.Name != p.Name || ps.I != p.I || ps.J != p.J || !checkpoint.SameBits(ps.R, p.R) {
+			return nil, bad("port %d differs: snapshot %s@(%d,%d) R=%g, simulation %s@(%d,%d) R=%g",
+				k, ps.Name, ps.I, ps.J, ps.R, p.Name, p.I, p.J, p.R)
+		}
+	}
+	steps := int(math.Round(tstop / dt))
+	if snap.Step < 0 || snap.Step > steps {
+		return nil, bad("snapshot step %d outside the run's %d steps", snap.Step, steps)
+	}
+	if len(snap.Time) != snap.Step+1 {
+		return nil, bad("snapshot records are inconsistent with its step index")
+	}
+	for _, ps := range snap.Port {
+		if len(ps.V) != snap.Step+1 {
+			return nil, bad("port %s record length %d does not match step %d", ps.Name, len(ps.V), snap.Step)
+		}
+	}
+	if !gridShaped(snap.V, s.Nx, s.Ny) || !gridShaped(snap.Ix, s.Nx+1, s.Ny) || !gridShaped(snap.Iy, s.Nx, s.Ny+1) {
+		return nil, bad("snapshot field grids do not match the staggered-grid dimensions")
+	}
+	return &snap, nil
+}
+
+func gridShaped(g [][]float64, nx, ny int) bool {
+	if len(g) != nx {
+		return false
+	}
+	for _, row := range g {
+		if len(row) != ny {
+			return false
+		}
+	}
+	return true
+}
+
+// applyFDTDSnapshot installs a validated snapshot into the simulation's
+// grids, time base, and port records, and seeds the result time axis.
+// It returns the step to continue from and the watchdog accumulators.
+func applyFDTDSnapshot(snap *fdtdSnapshot, s *Sim, res *Result) (startStep int, e0, eInj float64) {
+	s.v = copyGrid(snap.V)
+	s.ix = copyGrid(snap.Ix)
+	s.iy = copyGrid(snap.Iy)
+	s.t0 = snap.T0
+	for k, p := range s.ports {
+		p.V = append(p.V[:0], snap.Port[k].V...)
+	}
+	res.Time = snap.Time
+	return snap.Step, snap.E0, snap.EInj
+}

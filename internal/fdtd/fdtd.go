@@ -17,8 +17,11 @@ package fdtd
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 
+	"pdnsim/internal/checkpoint"
 	"pdnsim/internal/diag"
 	"pdnsim/internal/geom"
 	"pdnsim/internal/greens"
@@ -185,6 +188,35 @@ const WatchdogFactor = 100.0
 // watchdog that compares the stored field energy against the passivity bound
 // E(0) + E_injected every ctxCheckStride steps.
 func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
+	return s.RunWithOptions(ctx, RunOptions{Dt: dt, Tstop: tstop})
+}
+
+// RunOptions configure a survivable FDTD run.
+type RunOptions struct {
+	Dt    float64 // leapfrog time step (s)
+	Tstop float64 // run duration (s)
+
+	// Checkpoint, when enabled, periodically writes the full resumable grid
+	// state (fields, port records, watchdog accumulators) to Checkpoint.Path
+	// every Checkpoint.Every steps, and flushes a final snapshot when the run
+	// is cancelled. Numerical aborts (NaN, energy watchdog) deliberately do
+	// not flush: that state is poisoned and resuming it would fail again.
+	Checkpoint checkpoint.Policy
+
+	// ResumeFrom, when non-empty, restores a snapshot written by Checkpoint
+	// and continues from its step instead of starting fresh. The snapshot
+	// must come from an identical simulation and window (grid, stackup,
+	// ports, dt, tstop) — mismatches are simerr.ErrBadInput-class errors.
+	// Leapfrog stepping depends on nothing beyond the restored state, so a
+	// resumed run reproduces the uninterrupted one bit-for-bit
+	// (checkpoint.ResumeRelTol documents the guaranteed bound).
+	ResumeFrom string
+}
+
+// RunWithOptions is RunCtx plus run survivability: periodic checkpoints, a
+// cancellation flush, and resume (see RunOptions).
+func (s *Sim) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, error) {
+	dt, tstop := opts.Dt, opts.Tstop
 	if !(dt > 0) || !(tstop > dt) || math.IsInf(dt, 0) || math.IsInf(tstop, 0) {
 		return nil, simerr.BadInput("fdtd: run", "invalid window dt=%g tstop=%g", dt, tstop)
 	}
@@ -205,11 +237,27 @@ func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
 	}
 	steps := int(math.Round(tstop / dt))
 	res := &Result{Diag: d}
-	for _, p := range s.ports {
-		p.V = make([]float64, 0, steps+1)
-		p.V = append(p.V, s.v[p.I][p.J])
+
+	// Energy watchdog state: a passive grid can never hold more than its
+	// initial energy plus what the ports delivered (eInj upper-bounds the
+	// delivery by summing only inflowing midpoint power).
+	startStep := 0
+	var e0, eInj float64
+	if opts.ResumeFrom != "" {
+		snap, err := restoreFDTDSnapshot(opts.ResumeFrom, s, dt, tstop)
+		if err != nil {
+			return nil, fmt.Errorf("fdtd: resume: %w", err)
+		}
+		startStep, e0, eInj = applyFDTDSnapshot(snap, s, res)
+	} else {
+		for _, p := range s.ports {
+			p.V = make([]float64, 0, steps+1)
+			p.V = append(p.V, s.v[p.I][p.J])
+		}
+		res.Time = append(res.Time, s.t0)
+		e0 = s.TotalEnergy()
 	}
-	res.Time = append(res.Time, s.t0)
+	ckpt := opts.Checkpoint
 
 	// Loss term, semi-implicit: (L/dt)(I⁺−I⁻) + R·(I⁺+I⁻)/2 = −∂V.
 	a := s.Rsq * dt / (2 * s.Lsq)
@@ -229,15 +277,17 @@ func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
 		coefs[[2]int{p.I, p.J}] = portCoef{p: p, beta: dt / (2 * p.R * s.Carea * cellArea)}
 	}
 
-	// Energy watchdog state: a passive grid can never hold more than its
-	// initial energy plus what the ports delivered (eInj upper-bounds the
-	// delivery by summing only inflowing midpoint power).
-	e0 := s.TotalEnergy()
-	var eInj float64
-
-	for n := 1; n <= steps; n++ {
+	for n := startStep + 1; n <= steps; n++ {
 		if n%ctxCheckStride == 0 {
 			if err := simerr.CheckCtx(ctx, "fdtd: run"); err != nil {
+				if ckpt.Enabled() {
+					// Grid state is consistent at every step boundary, so the
+					// live fields at completed step n−1 flush directly.
+					if serr := saveFDTDSnapshot(ckpt.Path, s, dt, tstop, s.t0, n-1, res.Time, e0, eInj); serr != nil {
+						return nil, fmt.Errorf("fdtd: run cancelled and checkpoint flush failed: %w",
+							errors.Join(err, serr))
+					}
+				}
 				return nil, err
 			}
 			if e, bound := s.TotalEnergy(), WatchdogFactor*(e0+eInj); e > bound {
@@ -304,6 +354,17 @@ func (s *Sim) RunCtx(ctx context.Context, dt, tstop float64) (*Result, error) {
 			p.V = append(p.V, vp)
 		}
 		res.Time = append(res.Time, t)
+		if ckpt.Enabled() && ckpt.Due(n) {
+			if err := saveFDTDSnapshot(ckpt.Path, s, dt, tstop, s.t0, n, res.Time, e0, eInj); err != nil {
+				return res, fmt.Errorf("fdtd: checkpoint at t=%g: %w", t, err)
+			}
+		}
+	}
+	if ckpt.Enabled() {
+		// Final snapshot: a resume of a completed run returns immediately.
+		if err := saveFDTDSnapshot(ckpt.Path, s, dt, tstop, s.t0, steps, res.Time, e0, eInj); err != nil {
+			return res, fmt.Errorf("fdtd: final checkpoint: %w", err)
+		}
 	}
 	s.t0 += float64(steps) * dt
 	return res, nil

@@ -2,7 +2,7 @@
 // layer. Every long-running or numerically fragile path in the simulator
 // (MNA transient/OP solves, BEM assembly, network extraction, FDTD stepping,
 // S-parameter sweeps, transmission-line extraction) classifies its failures
-// into one of five classes so callers can branch on the *kind* of failure
+// into one of these classes so callers can branch on the *kind* of failure
 // with errors.Is and read structured detail with errors.As:
 //
 //   - ErrSingular       — a linear system was singular to working precision
@@ -20,6 +20,10 @@
 //     condition estimate, residual, or physics-invariant margin crossed its
 //     escalation threshold (IllConditionedError carries the measured value
 //     and the limit it violated).
+//   - ErrPartial        — a supervised run completed, but some work items
+//     failed and were skipped (PartialError carries the failed/total counts
+//     and a representative item failure); the usable partial result is
+//     returned alongside the error.
 //
 // The classes are sentinels: a typed error matches its class through
 // errors.Is regardless of what else it wraps, so
@@ -42,6 +46,7 @@ var (
 	ErrCancelled      = errors.New("operation cancelled")
 	ErrNaN            = errors.New("non-finite solution")
 	ErrIllConditioned = errors.New("ill-conditioned system")
+	ErrPartial        = errors.New("completed with failed items")
 )
 
 // SingularError reports a singular or numerically rank-deficient linear
@@ -206,6 +211,34 @@ func (e *IllConditionedError) Unwrap() error { return e.Err }
 
 // Is matches the ErrIllConditioned class.
 func (e *IllConditionedError) Is(target error) bool { return target == ErrIllConditioned }
+
+// PartialError reports a run that completed with some work items failed —
+// a supervised frequency sweep that skipped singular points, a batch with
+// isolated failures. The usable part of the result is returned alongside
+// this error; callers decide whether partial is good enough. Failed counts
+// the skipped items, Total the items requested, and Err is a representative
+// per-item failure (the first one, by convention) so errors.Is can also
+// resolve *why* items failed.
+type PartialError struct {
+	Op     string
+	Failed int
+	Total  int
+	Err    error // representative item failure, may be nil
+}
+
+func (e *PartialError) Error() string {
+	msg := fmt.Sprintf("%s: %d of %d items failed; partial results returned", e.Op, e.Failed, e.Total)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the representative item failure.
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// Is matches the ErrPartial class.
+func (e *PartialError) Is(target error) bool { return target == ErrPartial }
 
 // Tagf builds an error whose message is exactly the formatted string and
 // whose identity is the given class sentinel: errors.Is(err, class) holds

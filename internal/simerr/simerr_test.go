@@ -19,8 +19,9 @@ func TestClassMatching(t *testing.T) {
 		{&BadInputError{Op: "op", Detail: "neg"}, ErrBadInput},
 		{&CancelledError{Op: "op", Err: context.Canceled}, ErrCancelled},
 		{&NaNError{Op: "op", Time: 1e-9, Unknown: "vdd", Index: 2}, ErrNaN},
+		{&PartialError{Op: "op", Failed: 1, Total: 5}, ErrPartial},
 	}
-	classes := []error{ErrSingular, ErrNonConvergence, ErrBadInput, ErrCancelled, ErrNaN}
+	classes := []error{ErrSingular, ErrNonConvergence, ErrBadInput, ErrCancelled, ErrNaN, ErrPartial}
 	for _, c := range cases {
 		// Matching survives wrapping.
 		wrapped := fmt.Errorf("outer: %w", c.err)
@@ -48,6 +49,24 @@ func TestStructuredDetail(t *testing.T) {
 	for _, want := range []string{"42", "0.5", "2e-09"} {
 		if !strings.Contains(nc.Error(), want) {
 			t.Errorf("non-convergence message missing %q: %s", want, nc)
+		}
+	}
+}
+
+func TestPartialCarriesRepresentativeCause(t *testing.T) {
+	err := &PartialError{Op: "sparam: sweep", Failed: 1, Total: 20,
+		Err: &SingularError{Op: "point", Node: "", Row: -1}}
+	if !errors.Is(err, ErrPartial) {
+		t.Fatal("PartialError must match ErrPartial")
+	}
+	// The representative cause stays resolvable: callers can tell a sweep
+	// that skipped singular points from one that skipped ill-conditioned ones.
+	if !errors.Is(err, ErrSingular) {
+		t.Fatal("wrapped per-item cause must stay resolvable through the partial error")
+	}
+	for _, want := range []string{"1 of 20", "partial results"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("partial message missing %q: %s", want, err)
 		}
 	}
 }

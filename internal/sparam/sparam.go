@@ -178,19 +178,27 @@ func reciprocityAsymmetry(s *mat.CMatrix) float64 {
 	return worst / scale
 }
 
+// ZFunc evaluates a port impedance matrix at angular frequency omega. The
+// context is threaded into the evaluation itself (not just checked between
+// points) so a hung or expensive single point stays cancellable mid-solve —
+// extraction evaluators check it per port column (Network.PortZCtx).
+type ZFunc func(ctx context.Context, omega float64) (*mat.CMatrix, error)
+
 // SweepZ converts a per-frequency impedance evaluator into an S sweep. The
 // frequency points are evaluated in parallel, so zAt must be safe for
 // concurrent calls (the extraction and cavity evaluators are: they only read
 // shared matrices).
 func SweepZ(freqs []float64, z0 float64, zAt func(omega float64) (*mat.CMatrix, error)) (*Sweep, error) {
-	return SweepZCtx(context.Background(), freqs, z0, zAt) //pdnlint:ignore ctxflow documented non-Ctx compatibility shim; cancellable callers use SweepZCtx
+	return SweepZCtx(context.Background(), freqs, z0, //pdnlint:ignore ctxflow documented non-Ctx compatibility shim; cancellable callers use SweepZCtx
+		func(_ context.Context, omega float64) (*mat.CMatrix, error) { return zAt(omega) })
 }
 
 // SweepZCtx is SweepZ with cancellation: each frequency point checks ctx
-// before evaluating, so an expensive sweep stops within one point of a
-// timeout and returns a simerr.ErrCancelled-class error. Non-finite
-// frequencies are rejected up front (simerr.ErrBadInput).
-func SweepZCtx(ctx context.Context, freqs []float64, z0 float64, zAt func(omega float64) (*mat.CMatrix, error)) (*Sweep, error) {
+// before evaluating and passes it into zAt, so an expensive sweep stops
+// within one point of a timeout — and a single hung point stops mid-solve —
+// returning a simerr.ErrCancelled-class error. Non-finite frequencies are
+// rejected up front (simerr.ErrBadInput).
+func SweepZCtx(ctx context.Context, freqs []float64, z0 float64, zAt ZFunc) (*Sweep, error) {
 	for i, f := range freqs {
 		if math.IsNaN(f) || math.IsInf(f, 0) {
 			return nil, simerr.BadInput("sparam: sweep", "non-finite frequency %g at index %d", f, i)
@@ -208,7 +216,7 @@ func SweepZCtx(ctx context.Context, freqs []float64, z0 float64, zAt func(omega 
 			return
 		}
 		f := freqs[i]
-		z, err := zAt(2 * math.Pi * f)
+		z, err := zAt(ctx, 2*math.Pi*f)
 		if err != nil {
 			errs[i] = fmt.Errorf("sparam: Z at %g Hz: %w", f, err)
 			return

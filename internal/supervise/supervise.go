@@ -1,0 +1,197 @@
+// Package supervise isolates the failure of one work item from the run that
+// contains it. The solver's long loops — per-frequency sweep points,
+// extraction retries — historically failed all-or-nothing: one singular
+// frequency point aborted an entire S-parameter sweep. Under a supervision
+// Policy each item instead gets bounded retries (with backoff and an
+// escalating numerical perturbation that steps a solve off an exact
+// resonance or rank deficiency), and an item that still fails is marked
+// failed and skipped so the run completes with partial results.
+//
+// The perturbation is deliberately generic: sweep callers apply it as a
+// relative frequency nudge (ω·(1+p)), extraction callers as relative
+// diagonal regularization. Retryable failures default to the numerical
+// classes a perturbation can plausibly fix — simerr.ErrSingular and
+// simerr.ErrIllConditioned; malformed input, cancellation, NaNs and Newton
+// budget exhaustion are never retried (a perturbation cannot repair them,
+// and retrying cancellation would fight the user).
+package supervise
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"pdnsim/internal/simerr"
+)
+
+// DefaultMaxAttempts is the default total attempts per item (first try plus
+// retries). Three keeps the worst-case extra cost of a systematically
+// failing sweep bounded at 2× while giving a resonance-grazing point two
+// perturbed chances.
+const DefaultMaxAttempts = 3
+
+// DefaultPerturbRel is the first-retry relative perturbation, doubled on
+// each further retry. 1e-9 is orders of magnitude above float64 roundoff
+// (so it genuinely moves a solve off an exact singular point — cf. the MTL
+// resonance guard of the same scale) yet far below the width of any
+// physical resonance of a package or board structure, so a perturbed point
+// is indistinguishable from the exact one at plotting precision.
+const DefaultPerturbRel = 1e-9
+
+// DefaultBackoff is the delay before the first retry, doubled per retry.
+// Numerical failures are deterministic, but the retry runs perturbed, and a
+// millisecond of backoff keeps a pathological all-points-failing sweep from
+// spinning a core at full rate while costing nothing against real solve
+// times.
+const DefaultBackoff = time.Millisecond
+
+// MaxBackoff caps the exponential backoff so a deep retry budget never
+// stalls a run for longer than a solve would take.
+const MaxBackoff = 100 * time.Millisecond
+
+// Policy bounds the retries of one work item. The zero value selects every
+// default, so `var p supervise.Policy` is a working configuration.
+type Policy struct {
+	// MaxAttempts is the total number of attempts per item, including the
+	// first. Zero or negative selects DefaultMaxAttempts; 1 disables
+	// retries (supervision then only provides mark-failed-and-continue).
+	MaxAttempts int
+
+	// Backoff is the delay before the first retry, doubled on each further
+	// retry and capped at MaxBackoff. Zero selects DefaultBackoff; negative
+	// disables waiting entirely (useful in tests).
+	Backoff time.Duration
+
+	// PerturbRel is the relative perturbation handed to the first retry,
+	// doubled on each further retry. Zero selects DefaultPerturbRel;
+	// negative disables perturbation (retries re-run the item unchanged).
+	PerturbRel float64
+
+	// RetryOn decides whether an attempt's error is worth retrying. Nil
+	// selects Retryable.
+	RetryOn func(error) bool
+}
+
+// Retryable is the default retry predicate: only the numerical failure
+// classes a perturbation can plausibly fix.
+func Retryable(err error) bool {
+	return errors.Is(err, simerr.ErrSingular) || errors.Is(err, simerr.ErrIllConditioned)
+}
+
+// Status records the supervision outcome of one work item.
+type Status struct {
+	Index      int     // caller's item index (frequency point, attempt slot)
+	Attempts   int     // attempts consumed (1 = clean first-try success)
+	PerturbRel float64 // perturbation of the final attempt (0 = unperturbed)
+	Err        error   // nil on success; the final attempt's error otherwise
+}
+
+// OK reports whether the item eventually succeeded.
+func (s Status) OK() bool { return s.Err == nil }
+
+// maxAttempts resolves the effective attempt budget.
+func (p Policy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+// perturbFor returns the relative perturbation for attempt k (1-based):
+// 0 for the first attempt, then PerturbRel escalating by doubling.
+func (p Policy) perturbFor(attempt int) float64 {
+	if attempt <= 1 || p.PerturbRel < 0 {
+		return 0
+	}
+	base := p.PerturbRel
+	if base == 0 {
+		base = DefaultPerturbRel
+	}
+	out := base
+	for k := 2; k < attempt; k++ {
+		out *= 2
+	}
+	return out
+}
+
+// backoffFor returns the wait before attempt k (1-based; no wait before the
+// first attempt), doubling from Backoff and capped at MaxBackoff.
+func (p Policy) backoffFor(attempt int) time.Duration {
+	if attempt <= 1 || p.Backoff < 0 {
+		return 0
+	}
+	d := p.Backoff
+	if d == 0 {
+		d = DefaultBackoff
+	}
+	for k := 2; k < attempt; k++ {
+		d *= 2
+		if d >= MaxBackoff {
+			return MaxBackoff
+		}
+	}
+	if d > MaxBackoff {
+		return MaxBackoff
+	}
+	return d
+}
+
+// Do runs one work item under the policy. fn receives the context and the
+// relative perturbation for the current attempt (0 on the first attempt; the
+// caller decides what "perturb" means for its solve). Do retries failures
+// the policy deems retryable, waiting the backoff between attempts (the
+// wait aborts promptly on ctx cancellation), and returns the first
+// successful value together with a Status describing the effort. A
+// non-retryable error, an exhausted budget, or cancellation returns the
+// zero value and a Status carrying the final error.
+func Do[T any](ctx context.Context, p Policy, index int, fn func(ctx context.Context, perturbRel float64) (T, error)) (T, Status) {
+	var zero T
+	st := Status{Index: index}
+	retryOn := p.RetryOn
+	if retryOn == nil {
+		retryOn = Retryable
+	}
+	budget := p.maxAttempts()
+	for attempt := 1; attempt <= budget; attempt++ {
+		if err := simerr.CheckCtx(ctx, "supervise"); err != nil {
+			st.Err = err
+			return zero, st
+		}
+		if wait := p.backoffFor(attempt); wait > 0 {
+			if err := sleepCtx(ctx, wait); err != nil {
+				st.Err = err
+				return zero, st
+			}
+		}
+		st.Attempts = attempt
+		st.PerturbRel = p.perturbFor(attempt)
+		v, err := fn(ctx, st.PerturbRel)
+		if err == nil {
+			st.Err = nil
+			return v, st
+		}
+		st.Err = err
+		if !retryOn(err) || errors.Is(err, simerr.ErrCancelled) {
+			return zero, st
+		}
+	}
+	return zero, st
+}
+
+// sleepCtx waits for d or until ctx is cancelled, whichever comes first,
+// returning a simerr.ErrCancelled-class error in the latter case. A nil ctx
+// waits unconditionally.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return &simerr.CancelledError{Op: "supervise: backoff", Err: ctx.Err()}
+	case <-t.C:
+		return nil
+	}
+}

@@ -313,8 +313,10 @@ func SweepS(freqs []float64, z0 float64, zAt func(omega float64) (*CMatrix, erro
 	return sparam.SweepZ(freqs, z0, zAt)
 }
 
-// SweepSCtx is SweepS with cancellation checked at each frequency point.
-func SweepSCtx(ctx context.Context, freqs []float64, z0 float64, zAt func(omega float64) (*CMatrix, error)) (*SSweep, error) {
+// SweepSCtx is SweepS with cancellation checked at each frequency point and
+// threaded into the impedance evaluation itself (use Network.PortZCtx as zAt
+// so a hung point is cancellable mid-solve).
+func SweepSCtx(ctx context.Context, freqs []float64, z0 float64, zAt func(ctx context.Context, omega float64) (*CMatrix, error)) (*SSweep, error) {
 	return sparam.SweepZCtx(ctx, freqs, z0, zAt)
 }
 

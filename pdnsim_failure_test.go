@@ -123,10 +123,10 @@ func TestPipelineCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SweepSCtx(ctx, LinSpace(1e8, 1e9, 5), 50, res.Network.PortZ); !errors.Is(err, ErrCancelled) {
+	if _, err := SweepSCtx(ctx, LinSpace(1e8, 1e9, 5), 50, res.Network.PortZCtx); !errors.Is(err, ErrCancelled) {
 		t.Fatalf("cancelled sweep must return ErrCancelled, got %v", err)
 	}
-	sw, err := SweepSCtx(context.Background(), LinSpace(1e8, 1e9, 5), 50, res.Network.PortZ)
+	sw, err := SweepSCtx(context.Background(), LinSpace(1e8, 1e9, 5), 50, res.Network.PortZCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
