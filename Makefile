@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check vet race lint pdnlint smoke
+.PHONY: build test bench bench-smoke check vet race lint pdnlint smoke
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,16 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the paper-figure and dense-kernel benchmarks and records them
+# into the BENCH_<date>.json trajectory (scripts/bench.sh, cmd/benchjson).
 bench:
-	$(GO) test -bench=. -benchmem .
+	./scripts/bench.sh
+
+# bench-smoke is the CI variant: one iteration per benchmark, gated against
+# the committed trajectory — fails on a >2x ns/op regression of any shared
+# benchmark (the factor lives in cmd/benchjson).
+bench-smoke:
+	BENCH_SMOKE=1 BENCH_BASELINE=$(BENCH_BASELINE) ./scripts/bench.sh
 
 vet:
 	$(GO) vet ./...

@@ -363,7 +363,22 @@ func (a *Assembly) InverseInductanceLaplacian() (*mat.Matrix, error) {
 			return nil, err
 		}
 	}
-	g := at.T().Mul(x)
+	// Γ = A·X with A the cells×links incidence matrix: each link l
+	// contributes its X row to cell From and its negation to cell To. The
+	// direct accumulation is O(links·cells) versus O(cells·links·cells) for a
+	// dense A·X product — the incidence matrix is two entries per column, and
+	// the dense kernel (deliberately) no longer skips zero terms.
+	cells := len(a.Mesh.Cells)
+	g := mat.New(cells, cells)
+	for _, l := range a.Mesh.Links {
+		row := x.Data[l.Index*cells : (l.Index+1)*cells]
+		from := g.Data[l.From*cells : (l.From+1)*cells]
+		to := g.Data[l.To*cells : (l.To+1)*cells]
+		for j, v := range row {
+			from[j] += v
+			to[j] -= v
+		}
+	}
 	g.Symmetrize()
 	return g, nil
 }

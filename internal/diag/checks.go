@@ -67,6 +67,19 @@ func CheckSymmetric(d *Diagnostics, stage, check string, m *mat.Matrix) error {
 // singular operators (Laplacians with a ones-nullspace pass with minEig 0).
 // m must already be symmetric (run CheckSymmetric first).
 func CheckPSD(d *Diagnostics, stage, check string, m *mat.Matrix) error {
+	return CheckPSDScaled(d, stage, check, m, 0)
+}
+
+// CheckPSDScaled is CheckPSD with an external reference scale for the
+// roundoff thresholds. A reduced operator that is exactly singular in exact
+// arithmetic (a Schur complement of a Laplacian onto its nullspace support)
+// comes out as pure cancellation noise proportional to the magnitude of the
+// *unreduced* matrix; judging its spectrum relative to its own λmax — itself
+// noise — is degenerate and fails on a sign flip. Callers that reduce an
+// operator pass the unreduced matrix magnitude (e.g. mat.NormInf of the full
+// system) as scale; thresholds then use max(λmax, scale). scale <= 0 falls
+// back to plain CheckPSD behaviour.
+func CheckPSDScaled(d *Diagnostics, stage, check string, m *mat.Matrix, scale float64) error {
 	if m.Rows != m.Cols || m.Rows == 0 {
 		return nil
 	}
@@ -82,13 +95,14 @@ func CheckPSD(d *Diagnostics, stage, check string, m *mat.Matrix) error {
 	if lmax == 0 {
 		return nil // zero matrix is PSD
 	}
+	lref := math.Max(lmax, scale)
 	lmin := vals[0] // ascending order
 	switch {
-	case lmin < -EigClipRel*lmax*1e3:
+	case lmin < -EigClipRel*lref*1e3:
 		d.Errorf(stage, check, lmin, 0,
 			"negative eigenvalue %.3g (λmax %.3g); operator is not PSD", lmin, lmax)
 		return &simerr.IllConditionedError{Op: stage, Quantity: check + " min eigenvalue", Value: lmin, Limit: 0}
-	case lmin < -EigClipRel*lmax:
+	case lmin < -EigClipRel*lref:
 		clipEigenvalues(m, vals, vecs)
 		d.Warnf(stage, check, lmin, 0, true,
 			"eigenvalue %.3g clipped to zero (λmax %.3g)", lmin, lmax)

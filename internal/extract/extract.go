@@ -208,7 +208,7 @@ func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network
 	// the eigen/condition checks cost nothing next to the O(n³) reductions).
 	// Tiny violations are repaired in place and recorded; gross ones abort
 	// with simerr.ErrIllConditioned carrying the measured margin.
-	if err := checkReduced(d, gammaRed, cRed, gRed); err != nil {
+	if err := checkReduced(d, gammaRed, cRed, gRed, mat.NormInf(gamma)); err != nil {
 		return nil, err
 	}
 
@@ -231,8 +231,11 @@ func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network
 // capacitance must be symmetric positive definite, the inverse-inductance
 // and conductance Laplacians symmetric positive semidefinite (both carry an
 // exact ones-nullspace, Γ·1 = 0), and the reduced capacitance system well
-// enough conditioned that branch values have trustworthy digits.
-func checkReduced(d *diag.Diagnostics, gamma, c, g *mat.Matrix) error {
+// enough conditioned that branch values have trustworthy digits. gammaScale
+// is the magnitude of the unreduced Γ: the reduced Γ is Schur cancellation
+// against that scale, so its PSD roundoff band must be judged relative to it
+// (a fully-eliminated single-port Γ is exact zero plus noise of either sign).
+func checkReduced(d *diag.Diagnostics, gamma, c, g *mat.Matrix, gammaScale float64) error {
 	if err := diag.CheckSymmetric(d, "extract", "reduced C", c); err != nil {
 		return err
 	}
@@ -242,7 +245,7 @@ func checkReduced(d *diag.Diagnostics, gamma, c, g *mat.Matrix) error {
 	if err := diag.CheckSymmetric(d, "extract", "reduced Γ", gamma); err != nil {
 		return err
 	}
-	if err := diag.CheckPSD(d, "extract", "reduced Γ", gamma); err != nil {
+	if err := diag.CheckPSDScaled(d, "extract", "reduced Γ", gamma, gammaScale); err != nil {
 		return err
 	}
 	if g != nil {
@@ -488,21 +491,29 @@ func (n *Network) PortZCtx(ctx context.Context, omega float64) (*mat.CMatrix, er
 	}
 	np := n.NumPorts
 	z := mat.CNew(np, np)
-	rhs := make([]complex128, n.NumNodes())
-	for p := 0; p < np; p++ {
+	// Port columns are independent solves against the shared factorisation;
+	// run them through the worker budget (serial when nested inside a
+	// parallel sweep, or when cancellation fires first).
+	errs := make([]error, np)
+	mat.ParallelFor(np, func(p int) {
 		if err := simerr.CheckCtx(ctx, "extract: port impedance"); err != nil {
-			return nil, err
+			errs[p] = err
+			return
 		}
-		for i := range rhs {
-			rhs[i] = 0
-		}
+		rhs := make([]complex128, n.NumNodes())
 		rhs[p] = 1
 		v, err := lu.Solve(rhs)
 		if err != nil {
-			return nil, err
+			errs[p] = err
+			return
 		}
 		for q := 0; q < np; q++ {
 			z.Set(q, p, v[q])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return z, nil

@@ -55,9 +55,9 @@ func saveFDTDSnapshot(path string, s *Sim, dt, tstop, t0 float64, n int, time []
 		Lsq: s.Lsq, Carea: s.Carea, Rsq: s.Rsq,
 		T0:   t0,
 		Step: n,
-		V:    copyGrid(s.v),
-		Ix:   copyGrid(s.ix),
-		Iy:   copyGrid(s.iy),
+		V:    toGrid(s.v, s.Nx, s.Ny),
+		Ix:   toGrid(s.ix, s.Nx+1, s.Ny),
+		Iy:   toGrid(s.iy, s.Nx, s.Ny+1),
 		Time: time[:n+1],
 		E0:   e0,
 		EInj: eInj,
@@ -70,10 +70,21 @@ func saveFDTDSnapshot(path string, s *Sim, dt, tstop, t0 float64, n int, time []
 	return checkpoint.Save(path, fdtdSnapshotKind, snap)
 }
 
-func copyGrid(g [][]float64) [][]float64 {
-	out := make([][]float64, len(g))
+// toGrid/fromGrid bridge the flat row-major field slices and the snapshot's
+// [][]float64 representation: the on-disk JSON format predates the flat
+// field layout and is kept stable so old snapshots stay resumable.
+func toGrid(flat []float64, nr, nc int) [][]float64 {
+	out := make([][]float64, nr)
+	for i := range out {
+		out[i] = append([]float64(nil), flat[i*nc:(i+1)*nc]...)
+	}
+	return out
+}
+
+func fromGrid(g [][]float64, nc int) []float64 {
+	out := make([]float64, len(g)*nc)
 	for i, row := range g {
-		out[i] = append([]float64(nil), row...)
+		copy(out[i*nc:(i+1)*nc], row)
 	}
 	return out
 }
@@ -146,9 +157,9 @@ func gridShaped(g [][]float64, nx, ny int) bool {
 // grids, time base, and port records, and seeds the result time axis.
 // It returns the step to continue from and the watchdog accumulators.
 func applyFDTDSnapshot(snap *fdtdSnapshot, s *Sim, res *Result) (startStep int, e0, eInj float64) {
-	s.v = copyGrid(snap.V)
-	s.ix = copyGrid(snap.Ix)
-	s.iy = copyGrid(snap.Iy)
+	s.v = fromGrid(snap.V, s.Ny)
+	s.ix = fromGrid(snap.Ix, s.Ny)
+	s.iy = fromGrid(snap.Iy, s.Ny+1)
 	s.t0 = snap.T0
 	for k, p := range s.ports {
 		p.V = append(p.V[:0], snap.Port[k].V...)

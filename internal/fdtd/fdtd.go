@@ -20,13 +20,22 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"pdnsim/internal/checkpoint"
 	"pdnsim/internal/diag"
 	"pdnsim/internal/geom"
 	"pdnsim/internal/greens"
+	"pdnsim/internal/mat"
 	"pdnsim/internal/simerr"
 )
+
+// fdtdParallelMinCells is the grid size below which the leapfrog update runs
+// serially: a row stripe is ~10 flops per cell, so small grids lose more to
+// goroutine dispatch than the stripes win. At ≥ 32k cells a step carries a
+// few hundred kiloflops and row-striping across mat.ParallelFor's worker
+// budget pays for itself.
+const fdtdParallelMinCells = 1 << 15
 
 // Port is a resistive Thevenin connection between the planes at one cell.
 type Port struct {
@@ -39,6 +48,11 @@ type Port struct {
 }
 
 // Sim is one plane-pair FDTD simulation.
+//
+// Field storage is flat row-major slices rather than [][]float64: one
+// allocation per field, contiguous rows for the striped update loops, and no
+// per-row pointer chase in the hot leapfrog kernels. v and active are Nx×Ny
+// at index i·Ny+j; ix is (Nx+1)×Ny at i·Ny+j; iy is Nx×(Ny+1) at i·(Ny+1)+j.
 type Sim struct {
 	Nx, Ny int
 	Dx, Dy float64
@@ -46,15 +60,18 @@ type Sim struct {
 	Carea  float64 // ε0εr/d, F per area
 	Rsq    float64 // total sheet resistance, Ω per square
 
-	v      [][]float64
-	ix     [][]float64 // Nx+1 × Ny, on vertical cell edges
-	iy     [][]float64 // Nx × Ny+1, on horizontal cell edges
-	active [][]bool
+	v      []float64 // Nx × Ny, cell centres
+	ix     []float64 // Nx+1 × Ny, on vertical cell edges
+	iy     []float64 // Nx × Ny+1, on horizontal cell edges
+	active []bool    // Nx × Ny
 
 	ports []*Port
 	shape geom.Shape
 	t0    float64 // accumulated simulated time across Run calls
 }
+
+// at returns the flat index of cell (i,j) in v/active.
+func (s *Sim) at(i, j int) int { return i*s.Ny + j }
 
 // New builds a simulation over the given plane shape, meshed nx×ny over the
 // shape bounds, with plate separation d (m), permittivity epsR, and total
@@ -82,34 +99,25 @@ func New(shape geom.Shape, nx, ny int, d, epsR, rsq float64) (s *Sim, err error)
 		Rsq:   rsq,
 		shape: shape,
 	}
-	s.v = alloc(nx, ny)
-	s.ix = alloc(nx+1, ny)
-	s.iy = alloc(nx, ny+1)
-	s.active = make([][]bool, nx)
+	s.v = make([]float64, nx*ny)
+	s.ix = make([]float64, (nx+1)*ny)
+	s.iy = make([]float64, nx*(ny+1))
+	s.active = make([]bool, nx*ny)
 	anyActive := false
 	for i := 0; i < nx; i++ {
-		s.active[i] = make([]bool, ny)
 		for j := 0; j < ny; j++ {
 			c := geom.Point{
 				X: b.X0 + (float64(i)+0.5)*s.Dx,
 				Y: b.Y0 + (float64(j)+0.5)*s.Dy,
 			}
-			s.active[i][j] = shape.Contains(c)
-			anyActive = anyActive || s.active[i][j]
+			s.active[i*ny+j] = shape.Contains(c)
+			anyActive = anyActive || s.active[i*ny+j]
 		}
 	}
 	if !anyActive {
 		return nil, simerr.BadInput("fdtd: new", "no active cells; refine the grid")
 	}
 	return s, nil
-}
-
-func alloc(nx, ny int) [][]float64 {
-	m := make([][]float64, nx)
-	for i := range m {
-		m[i] = make([]float64, ny)
-	}
-	return m
 }
 
 // AddPort attaches a Thevenin port at the active cell nearest to p.
@@ -122,7 +130,7 @@ func (s *Sim) AddPort(name string, p geom.Point, r float64, source func(t float6
 	bi, bj, best := -1, -1, math.Inf(1)
 	for i := 0; i < s.Nx; i++ {
 		for j := 0; j < s.Ny; j++ {
-			if !s.active[i][j] {
+			if !s.active[s.at(i, j)] {
 				continue
 			}
 			c := geom.Point{
@@ -252,7 +260,7 @@ func (s *Sim) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, err
 	} else {
 		for _, p := range s.ports {
 			p.V = make([]float64, 0, steps+1)
-			p.V = append(p.V, s.v[p.I][p.J])
+			p.V = append(p.V, s.v[s.at(p.I, p.J)])
 		}
 		res.Time = append(res.Time, s.t0)
 		e0 = s.TotalEnergy()
@@ -264,17 +272,100 @@ func (s *Sim) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, err
 	cI1 := (1 - a) / (1 + a)
 	cI2 := dt / (s.Lsq * (1 + a))
 	cellArea := s.Dx * s.Dy
+	cV := dt / (s.Carea * cellArea)
 
 	// Port cells get the resistor folded into the same voltage update
 	// (semi-implicit), which keeps the leapfrog scheme passive:
 	//   C″A·(V⁺−V⁻)/dt = −div − (V⁺+V⁻)/(2R) + Vs/R.
+	// Port cells are masked out of the striped bulk update and handled in a
+	// serial pass in ascending cell order, which keeps the parallel schedule
+	// bitwise deterministic and the eInj accumulation order fixed. When two
+	// ports land on one cell the last one wins, matching the historical
+	// map-based coefficient table.
 	type portCoef struct {
+		cell int
 		p    *Port
 		beta float64
 	}
-	coefs := make(map[[2]int]portCoef, len(s.ports))
+	isPort := make([]bool, s.Nx*s.Ny)
+	var coefs []portCoef
 	for _, p := range s.ports {
-		coefs[[2]int{p.I, p.J}] = portCoef{p: p, beta: dt / (2 * p.R * s.Carea * cellArea)}
+		cell := s.at(p.I, p.J)
+		if isPort[cell] {
+			for k := range coefs {
+				if coefs[k].cell == cell {
+					coefs = append(coefs[:k], coefs[k+1:]...)
+					break
+				}
+			}
+		}
+		isPort[cell] = true
+		coefs = append(coefs, portCoef{cell: cell, p: p, beta: dt / (2 * p.R * s.Carea * cellArea)})
+	}
+	sort.Slice(coefs, func(a, b int) bool { return coefs[a].cell < coefs[b].cell })
+
+	// Striped parallel update plan: currents first (ix rows 1..Nx-1 and iy
+	// rows 0..Nx-1 are independent given v), then bulk voltages (each cell
+	// reads only currents), then the serial port pass. Rows are the stripes;
+	// every cell is written by exactly one stripe, so parallel and serial
+	// schedules produce bitwise identical grids. Small grids skip the
+	// dispatch entirely (see fdtdParallelMinCells).
+	parallelGrid := s.Nx*s.Ny >= fdtdParallelMinCells
+	stripes := func(n int, fn func(i int)) {
+		if parallelGrid {
+			mat.ParallelFor(n, fn)
+			return
+		}
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+	}
+	nx, ny := s.Nx, s.Ny
+	currentRow := func(w int) {
+		if w < nx-1 {
+			// ix row i = w+1: vertical-edge currents between rows i-1 and i.
+			i := w + 1
+			rowIx := s.ix[i*ny : i*ny+ny]
+			rowV := s.v[i*ny : i*ny+ny]
+			prevV := s.v[(i-1)*ny : i*ny]
+			act := s.active[i*ny : i*ny+ny]
+			actP := s.active[(i-1)*ny : i*ny]
+			for j := 0; j < ny; j++ {
+				if actP[j] && act[j] {
+					rowIx[j] = cI1*rowIx[j] - cI2*(rowV[j]-prevV[j])/s.Dx
+				} else {
+					rowIx[j] = 0
+				}
+			}
+			return
+		}
+		// iy row i = w-(nx-1): horizontal-edge currents within row i.
+		i := w - (nx - 1)
+		rowIy := s.iy[i*(ny+1) : i*(ny+1)+ny+1]
+		rowV := s.v[i*ny : i*ny+ny]
+		act := s.active[i*ny : i*ny+ny]
+		for j := 1; j < ny; j++ {
+			if act[j-1] && act[j] {
+				rowIy[j] = cI1*rowIy[j] - cI2*(rowV[j]-rowV[j-1])/s.Dy
+			} else {
+				rowIy[j] = 0
+			}
+		}
+	}
+	voltageRow := func(i int) {
+		rowV := s.v[i*ny : i*ny+ny]
+		ixLo := s.ix[i*ny : i*ny+ny]
+		ixHi := s.ix[(i+1)*ny : (i+1)*ny+ny]
+		rowIy := s.iy[i*(ny+1) : i*(ny+1)+ny+1]
+		act := s.active[i*ny : i*ny+ny]
+		prt := isPort[i*ny : i*ny+ny]
+		for j := 0; j < ny; j++ {
+			if !act[j] || prt[j] {
+				continue
+			}
+			div := (ixHi[j]-ixLo[j])*s.Dy + (rowIy[j+1]-rowIy[j])*s.Dx
+			rowV[j] += -cV * div
+		}
 	}
 
 	for n := startStep + 1; n <= steps; n++ {
@@ -301,55 +392,35 @@ func (s *Sim) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, err
 		}
 		t := s.t0 + float64(n)*dt
 		// Current updates (half step earlier in leapfrog time).
-		for i := 1; i < s.Nx; i++ {
-			for j := 0; j < s.Ny; j++ {
-				if s.active[i-1][j] && s.active[i][j] {
-					s.ix[i][j] = cI1*s.ix[i][j] - cI2*(s.v[i][j]-s.v[i-1][j])/s.Dx
-				} else {
-					s.ix[i][j] = 0
-				}
+		stripes((nx-1)+nx, currentRow)
+		// Bulk voltage update, port cells masked out.
+		stripes(nx, voltageRow)
+		// Serial port pass (ascending cell order).
+		for _, pc := range coefs {
+			if !s.active[pc.cell] {
+				continue
 			}
-		}
-		for i := 0; i < s.Nx; i++ {
-			for j := 1; j < s.Ny; j++ {
-				if s.active[i][j-1] && s.active[i][j] {
-					s.iy[i][j] = cI1*s.iy[i][j] - cI2*(s.v[i][j]-s.v[i][j-1])/s.Dy
-				} else {
-					s.iy[i][j] = 0
-				}
+			i, j := pc.cell/ny, pc.cell%ny
+			div := (s.ix[(i+1)*ny+j]-s.ix[i*ny+j])*s.Dy + (s.iy[i*(ny+1)+j+1]-s.iy[i*(ny+1)+j])*s.Dx
+			dv := -cV * div
+			vs := 0.0
+			if pc.p.Source != nil {
+				vs = pc.p.Source(t)
 			}
-		}
-		// Voltage update (ports folded in semi-implicitly).
-		for i := 0; i < s.Nx; i++ {
-			for j := 0; j < s.Ny; j++ {
-				if !s.active[i][j] {
-					continue
-				}
-				div := (s.ix[i+1][j]-s.ix[i][j])*s.Dy + (s.iy[i][j+1]-s.iy[i][j])*s.Dx
-				dv := -dt / (s.Carea * cellArea) * div
-				if pc, ok := coefs[[2]int{i, j}]; ok {
-					vs := 0.0
-					if pc.p.Source != nil {
-						vs = pc.p.Source(t)
-					}
-					vold := s.v[i][j]
-					s.v[i][j] = (vold*(1-pc.beta) + dv + 2*pc.beta*vs) / (1 + pc.beta)
-					// Midpoint estimate of the energy the port pushed into
-					// the grid this step (inflow only — outflow tightening
-					// the bound would risk false watchdog trips).
-					vbar := (vold + s.v[i][j]) / 2
-					if inj := vbar * (vs - vbar) / pc.p.R * dt; inj > 0 {
-						eInj += inj
-					}
-				} else {
-					s.v[i][j] += dv
-				}
+			vold := s.v[pc.cell]
+			s.v[pc.cell] = (vold*(1-pc.beta) + dv + 2*pc.beta*vs) / (1 + pc.beta)
+			// Midpoint estimate of the energy the port pushed into the grid
+			// this step (inflow only — outflow tightening the bound would
+			// risk false watchdog trips).
+			vbar := (vold + s.v[pc.cell]) / 2
+			if inj := vbar * (vs - vbar) / pc.p.R * dt; inj > 0 {
+				eInj += inj
 			}
 		}
 		for _, p := range s.ports {
-			vp := s.v[p.I][p.J]
+			vp := s.v[s.at(p.I, p.J)]
 			if math.IsNaN(vp) || math.IsInf(vp, 0) {
-				return nil, &simerr.NaNError{Op: "fdtd: run", Time: t, Unknown: "v(" + p.Name + ")", Index: p.I*s.Ny + p.J}
+				return nil, &simerr.NaNError{Op: "fdtd: run", Time: t, Unknown: "v(" + p.Name + ")", Index: s.at(p.I, p.J)}
 			}
 			p.V = append(p.V, vp)
 		}
@@ -375,22 +446,22 @@ func (s *Sim) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, err
 func (s *Sim) TotalEnergy() float64 {
 	cellArea := s.Dx * s.Dy
 	var e float64
-	for i := 0; i < s.Nx; i++ {
-		for j := 0; j < s.Ny; j++ {
-			if s.active[i][j] {
-				e += 0.5 * s.Carea * cellArea * s.v[i][j] * s.v[i][j]
-			}
+	for c, act := range s.active {
+		if act {
+			e += 0.5 * s.Carea * cellArea * s.v[c] * s.v[c]
 		}
 	}
 	// Magnetic energy: ½·L′·I²·(area of the link square).
 	for i := 1; i < s.Nx; i++ {
-		for j := 0; j < s.Ny; j++ {
-			e += 0.5 * s.Lsq * s.ix[i][j] * s.ix[i][j] * cellArea
+		row := s.ix[i*s.Ny : (i+1)*s.Ny]
+		for _, v := range row {
+			e += 0.5 * s.Lsq * v * v * cellArea
 		}
 	}
 	for i := 0; i < s.Nx; i++ {
+		row := s.iy[i*(s.Ny+1) : (i+1)*(s.Ny+1)]
 		for j := 1; j < s.Ny; j++ {
-			e += 0.5 * s.Lsq * s.iy[i][j] * s.iy[i][j] * cellArea
+			e += 0.5 * s.Lsq * row[j] * row[j] * cellArea
 		}
 	}
 	return e

@@ -89,7 +89,7 @@ func TestEnergyWatchdogCatchesInstability(t *testing.T) {
 	// (1-a)/(1+a) ≈ 2.3 every step.
 	s.Rsq = -0.8 * s.Lsq / dt
 	// Seed a localized excitation so there is a field gradient to amplify.
-	s.v[4][4] = 1
+	s.v[s.at(4, 4)] = 1
 	res, err := s.Run(dt, 500*dt)
 	if !errors.Is(err, simerr.ErrIllConditioned) {
 		t.Fatalf("energy runaway must escalate to ErrIllConditioned, got %v", err)

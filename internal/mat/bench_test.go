@@ -1,0 +1,84 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the dense kernels at the package's representative
+// extraction size (n = 400 is a ~20×20-cell plane pair with ports and extra
+// nodes). scripts/bench.sh records these into the BENCH_<date>.json
+// trajectory next to the end-to-end figure benchmarks.
+
+const benchN = 400
+
+func benchMatrix(seed int64, r, c int) *Matrix {
+	return randMatrix(rand.New(rand.NewSource(seed)), r, c)
+}
+
+func BenchmarkLU400(b *testing.B) {
+	a := benchMatrix(1, benchN, benchN)
+	for i := 0; i < benchN; i++ {
+		a.Set(i, i, a.At(i, i)+float64(benchN)) // keep it comfortably nonsingular
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewLU(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCLU400(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := CNew(benchN, benchN)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for i := 0; i < benchN; i++ {
+		a.Set(i, i, a.At(i, i)+complex(float64(benchN), 0))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCLU(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMul400(b *testing.B) {
+	x := benchMatrix(3, benchN, benchN)
+	y := benchMatrix(4, benchN, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}
+
+func BenchmarkCholesky400(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSPD(rng, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulVec400(b *testing.B) {
+	a := benchMatrix(6, benchN, benchN)
+	x := make([]float64, benchN)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x)
+	}
+}

@@ -67,12 +67,7 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 	for iter := 0; iter < maxIter; iter++ {
 		// ap = A·p
 		for i := 0; i < n; i++ {
-			row := a.Data[i*n : (i+1)*n]
-			var s float64
-			for j, v := range row {
-				s += v * p[j]
-			}
-			ap[i] = s
+			ap[i] = dot(a.Data[i*n:(i+1)*n], p)
 		}
 		pap := dot(p, ap)
 		if pap <= 0 {
@@ -108,12 +103,4 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 		}
 	}
 	return nil, simerr.Tagf(simerr.ErrNonConvergence, "mat: CG did not converge in %d iterations", maxIter)
-}
-
-func dot(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
 }

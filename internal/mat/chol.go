@@ -16,8 +16,18 @@ type Cholesky struct {
 	l *Matrix
 }
 
-// NewCholesky factors a symmetric positive-definite matrix. Only the lower
-// triangle of a is read; the input is not modified.
+// cholPanel is the panel width of the blocked right-looking factorisation:
+// columns are factored cholPanel at a time, then the trailing matrix takes
+// one parallel symmetric rank-k update (syrkSubLower) instead of a
+// column-at-a-time sweep. Sized like luPanel for the same cache reasons.
+const cholPanel = 48
+
+// NewCholesky factors a symmetric positive-definite matrix with a blocked
+// right-looking algorithm. Only the lower triangle of a is read; the input
+// is not modified. Per-element subtraction order is unchanged from the
+// classic left-looking loop up to the dot kernel's multi-accumulator
+// reordering, so factors agree with the historical ones to ulps (see
+// luEquivRelTol and DESIGN.md §5g).
 func NewCholesky(a *Matrix) (*Cholesky, error) {
 	if a.Rows != a.Cols {
 		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: Cholesky requires a square matrix")
@@ -25,24 +35,50 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 	n := a.Rows
 	l := New(n, n)
 	ld := l.Data
-	ad := a.Data
+	// Copy the lower triangle; the factorisation runs in place on l, so the
+	// strict upper triangle stays zero.
 	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			s := ad[i*n+j]
-			ri := ld[i*n : i*n+j]
-			rj := ld[j*n : j*n+j]
-			for k := range ri {
-				s -= ri[k] * rj[k]
+		copy(ld[i*n:i*n+i+1], a.Data[i*n:i*n+i+1])
+	}
+	for k0 := 0; k0 < n; k0 += cholPanel {
+		k1 := minInt(k0+cholPanel, n)
+		// Factor the diagonal block: left-looking within the panel (all
+		// earlier panels have already been applied by the rank-k updates).
+		for j := k0; j < k1; j++ {
+			s := ld[j*n+j] - dot(ld[j*n+k0:j*n+j], ld[j*n+k0:j*n+j])
+			if s <= 0 {
+				return nil, ErrNotPositiveDefinite
 			}
-			if i == j {
-				if s <= 0 {
-					return nil, ErrNotPositiveDefinite
-				}
-				ld[i*n+i] = math.Sqrt(s)
-			} else {
-				ld[i*n+j] = s / ld[j*n+j]
+			d := math.Sqrt(s)
+			ld[j*n+j] = d
+			for i := j + 1; i < k1; i++ {
+				t := ld[i*n+j] - dot(ld[i*n+k0:i*n+j], ld[j*n+k0:j*n+j])
+				ld[i*n+j] = t / d
 			}
 		}
+		if k1 >= n {
+			break
+		}
+		// Panel below the diagonal block: each row is independent.
+		below := n - k1
+		solveRows := func(r0, r1 int) {
+			for i := r0; i < r1; i++ {
+				for j := k0; j < k1; j++ {
+					t := ld[i*n+j] - dot(ld[i*n+k0:i*n+j], ld[j*n+k0:j*n+j])
+					ld[i*n+j] = t / ld[j*n+j]
+				}
+			}
+		}
+		if nblk := gemmBlocks(below, k1-k0, k1-k0); nblk == 1 {
+			solveRows(k1, n)
+		} else {
+			ParallelFor(nblk, func(bi int) {
+				r0 := k1 + bi*gemmRowBlock
+				solveRows(r0, minInt(r0+gemmRowBlock, n))
+			})
+		}
+		// Trailing update: C -= L21·L21ᵀ on the lower triangle.
+		syrkSubLower(ld[k1*n+k1:], n, ld[k1*n+k0:], n, below, k1-k0)
 	}
 	return &Cholesky{l: l}, nil
 }
@@ -79,24 +115,39 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// SolveMatrix solves A·X = B column by column.
+// SolveMatrix solves A·X = B; the independent columns run in parallel when
+// the work is large enough.
 func (c *Cholesky) SolveMatrix(b *Matrix) (*Matrix, error) {
 	n := c.l.Rows
 	if b.Rows != n {
 		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs row count mismatch")
 	}
 	out := New(n, b.Cols)
-	col := make([]float64, n)
-	for j := 0; j < b.Cols; j++ {
+	errs := make([]error, b.Cols)
+	solveCol := func(j int) {
+		col := make([]float64, n)
 		for r := 0; r < n; r++ {
 			col[r] = b.At(r, j)
 		}
 		x, err := c.Solve(col)
 		if err != nil {
-			return nil, err
+			errs[j] = err
+			return
 		}
 		for r := 0; r < n; r++ {
 			out.Set(r, j, x[r])
+		}
+	}
+	if n*n*b.Cols < parallelMinFlops {
+		for j := 0; j < b.Cols; j++ {
+			solveCol(j)
+		}
+	} else {
+		ParallelFor(b.Cols, solveCol)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

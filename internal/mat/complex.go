@@ -2,7 +2,6 @@ package mat
 
 import (
 	"fmt"
-	"math"
 	"math/cmplx"
 
 	"pdnsim/internal/simerr"
@@ -83,25 +82,16 @@ func (m *CMatrix) AddM(b *CMatrix) *CMatrix {
 	return out
 }
 
-// Mul returns the matrix product m·b.
+// Mul returns the matrix product m·b, computed by the blocked parallel
+// complex GEMM kernel (see block.go). As with the real Mul, every term is
+// accumulated — no zero-skip — so 0·Inf / 0·NaN contributions propagate
+// instead of being silently masked.
 func (m *CMatrix) Mul(b *CMatrix) *CMatrix {
 	if m.Cols != b.Rows {
 		panic("mat: CMul dimension mismatch")
 	}
 	out := CNew(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += a * bv
-			}
-		}
-	}
+	cgemmAcc(out.Data, b.Cols, m.Data, m.Cols, b.Data, b.Cols, m.Rows, b.Cols, m.Cols, false)
 	return out
 }
 
@@ -144,26 +134,43 @@ func CNorm1(m *CMatrix) float64 {
 	return mx
 }
 
-// NewCLU factors a square complex matrix with partial pivoting.
+// NewCLU factors a square complex matrix with partial pivoting. Large
+// factorisations use the blocked parallel path, mirroring NewLU.
 func NewCLU(a *CMatrix) (*CLU, error) {
 	if a.Rows != a.Cols {
 		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: CLU requires a square matrix")
 	}
 	n := a.Rows
 	f := &CLU{lu: a.Clone(), piv: make([]int, n), norm1: CNorm1(a)}
-	lu := f.lu.Data
 	for i := range f.piv {
 		f.piv[i] = i
 	}
-	for k := 0; k < n; k++ {
+	var err error
+	if n < luBlockMin {
+		err = cluFactorPanel(f, 0, n)
+	} else {
+		err = cluFactorBlocked(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// cluFactorPanel is the complex analogue of luFactorPanel: classic
+// right-looking elimination on columns [k0, k1), updating columns < k1 only.
+func cluFactorPanel(f *CLU, k0, k1 int) error {
+	n := f.lu.Rows
+	lu := f.lu.Data
+	for k := k0; k < k1; k++ {
 		p, pmax := k, cmplx.Abs(lu[k*n+k])
 		for i := k + 1; i < n; i++ {
 			if a := cmplx.Abs(lu[i*n+k]); a > pmax {
 				p, pmax = i, a
 			}
 		}
-		if pmax == 0 || math.IsNaN(pmax) {
-			return nil, &SingularError{Col: k}
+		if err := checkPivot(pmax, k); err != nil {
+			return err
 		}
 		if p != k {
 			rk := lu[k*n : (k+1)*n]
@@ -180,14 +187,46 @@ func NewCLU(a *CMatrix) (*CLU, error) {
 			if m == 0 {
 				continue
 			}
-			ri := lu[i*n+k+1 : (i+1)*n]
-			rk := lu[k*n+k+1 : (k+1)*n]
-			for j := range ri {
-				ri[j] -= m * rk[j]
-			}
+			caxpy1(lu[i*n+k+1:i*n+k1], lu[k*n+k+1:k*n+k1], -m)
 		}
 	}
-	return f, nil
+	return nil
+}
+
+// cluFactorBlocked mirrors luFactorBlocked for complex matrices: panel
+// factorisation, parallel unit-lower substitution through the U12 block,
+// then one parallel complex GEMM on the trailing matrix.
+func cluFactorBlocked(f *CLU) error {
+	n := f.lu.Rows
+	lu := f.lu.Data
+	for k0 := 0; k0 < n; k0 += luPanel {
+		k1 := minInt(k0+luPanel, n)
+		if err := cluFactorPanel(f, k0, k1); err != nil {
+			return err
+		}
+		if k1 >= n {
+			break
+		}
+		wide := n - k1
+		nchunk := gemmBlocks(k1-k0, wide, 4*(k1-k0))
+		chunk := (wide + nchunk - 1) / nchunk
+		ParallelFor(nchunk, func(ci int) {
+			c0 := k1 + ci*chunk
+			c1 := minInt(c0+chunk, n)
+			for k := k0; k < k1; k++ {
+				rk := lu[k*n+c0 : k*n+c1]
+				for i := k + 1; i < k1; i++ {
+					m := lu[i*n+k]
+					if m == 0 {
+						continue
+					}
+					caxpy1(lu[i*n+c0:i*n+c1], rk, -m)
+				}
+			}
+		})
+		cgemmAcc(lu[k1*n+k1:], n, lu[k1*n+k0:], n, lu[k0*n+k1:], n, n-k1, n-k1, k1-k0, true)
+	}
+	return nil
 }
 
 // Solve solves A·x = b. Non-finite entries in b are rejected up front so a
@@ -208,19 +247,10 @@ func (f *CLU) Solve(b []complex128) ([]complex128, error) {
 	}
 	lu := f.lu.Data
 	for i := 1; i < n; i++ {
-		var s complex128
-		row := lu[i*n : i*n+i]
-		for j, v := range row {
-			s += v * x[j]
-		}
-		x[i] -= s
+		x[i] -= cdot(lu[i*n:i*n+i], x[:i])
 	}
 	for i := n - 1; i >= 0; i-- {
-		var s complex128
-		row := lu[i*n+i+1 : (i+1)*n]
-		for j, v := range row {
-			s += v * x[i+1+j]
-		}
+		s := cdot(lu[i*n+i+1:(i+1)*n], x[i+1:])
 		d := lu[i*n+i]
 		if d == 0 {
 			return nil, ErrSingular
@@ -230,24 +260,39 @@ func (f *CLU) Solve(b []complex128) ([]complex128, error) {
 	return x, nil
 }
 
-// SolveMatrix solves A·X = B column by column.
+// SolveMatrix solves A·X = B; the independent columns run in parallel when
+// the work is large enough.
 func (f *CLU) SolveMatrix(b *CMatrix) (*CMatrix, error) {
 	n := f.lu.Rows
 	if b.Rows != n {
 		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs row count mismatch")
 	}
 	out := CNew(n, b.Cols)
-	col := make([]complex128, n)
-	for c := 0; c < b.Cols; c++ {
+	errs := make([]error, b.Cols)
+	solveCol := func(c int) {
+		col := make([]complex128, n)
 		for r := 0; r < n; r++ {
 			col[r] = b.At(r, c)
 		}
 		x, err := f.Solve(col)
 		if err != nil {
-			return nil, err
+			errs[c] = err
+			return
 		}
 		for r := 0; r < n; r++ {
 			out.Set(r, c, x[r])
+		}
+	}
+	if 4*n*n*b.Cols < parallelMinFlops {
+		for c := 0; c < b.Cols; c++ {
+			solveCol(c)
+		}
+	} else {
+		ParallelFor(b.Cols, solveCol)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

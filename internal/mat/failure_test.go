@@ -2,6 +2,7 @@ package mat
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"pdnsim/internal/simerr"
@@ -65,5 +66,52 @@ func TestJacobiEigenBadInputClass(t *testing.T) {
 	asym.Set(0, 1, 1)
 	if _, _, err := JacobiEigen(asym); !errors.Is(err, simerr.ErrBadInput) {
 		t.Fatalf("asymmetric JacobiEigen must be ErrBadInput-class, got %v", err)
+	}
+}
+
+// TestLUInfPivotBadInputClass fault-injects an Inf entry into the pivot
+// column: before the fix, checkPivot let an infinite pivot magnitude pass
+// (it only rejected zero and NaN), and the division by Inf silently zeroed
+// the eliminated column. A non-finite pivot must be refused as
+// ErrBadInput-class, distinct from the ErrSingular path.
+func TestLUInfPivotBadInputClass(t *testing.T) {
+	for _, n := range []int{4, 130} { // classic and blocked paths
+		a := Eye(n)
+		a.Set(2, 2, math.Inf(1))
+		_, err := NewLU(a)
+		if !errors.Is(err, simerr.ErrBadInput) {
+			t.Fatalf("n=%d: Inf pivot must be ErrBadInput-class, got %v", n, err)
+		}
+		if errors.Is(err, ErrSingular) {
+			t.Fatalf("n=%d: Inf pivot must not be classified singular: %v", n, err)
+		}
+	}
+}
+
+// TestLUNaNPivotSingularClass: a NaN-poisoned column has no usable pivot
+// and keeps its historical ErrSingular classification with the column index.
+func TestLUNaNPivotSingularClass(t *testing.T) {
+	a := Eye(4)
+	a.Set(1, 1, math.NaN())
+	_, err := NewLU(a)
+	var se *SingularError
+	if !errors.As(err, &se) || se.Col != 1 {
+		t.Fatalf("NaN pivot must be SingularError with the column, got %v", err)
+	}
+}
+
+// TestCLUInfPivotBadInputClass is the complex analogue of the Inf-pivot
+// fault injection.
+func TestCLUInfPivotBadInputClass(t *testing.T) {
+	for _, n := range []int{4, 130} {
+		a := CEye(n)
+		a.Set(2, 2, complex(math.Inf(1), 0))
+		_, err := NewCLU(a)
+		if !errors.Is(err, simerr.ErrBadInput) {
+			t.Fatalf("n=%d: Inf pivot must be ErrBadInput-class, got %v", n, err)
+		}
+		if errors.Is(err, ErrSingular) {
+			t.Fatalf("n=%d: Inf pivot must not be classified singular: %v", n, err)
+		}
 	}
 }

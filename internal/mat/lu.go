@@ -36,19 +36,76 @@ type LU struct {
 	norm1 float64 // 1-norm of the original matrix, for Cond1Est
 }
 
+// Blocked-factorisation geometry. Factorisations at or above luBlockMin
+// unknowns run the right-looking blocked algorithm: panels of luPanel
+// columns are factored with the classic BLAS-2 loop, then the trailing
+// matrix is updated in one blocked, parallel GEMM (gemmAcc) instead of
+// n rank-1 sweeps. Below luBlockMin the panel machinery costs more than it
+// saves and the one-panel classic loop runs instead. Both paths choose
+// identical pivots and apply each element's updates one term at a time in
+// ascending-k order, so the blocked factor is bitwise identical to the
+// classic one (see block.go's accumulation-order contract).
+const (
+	luPanel    = 48
+	luBlockMin = 96
+)
+
+// luEquivRelTol is the documented equivalence bound between LU-based solves
+// and historical sequential-substitution results on well-conditioned
+// systems: the factor itself is bitwise stable across blocking and
+// scheduling, but the substitutions use the unrolled multi-accumulator dot
+// kernel, which reorders sums and shifts solutions by ulps. 1e-12 relative
+// leaves orders of margin over that while still catching any real kernel
+// defect. Golden equivalence tests enforce it.
+const luEquivRelTol = 1e-12
+
+// checkPivot classifies an unusable pivot magnitude: an exactly zero or NaN
+// column is (numerically) singular; an Inf pivot means the matrix carried a
+// non-finite entry (or overflowed during elimination) and proceeding would
+// poison the whole factor, so it is rejected as bad input instead of being
+// divided through silently.
+func checkPivot(pmax float64, col int) error {
+	if pmax == 0 || math.IsNaN(pmax) {
+		return &SingularError{Col: col}
+	}
+	if math.IsInf(pmax, 0) {
+		return simerr.Tagf(simerr.ErrBadInput, "mat: non-finite pivot (magnitude %g) in column %d", pmax, col)
+	}
+	return nil
+}
+
 // NewLU factors a square matrix with partial pivoting. The input is not
-// modified.
+// modified. Large factorisations use the blocked parallel path (see
+// luPanel/luBlockMin).
 func NewLU(a *Matrix) (*LU, error) {
 	if a.Rows != a.Cols {
 		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: LU requires a square matrix")
 	}
 	n := a.Rows
 	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1, norm1: Norm1(a)}
-	lu := f.lu.Data
 	for i := range f.piv {
 		f.piv[i] = i
 	}
-	for k := 0; k < n; k++ {
+	var err error
+	if n < luBlockMin {
+		err = luFactorPanel(f, 0, n)
+	} else {
+		err = luFactorBlocked(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// luFactorPanel runs the classic right-looking elimination on columns
+// [k0, k1), updating only columns < k1 (the trailing block beyond k1 is the
+// blocked caller's GEMM). With (0, n) it is the whole unblocked
+// factorisation. Row swaps apply to full rows, as in the blocked algorithm.
+func luFactorPanel(f *LU, k0, k1 int) error {
+	n := f.lu.Rows
+	lu := f.lu.Data
+	for k := k0; k < k1; k++ {
 		// Pivot: largest magnitude in column k at or below the diagonal.
 		p, pmax := k, math.Abs(lu[k*n+k])
 		for i := k + 1; i < n; i++ {
@@ -56,8 +113,8 @@ func NewLU(a *Matrix) (*LU, error) {
 				p, pmax = i, a
 			}
 		}
-		if pmax == 0 || math.IsNaN(pmax) {
-			return nil, &SingularError{Col: k}
+		if err := checkPivot(pmax, k); err != nil {
+			return err
 		}
 		if p != k {
 			rk := lu[k*n : (k+1)*n]
@@ -75,14 +132,51 @@ func NewLU(a *Matrix) (*LU, error) {
 			if m == 0 {
 				continue
 			}
-			ri := lu[i*n+k+1 : (i+1)*n]
-			rk := lu[k*n+k+1 : (k+1)*n]
-			for j := range ri {
-				ri[j] -= m * rk[j]
-			}
+			axpy1(lu[i*n+k+1:i*n+k1], lu[k*n+k+1:k*n+k1], -m)
 		}
 	}
-	return f, nil
+	return nil
+}
+
+// luFactorBlocked is the right-looking blocked factorisation: factor a
+// luPanel-wide panel (BLAS-2), forward-substitute the panel's unit-lower
+// factor through the U12 block, then apply one parallel GEMM to the
+// trailing matrix.
+func luFactorBlocked(f *LU) error {
+	n := f.lu.Rows
+	lu := f.lu.Data
+	for k0 := 0; k0 < n; k0 += luPanel {
+		k1 := minInt(k0+luPanel, n)
+		if err := luFactorPanel(f, k0, k1); err != nil {
+			return err
+		}
+		if k1 >= n {
+			break
+		}
+		// U12 = L11⁻¹·A12: unit-lower forward substitution across the
+		// columns right of the panel, parallel over column chunks (each
+		// chunk runs the full triangular loop on disjoint columns).
+		wide := n - k1
+		nchunk := gemmBlocks(k1-k0, wide, k1-k0)
+		chunk := (wide + nchunk - 1) / nchunk
+		ParallelFor(nchunk, func(ci int) {
+			c0 := k1 + ci*chunk
+			c1 := minInt(c0+chunk, n)
+			for k := k0; k < k1; k++ {
+				rk := lu[k*n+c0 : k*n+c1]
+				for i := k + 1; i < k1; i++ {
+					m := lu[i*n+k]
+					if m == 0 {
+						continue
+					}
+					axpy1(lu[i*n+c0:i*n+c1], rk, -m)
+				}
+			}
+		})
+		// A22 -= L21·U12 (blocked, parallel, ascending-k per element).
+		gemmAcc(lu[k1*n+k1:], n, lu[k1*n+k0:], n, lu[k0*n+k1:], n, n-k1, n-k1, k1-k0, true)
+	}
+	return nil
 }
 
 // Solve solves A·x = b for one right-hand side. Non-finite entries in b are
@@ -105,20 +199,11 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	lu := f.lu.Data
 	// Forward substitution (unit lower).
 	for i := 1; i < n; i++ {
-		var s float64
-		row := lu[i*n : i*n+i]
-		for j, v := range row {
-			s += v * x[j]
-		}
-		x[i] -= s
+		x[i] -= dot(lu[i*n:i*n+i], x[:i])
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
-		var s float64
-		row := lu[i*n+i+1 : (i+1)*n]
-		for j, v := range row {
-			s += v * x[i+1+j]
-		}
+		s := dot(lu[i*n+i+1:(i+1)*n], x[i+1:])
 		d := lu[i*n+i]
 		if d == 0 {
 			return nil, ErrSingular
@@ -128,24 +213,39 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// SolveMatrix solves A·X = B for a matrix right-hand side.
+// SolveMatrix solves A·X = B for a matrix right-hand side; the independent
+// columns run in parallel when the work is large enough.
 func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
 	n := f.lu.Rows
 	if b.Rows != n {
 		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: rhs row count mismatch")
 	}
 	out := New(n, b.Cols)
-	col := make([]float64, n)
-	for c := 0; c < b.Cols; c++ {
+	errs := make([]error, b.Cols)
+	solveCol := func(c int) {
+		col := make([]float64, n)
 		for r := 0; r < n; r++ {
 			col[r] = b.At(r, c)
 		}
 		x, err := f.Solve(col)
 		if err != nil {
-			return nil, err
+			errs[c] = err
+			return
 		}
 		for r := 0; r < n; r++ {
 			out.Set(r, c, x[r])
+		}
+	}
+	if n*n*b.Cols < parallelMinFlops {
+		for c := 0; c < b.Cols; c++ {
+			solveCol(c)
+		}
+	} else {
+		ParallelFor(b.Cols, solveCol)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -119,42 +119,41 @@ func checkSame(a, b *Matrix) {
 	}
 }
 
-// Mul returns the matrix product m·b.
+// Mul returns the matrix product m·b, computed by the blocked parallel GEMM
+// kernel (see block.go). Every a·b term is accumulated — there is no
+// zero-skip — so 0·Inf and 0·NaN contributions propagate as NaN exactly as
+// they do in MulVec, and a poisoned operand surfaces instead of being
+// silently masked.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := New(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += a * bv
-			}
-		}
-	}
+	gemmAcc(out.Data, b.Cols, m.Data, m.Cols, b.Data, b.Cols, m.Rows, b.Cols, m.Cols, false)
 	return out
 }
 
-// MulVec returns the matrix-vector product m·x.
+// MulVec returns the matrix-vector product m·x, row-parallel for large
+// matrices (each row is an independent unrolled dot product).
 func (m *Matrix) MulVec(x []float64) []float64 {
 	if m.Cols != len(x) {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
+	if m.Rows*m.Cols < parallelMinFlops {
+		for i := 0; i < m.Rows; i++ {
+			out[i] = dot(m.Data[i*m.Cols:(i+1)*m.Cols], x)
 		}
-		out[i] = s
+		return out
 	}
+	nblk := (m.Rows + gemmRowBlock - 1) / gemmRowBlock
+	ParallelFor(nblk, func(bi int) {
+		r0 := bi * gemmRowBlock
+		r1 := minInt(r0+gemmRowBlock, m.Rows)
+		for i := r0; i < r1; i++ {
+			out[i] = dot(m.Data[i*m.Cols:(i+1)*m.Cols], x)
+		}
+	})
 	return out
 }
 

@@ -6,35 +6,109 @@ import (
 	"sync/atomic"
 )
 
-// ParallelFor runs fn(i) for i in [0, n) across GOMAXPROCS workers with
-// dynamic work stealing. fn must be safe to call concurrently for distinct
-// indices (the solvers use it for embarrassingly parallel fills: each call
-// writes only its own output slot).
+// liveWorkers counts the extra worker goroutines currently spawned by every
+// in-flight ParallelFor across the package. It is the package-level worker
+// budget: the sum of extras never exceeds GOMAXPROCS−1, so nested parallel
+// regions (an S-parameter sweep whose points each run a parallel BEM fill,
+// a blocked LU inside a parallel sweep point) degrade to serial inner loops
+// instead of multiplying goroutines to GOMAXPROCS².
+var liveWorkers atomic.Int64
+
+// ParallelFor runs fn(i) for i in [0, n) across up to GOMAXPROCS workers
+// (the caller included) with dynamic work stealing. fn must be safe to call
+// concurrently for distinct indices (the solvers use it for embarrassingly
+// parallel fills: each call writes only its own output slot).
+//
+// Two contracts beyond plain fan-out:
+//
+//   - Worker budget: extra workers are drawn from a package-level budget of
+//     GOMAXPROCS−1. When the budget is exhausted — typically because this
+//     call is nested inside another ParallelFor — the loop runs serially on
+//     the calling goroutine. Total goroutine count therefore stays O(P)
+//     regardless of nesting depth.
+//   - Panic transparency: a panic inside fn on any worker is captured and
+//     re-raised on the calling goroutine with its original value (after all
+//     workers have stopped claiming new indices), so the facade layer's
+//     panic-to-error recovery (simerr.RecoverInto) sees parallel fills and
+//     serial fills identically. When several workers panic, the first
+//     capture wins.
 func ParallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if n <= 0 {
+		return
 	}
-	if workers <= 1 {
+	extra := acquireWorkers(minInt(runtime.GOMAXPROCS(0), n) - 1)
+	if extra == 0 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
+	defer liveWorkers.Add(-int64(extra))
+
+	var (
+		next      atomic.Int64
+		panicOnce sync.Once
+		panicVal  any
+		panicked  atomic.Bool
+	)
+	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() {
+					panicVal = r
+					panicked.Store(true)
+				})
+				next.Store(int64(n)) // stop claiming further indices
 			}
 		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
 	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work() // the caller is a worker too
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// acquireWorkers reserves up to want extra workers from the package budget
+// and returns how many were granted (possibly zero).
+func acquireWorkers(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		cur := liveWorkers.Load()
+		avail := int64(runtime.GOMAXPROCS(0)-1) - cur
+		if avail <= 0 {
+			return 0
+		}
+		grant := int64(want)
+		if grant > avail {
+			grant = avail
+		}
+		if liveWorkers.CompareAndSwap(cur, cur+grant) {
+			return int(grant)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,304 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withGOMAXPROCS runs fn with the scheduler width pinned to n and restores
+// the previous value. The container running CI may have a single CPU, so the
+// parallel-path tests raise GOMAXPROCS explicitly instead of relying on the
+// environment to exercise the worker fan-out.
+func withGOMAXPROCS(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// TestParallelForPanicPropagates is the regression test for the worker panic
+// contract: a panic inside fn on a spawned worker must be re-raised on the
+// calling goroutine with its original value. Before the capture machinery,
+// the panic unwound the worker goroutine and killed the whole process, so
+// this test cannot pass on the pre-fix code.
+func TestParallelForPanicPropagates(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		type marker struct{ index int }
+		var calls atomic.Int64
+		recovered := func() (r any) {
+			defer func() { r = recover() }()
+			ParallelFor(64, func(i int) {
+				calls.Add(1)
+				if i == 17 {
+					panic(marker{index: i})
+				}
+			})
+			return nil
+		}()
+		m, ok := recovered.(marker)
+		if !ok {
+			t.Fatalf("panic value must cross goroutines intact, recovered %#v", recovered)
+		}
+		if m.index != 17 {
+			t.Fatalf("panic value mangled: %#v", m)
+		}
+		if n := calls.Load(); n > 64 {
+			t.Fatalf("indices must not be re-run after a panic: %d calls for 64 indices", n)
+		}
+		// The budget must be fully released even on the panic path, or every
+		// later ParallelFor in the process silently degrades to serial.
+		if w := liveWorkers.Load(); w != 0 {
+			t.Fatalf("worker budget leaked after panic: liveWorkers = %d", w)
+		}
+	})
+}
+
+// TestParallelForPanicOnCaller: the caller participates as a worker; a panic
+// on the caller's own share must behave identically to a worker panic.
+func TestParallelForPanicOnCaller(t *testing.T) {
+	withGOMAXPROCS(t, 2, func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want the original panic value", r)
+			}
+			if w := liveWorkers.Load(); w != 0 {
+				t.Fatalf("worker budget leaked: liveWorkers = %d", w)
+			}
+		}()
+		ParallelFor(4, func(i int) { panic("boom") })
+		t.Fatal("ParallelFor must re-panic")
+	})
+}
+
+// TestParallelForNestedBudget drives the nested shape that used to fan out
+// GOMAXPROCS² goroutines (a parallel sweep whose points each run a parallel
+// fill) and asserts the package worker budget keeps the number of leaf
+// bodies executing concurrently at or below GOMAXPROCS.
+func TestParallelForNestedBudget(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		var cur, peak atomic.Int64
+		ParallelFor(8, func(i int) {
+			ParallelFor(8, func(j int) {
+				c := cur.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond) // hold the slot so overlap is observable
+				cur.Add(-1)
+			})
+		})
+		if p := peak.Load(); p > int64(runtime.GOMAXPROCS(0)) {
+			t.Fatalf("nested ParallelFor ran %d leaf bodies concurrently; budget is GOMAXPROCS = %d",
+				p, runtime.GOMAXPROCS(0))
+		}
+		if w := liveWorkers.Load(); w != 0 {
+			t.Fatalf("worker budget leaked: liveWorkers = %d", w)
+		}
+	})
+}
+
+// TestParallelForCoversAllIndices: work stealing must call fn exactly once
+// per index regardless of scheduling.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		const n = 1000
+		seen := make([]atomic.Int32, n)
+		ParallelFor(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("index %d ran %d times", i, c)
+			}
+		}
+	})
+}
+
+func bitsEqual(a, b []float64) (int, bool) {
+	for i := range a {
+		if a[i] != b[i] && !(a[i] != a[i] && b[i] != b[i]) { // NaN == NaN here
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// TestMulSerialParallelBitwise is the golden equivalence test for the gemm
+// kernel's determinism contract: the parallel dispatch partitions output
+// rows without shared accumulators, so a product computed with one worker
+// and with several must agree bit for bit.
+func TestMulSerialParallelBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randMatrix(rng, 257, 131) // odd sizes exercise the tile remainders
+	b := randMatrix(rng, 131, 259)
+	var serial, parallel *Matrix
+	withGOMAXPROCS(t, 1, func() { serial = a.Mul(b) })
+	withGOMAXPROCS(t, 4, func() { parallel = a.Mul(b) })
+	if i, ok := bitsEqual(serial.Data, parallel.Data); !ok {
+		t.Fatalf("serial and parallel Mul diverge at flat index %d: %g vs %g",
+			i, serial.Data[i], parallel.Data[i])
+	}
+}
+
+// TestLUBlockedMatchesUnblockedBitwise: the blocked factorisation replays
+// the classic algorithm's per-element operation sequence (ascending-k, one
+// term at a time), so on the same input the blocked/parallel path and the
+// one-panel classic loop must produce identical pivots and an identical
+// factor — not merely close ones.
+func TestLUBlockedMatchesUnblockedBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := luBlockMin * 2 // well above the blocked-path threshold
+	a := randMatrix(rng, n, n)
+
+	var blocked *LU
+	withGOMAXPROCS(t, 4, func() {
+		f, err := NewLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked = f
+	})
+
+	classic := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range classic.piv {
+		classic.piv[i] = i
+	}
+	if err := luFactorPanel(classic, 0, n); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, p := range blocked.piv {
+		if p != classic.piv[i] {
+			t.Fatalf("pivot order diverges at row %d: blocked %d, classic %d", i, p, classic.piv[i])
+		}
+	}
+	if i, ok := bitsEqual(blocked.lu.Data, classic.lu.Data); !ok {
+		t.Fatalf("blocked and classic LU factors diverge at flat index %d: %g vs %g",
+			i, blocked.lu.Data[i], classic.lu.Data[i])
+	}
+}
+
+// TestLUSerialParallelBitwise: the same factorisation with and without
+// worker fan-out must agree bit for bit, and solves through either factor
+// must agree with a reference residual check within luEquivRelTol.
+func TestLUSerialParallelBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 300
+	a := randMatrix(rng, n, n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	var xs, xp []float64
+	withGOMAXPROCS(t, 1, func() {
+		f, err := NewLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, err = f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withGOMAXPROCS(t, 4, func() {
+		f, err := NewLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xp, err = f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if i, ok := bitsEqual(xs, xp); !ok {
+		t.Fatalf("serial and parallel LU solves diverge at index %d: %g vs %g", i, xs[i], xp[i])
+	}
+}
+
+// TestCLUSerialParallelBitwise is the complex analogue, covering the AC and
+// S-parameter path's factorisation.
+func TestCLUSerialParallelBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := 200
+	a := CNew(n, n)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	factor := func() *CLU {
+		f, err := NewCLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	var fs, fp *CLU
+	withGOMAXPROCS(t, 1, func() { fs = factor() })
+	withGOMAXPROCS(t, 4, func() { fp = factor() })
+	for i := range fs.lu.Data {
+		if fs.lu.Data[i] != fp.lu.Data[i] {
+			t.Fatalf("serial and parallel CLU factors diverge at flat index %d: %v vs %v",
+				i, fs.lu.Data[i], fp.lu.Data[i])
+		}
+	}
+}
+
+// TestCholeskyBlockedMatchesReference compares the blocked right-looking
+// Cholesky against a textbook left-looking reference. The dot kernel's
+// multi-accumulator reordering shifts entries by ulps, so agreement is
+// within luEquivRelTol (relative to the factor's largest entry) rather
+// than bitwise — this IS the documented tolerance contract.
+func TestCholeskyBlockedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n := 150
+	// SPD by construction: A = M·Mᵀ + n·I.
+	m := randMatrix(rng, n, n)
+	a := m.Mul(m.T())
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+
+	var blocked *Cholesky
+	withGOMAXPROCS(t, 4, func() {
+		f, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked = f
+	})
+
+	ref := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= ref.At(i, k) * ref.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					t.Fatalf("reference Cholesky hit non-positive pivot %g", s)
+				}
+				ref.Set(i, i, math.Sqrt(s))
+			} else {
+				ref.Set(i, j, s/ref.At(j, j))
+			}
+		}
+	}
+
+	var lmax float64
+	for _, v := range ref.Data {
+		if av := math.Abs(v); av > lmax {
+			lmax = av
+		}
+	}
+	for i := range ref.Data {
+		if d := math.Abs(blocked.l.Data[i] - ref.Data[i]); d > luEquivRelTol*lmax {
+			t.Fatalf("blocked Cholesky diverges from reference at flat index %d: %g vs %g (Δ %g)",
+				i, blocked.l.Data[i], ref.Data[i], d)
+		}
+	}
+}

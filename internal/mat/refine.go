@@ -209,6 +209,26 @@ func ResidualVec(a *Matrix, x, b []float64) (res []float64, relres float64) {
 	return res, relres
 }
 
+// ResidualVecN is the fast variant of ResidualVec for hot per-step residual
+// tracking: plain (uncompensated) unrolled accumulation and a
+// caller-provided ‖A‖∞, cached alongside the factorisation, so each call is
+// one O(n²) pass with no norm recomputation. Accuracy is ~n·eps relative
+// (≈1e-13 for the n ≲ 10³ systems this package meets) — orders of magnitude
+// below every per-step trust threshold, which start at 1e4·RefineTarget —
+// while the compensated ResidualVec remains the tool for refinement loops
+// chasing RefineTarget itself.
+func ResidualVecN(a *Matrix, x, b []float64, normA float64) (res []float64, relres float64) {
+	res = make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		res[i] = b[i] - dot(a.Data[i*a.Cols:(i+1)*a.Cols], x)
+	}
+	den := normA*vecNormInf(x) + vecNormInf(b)
+	if den == 0 {
+		return res, 0
+	}
+	return res, vecNormInf(res) / den
+}
+
 // CSolveRefined is the complex analogue of SolveRefined for the AC and
 // S-parameter path: one CLU factorisation plus residual-based refinement,
 // reporting ‖b − A·x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞). The complex residual is

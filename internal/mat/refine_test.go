@@ -152,7 +152,11 @@ func TestEquilibrateNormalisesBadScaling(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range x {
-		if math.Abs(x[i]-1) > 1e-8 {
+		// κ of the random scaled system is uncontrolled (~1e7 is typical), so
+		// the unrefined solve only guarantees ~κ·eps; 1e-7 leaves rounding-path
+		// headroom while still catching any scaling mistake (which would be
+		// orders of magnitude worse).
+		if math.Abs(x[i]-1) > 1e-7 {
 			t.Fatalf("scaled solve x[%d] = %g, want 1", i, x[i])
 		}
 	}

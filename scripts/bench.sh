@@ -1,0 +1,32 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and record it into the BENCH_<date>.json
+# trajectory (see cmd/benchjson for the file format).
+#
+# Usage:
+#   scripts/bench.sh [label]          full run (paper figures + mat kernels)
+#   BENCH_SMOKE=1 scripts/bench.sh    quick 1-iteration pass for CI, gated
+#                                     against the committed trajectory
+#
+# The trajectory file is BENCH_<utc-date>.json in the repo root; successive
+# runs on the same day append to it, so a before/after pair of a performance
+# change lands in one file.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label="${1:-local}"
+out="BENCH_$(date -u +%F).json"
+
+if [ "${BENCH_SMOKE:-0}" = "1" ]; then
+    benchtime=1x
+    label="${1:-smoke}"
+else
+    benchtime=3x
+fi
+
+# Paper-figure end-to-end benchmarks (repo root) + dense-kernel
+# micro-benchmarks (internal/mat). -run '^$' skips tests.
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" . ./internal/mat/ |
+    go run ./cmd/benchjson -label "$label" -out "$out" -append ${BENCH_BASELINE:+-baseline "$BENCH_BASELINE"}
+
+echo "recorded run '$label' in $out"
