@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-smoke check vet race lint pdnlint smoke
+.PHONY: build test bench bench-smoke check vet race lint pdnlint smoke smoke-serve
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ race:
 # -resume run reproduces the uninterrupted output byte-for-byte.
 smoke:
 	./scripts/smoke-killresume.sh
+
+# smoke-serve SIGTERMs the pdnserve daemon mid-sweep and verifies the drain
+# contract: exit 0, the interrupted job lands "snapshotted", and a restarted
+# daemon resumes its snapshot to completion.
+smoke-serve:
+	./scripts/smoke-serve.sh
 
 # check is the full hygiene gate: static analysis and formatting plus the
 # whole test suite under the race detector (the BEM assembly and S-parameter

@@ -1,0 +1,321 @@
+// Command pdnload drives a running pdnserve daemon with a closed-loop load
+// test and reports end-to-end job latency percentiles and throughput.
+//
+// Usage:
+//
+//	pdnload -addr http://127.0.0.1:8844 [-n 50] [-c 4] [-board board.json] \
+//	        [-nf 0] [-deadline-ms 0] [-label serve-baseline] [-out BENCH.json] [-append]
+//
+// Each of -c workers submits jobs (POST /jobs) and polls each one to a
+// terminal state; the measured latency is submit-to-terminal, the number a
+// client actually experiences. Shed submissions (429) honour the daemon's
+// Retry-After and are retried — they count in the shed metric, not as
+// failures. The summary is written as a cmd/benchjson-compatible trajectory
+// run (label, date, percentile metrics), so service latency baselines live in
+// the same files and tooling as the kernel benchmarks.
+//
+// Exit codes: 2 usage, 5 I/O or transport failure, 4 when any job ends in a
+// failed state.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"pdnsim/internal/cli"
+)
+
+// demoBoard is the built-in workload when -board is not given: big enough
+// for the solve to dominate HTTP overhead, small enough for quick baselines.
+const demoBoard = `{
+  "name": "pdnload demo plane",
+  "shape": {"type": "rect", "w_mm": 50, "h_mm": 40},
+  "plane_sep_mm": 0.4,
+  "eps_r": 4.5,
+  "sheet_res_ohm_sq": 0.0006,
+  "mesh_nx": 16,
+  "mesh_ny": 12,
+  "extra_nodes": 10,
+  "ports": [
+    {"name": "U1", "x_mm": 40, "y_mm": 30},
+    {"name": "VRM", "x_mm": 5, "y_mm": 5}
+  ]
+}`
+
+// Benchmark, Run and File mirror cmd/benchjson's trajectory schema so load
+// baselines append into the same files.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type Run struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+// jobOutcome is one completed job as the load generator saw it.
+type jobOutcome struct {
+	latency time.Duration
+	state   string
+	shed    int // 429s absorbed before this submission was accepted
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8844", "base URL of the pdnserve daemon")
+	n := flag.Int("n", 50, "total jobs to run")
+	c := flag.Int("c", 4, "concurrent clients")
+	boardPath := flag.String("board", "", "board description JSON (default: a built-in demo plane)")
+	nf := flag.Int("nf", 0, "sweep points per job (0 = extraction only)")
+	fmin := flag.Float64("fmin", 0.1e9, "sweep start frequency (Hz), used when -nf > 0")
+	fmax := flag.Float64("fmax", 10e9, "sweep stop frequency (Hz), used when -nf > 0")
+	deadlineMS := flag.Int64("deadline-ms", 0, "per-job deadline to request (0 = server default)")
+	label := flag.String("label", "serve", "benchjson run label")
+	out := flag.String("out", "", "write the benchjson trajectory to this file (default: stdout)")
+	appendRuns := flag.Bool("append", false, "keep existing runs in -out and append this one")
+	flag.Parse()
+	if flag.NArg() != 0 || *n < 1 || *c < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pdnload [flags]")
+		flag.PrintDefaults()
+		os.Exit(cli.ExitUsage)
+	}
+
+	board := []byte(demoBoard)
+	if *boardPath != "" {
+		data, err := os.ReadFile(*boardPath)
+		if err != nil {
+			fatal(cli.ExitIO, err)
+		}
+		board = data
+	}
+	req := map[string]any{"board": json.RawMessage(board)}
+	if *nf > 0 {
+		req["sweep"] = map[string]any{"fmin_hz": *fmin, "fmax_hz": *fmax, "nf": *nf}
+	}
+	if *deadlineMS > 0 {
+		req["deadline_ms"] = *deadlineMS
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(cli.ExitIO, err)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	outcomes := make([]jobOutcome, 0, *n)
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan struct{}, *n)
+	for i := 0; i < *n; i++ {
+		next <- struct{}{}
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range next {
+				oc, err := runJob(client, *addr, body)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					outcomes = append(outcomes, oc)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		fatal(cli.ExitIO, firstErr)
+	}
+
+	run := summarize(*label, outcomes, wall)
+	if err := write(*out, *appendRuns, run); err != nil {
+		fatal(cli.ExitIO, err)
+	}
+	failed := 0
+	for _, oc := range outcomes {
+		if oc.state == "failed" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fatal(cli.ExitSolve, fmt.Errorf("%d of %d jobs ended in a failed state", failed, len(outcomes)))
+	}
+}
+
+// runJob pushes one job through the daemon: submit (absorbing 429 shed with
+// the server's Retry-After), then poll to a terminal state.
+func runJob(client *http.Client, addr string, body []byte) (jobOutcome, error) {
+	var oc jobOutcome
+	start := time.Now()
+	var id string
+	for {
+		resp, err := client.Post(addr+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return oc, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			oc.shed++
+			ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			drain(resp)
+			if ra < 1 {
+				ra = 1
+			}
+			time.Sleep(time.Duration(ra) * time.Second)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return oc, fmt.Errorf("submit: status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&acc)
+		resp.Body.Close()
+		if err != nil || acc.ID == "" {
+			return oc, fmt.Errorf("submit: undecodable accept body (%v)", err)
+		}
+		id = acc.ID
+		break
+	}
+
+	for {
+		resp, err := client.Get(addr + "/jobs/" + id)
+		if err != nil {
+			return oc, err
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return oc, fmt.Errorf("status %s: %v", id, err)
+		}
+		switch st.State {
+		case "done", "partial", "failed", "cancelled", "snapshotted", "flushed":
+			oc.state = st.State
+			oc.latency = time.Since(start)
+			return oc, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// summarize folds the outcomes into one benchjson run with percentile
+// metrics.
+func summarize(label string, outcomes []jobOutcome, wall time.Duration) Run {
+	lats := make([]float64, 0, len(outcomes))
+	shed, abnormal := 0, 0
+	for _, oc := range outcomes {
+		lats = append(lats, float64(oc.latency))
+		shed += oc.shed
+		if oc.state != "done" {
+			abnormal++
+		}
+	}
+	sort.Float64s(lats)
+	mean := 0.0
+	for _, l := range lats {
+		mean += l
+	}
+	if len(lats) > 0 {
+		mean /= float64(len(lats))
+	}
+	b := Benchmark{
+		Name:       "ServeJobLatency",
+		Iterations: int64(len(lats)),
+		NsPerOp:    mean,
+		Metrics: map[string]float64{
+			"p50_ms":                pct(lats, 50) / 1e6,
+			"p95_ms":                pct(lats, 95) / 1e6,
+			"p99_ms":                pct(lats, 99) / 1e6,
+			"throughput_jobs_per_s": float64(len(lats)) / wall.Seconds(),
+			"shed_429":              float64(shed),
+			"abnormal_jobs":         float64(abnormal),
+		},
+	}
+	return Run{
+		Label:      label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: []Benchmark{b},
+	}
+}
+
+// pct returns the p-th percentile of sorted samples (nearest-rank).
+func pct(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	return sorted[idx-1]
+}
+
+// write persists the run, appending to an existing trajectory when asked.
+func write(path string, appendRuns bool, run Run) error {
+	var f File
+	if appendRuns && path != "" {
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &f); err != nil {
+				return fmt.Errorf("existing trajectory %s is unreadable: %w", path, err)
+			}
+		}
+	}
+	f.Runs = append(f.Runs, run)
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintf(os.Stderr, "pdnload: %v\n", err)
+	os.Exit(code)
+}

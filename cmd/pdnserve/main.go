@@ -1,0 +1,120 @@
+// Command pdnserve runs the extraction daemon: an HTTP/JSON service that
+// accepts board extraction and sweep jobs, executes them on a bounded worker
+// pool behind a fixed-capacity queue, and survives overload, slow solves, and
+// shutdown without losing accepted work.
+//
+// Usage:
+//
+//	pdnserve [-addr :8844] [-workers 2] [-queue 16] [-state-dir /var/lib/pdnsim] \
+//	         [-deadline 2m] [-max-deadline 10m] [-drain-grace 30s]
+//
+// API (see internal/serve):
+//
+//	GET  /healthz              liveness
+//	GET  /readyz               readiness (503 while draining)
+//	POST /jobs                 submit {"board": {...}, "sweep": {...}, "deadline_ms": N}
+//	GET  /jobs                 list job statuses
+//	GET  /jobs/{id}            job status (partial results are 200 + detail)
+//	GET  /jobs/{id}/netlist    equivalent-circuit netlist
+//	GET  /jobs/{id}/touchstone sweep S-parameters
+//
+// Robustness contract: a full queue sheds load with 429 + Retry-After; every
+// job runs under a deadline; repeat queries against an unchanged board serve
+// from a CRC-guarded operator cache that evicts and recomputes damaged
+// entries. On SIGINT/SIGTERM the daemon stops accepting, gives in-flight jobs
+// -drain-grace to finish, then cancels them so sweeps flush resumable
+// snapshots, flushes never-started jobs to -state-dir/queue.manifest, and
+// exits 0. A second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pdnsim/internal/cli"
+	"pdnsim/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8844", "HTTP listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = min(2, GOMAXPROCS))")
+	queue := flag.Int("queue", 0, fmt.Sprintf("accepted-job queue capacity before shedding with 429 (0 = %d)", serve.DefaultQueueCap))
+	stateDir := flag.String("state-dir", "", "directory for the operator cache, sweep snapshots and the drain manifest (empty = in-memory only)")
+	deadline := flag.Duration("deadline", 0, fmt.Sprintf("default per-job deadline (0 = %v)", serve.DefaultDeadline))
+	maxDeadline := flag.Duration("max-deadline", 0, fmt.Sprintf("cap on client-requested deadlines (0 = %v)", serve.MaxDeadline))
+	ckptEvery := flag.Int("checkpoint-every", 0, fmt.Sprintf("sweep points between resumable snapshots (0 = %d)", serve.DefaultCheckpointEvery))
+	maxJobs := flag.Int("max-jobs", 0, fmt.Sprintf("terminal job records retained for the status API (0 = %d)", serve.DefaultMaxJobs))
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a drain lets in-flight jobs finish before cancelling them into snapshots")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: pdnserve [flags]")
+		flag.PrintDefaults()
+		os.Exit(cli.ExitUsage)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueCap:        *queue,
+		StateDir:        *stateDir,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		CheckpointEvery: *ckptEvery,
+		MaxJobs:         *maxJobs,
+	}, serve.Hooks{})
+
+	// Jobs live under their own lifetime context, not the signal context: a
+	// signal triggers the graceful drain below, and only the drain's
+	// escalation (past -drain-grace) cancels in-flight work.
+	jobCtx, jobCancel := context.WithCancel(context.Background())
+	defer jobCancel()
+	srv.Start(jobCtx)
+
+	if reqs, err := serve.ReadManifest(*stateDir); *stateDir != "" && err == nil && len(reqs) > 0 {
+		fmt.Fprintf(os.Stderr, "pdnserve: note: %s/queue.manifest holds %d job(s) flushed by a previous drain; resubmit them via POST /jobs\n",
+			*stateDir, len(reqs))
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.ListenAndServe() }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "pdnserve: listening on %s (state-dir=%q)\n", *addr, *stateDir)
+
+	select {
+	case err := <-httpErr:
+		fmt.Fprintf(os.Stderr, "pdnserve: http server failed: %v\n", err)
+		os.Exit(cli.ExitIO)
+	case <-sigCtx.Done():
+	}
+	// Past this point a second signal kills the process the hard way.
+	stop()
+
+	fmt.Fprintf(os.Stderr, "pdnserve: signal received; draining (grace %v)\n", *drainGrace)
+	graceCtx, graceCancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer graceCancel()
+	rep := srv.Drain(graceCtx)
+
+	// The status API stays up through the drain so clients can observe their
+	// jobs' terminal states; shut HTTP down only once the drain settled.
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pdnserve: http shutdown: %v\n", err)
+	}
+
+	out, _ := json.Marshal(rep)
+	fmt.Fprintf(os.Stderr, "pdnserve: drained: %s\n", out)
+	// Exit 0 by contract: a graceful drain is a success, whatever mix of
+	// finished, snapshotted and flushed jobs it produced — all of them are
+	// accounted for and resumable.
+}

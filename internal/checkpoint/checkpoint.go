@@ -23,8 +23,10 @@ package checkpoint
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"math"
 	"os"
 
@@ -87,6 +89,22 @@ func (p Policy) Stride() int {
 // Due reports whether a snapshot is due after completing step n (1-based).
 func (p Policy) Due(n int) bool {
 	return p.Enabled() && n > 0 && n%p.Stride() == 0
+}
+
+// Corrupt classifies a Load failure: true for an integrity or schema
+// violation of the file itself (bit flip, truncation, magic/version/kind
+// mismatch, undecodable payload — the simerr.ErrBadInput-class failures),
+// false for a filesystem failure (missing file, permissions) or any other
+// error. Callers holding *caches* of recomputable state branch on this to
+// degrade gracefully: a corrupt cache entry is evicted and recomputed with a
+// repaired-warning, while a filesystem failure is surfaced — deleting a file
+// because the disk hiccuped would throw away good state.
+func Corrupt(err error) bool {
+	var pe *fs.PathError
+	if errors.As(err, &pe) {
+		return false
+	}
+	return errors.Is(err, simerr.ErrBadInput)
 }
 
 // envelope is the on-disk framing around an engine payload.

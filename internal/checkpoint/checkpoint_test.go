@@ -245,3 +245,53 @@ func TestPolicy(t *testing.T) {
 		t.Fatal("custom stride broken")
 	}
 }
+
+// TestCorruptClassifiesLoadFailures pins the cache-degradation contract:
+// integrity/schema failures are Corrupt (safe to evict and recompute),
+// filesystem failures are not (the state on disk may be fine).
+func TestCorruptClassifiesLoadFailures(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ckpt")
+	in := samples()
+	if err := Save(good, "tran", &in); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out samplePayload
+
+	// Missing file: a *fs.PathError, not corruption.
+	if err := Load(filepath.Join(dir, "nope.ckpt"), "tran", &out); err == nil || Corrupt(err) {
+		t.Fatalf("missing file must not classify as corrupt: %v", err)
+	}
+
+	// Truncation, bit flip, wrong kind: all corruption.
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bad, "tran", &out); err == nil || !Corrupt(err) {
+		t.Fatalf("truncation must classify as corrupt: %v", err)
+	}
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(bad, "tran", &out); err == nil || !Corrupt(err) {
+		t.Fatalf("bit flip must classify as corrupt: %v", err)
+	}
+	if err := Load(good, "fdtd", &out); err == nil || !Corrupt(err) {
+		t.Fatalf("kind mismatch must classify as corrupt: %v", err)
+	}
+
+	// Healthy load and unrelated errors are not corrupt.
+	if err := Load(good, "tran", &out); err != nil {
+		t.Fatal(err)
+	}
+	if Corrupt(nil) || Corrupt(errors.New("unrelated")) {
+		t.Fatal("nil/unrelated errors must not classify as corrupt")
+	}
+}

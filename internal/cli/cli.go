@@ -48,6 +48,38 @@ func SolveExitCode(err error) int {
 	return ExitSolve
 }
 
+// ErrClass names the simerr class of err with a short stable token —
+// "singular", "non-convergence", "bad-input", "cancelled", "nan",
+// "ill-conditioned", "partial" — or "error" when err carries no class.
+// Partial and cancelled are resolved first, mirroring SolveExitCode: a
+// PartialError may wrap a per-item numerical cause, but the run-level
+// disposition is what a log line or a job-status API should lead with.
+// Returns "" for nil. The tokens are part of the machine-readable surface
+// (daemon job records, structured logs); renaming one is a breaking change.
+func ErrClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, simerr.ErrPartial):
+		return "partial"
+	case errors.Is(err, simerr.ErrCancelled),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	case errors.Is(err, simerr.ErrSingular):
+		return "singular"
+	case errors.Is(err, simerr.ErrNonConvergence):
+		return "non-convergence"
+	case errors.Is(err, simerr.ErrNaN):
+		return "nan"
+	case errors.Is(err, simerr.ErrIllConditioned):
+		return "ill-conditioned"
+	case errors.Is(err, simerr.ErrBadInput):
+		return "bad-input"
+	default:
+		return "error"
+	}
+}
+
 // Describe renders err with any typed detail the solve layer attached:
 // the offending node of a singular system, the iteration count and residual
 // of a non-convergent Newton loop, the time and unknown of a NaN.

@@ -2,6 +2,8 @@ package cli
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io/fs"
 	"strings"
 	"testing"
@@ -154,5 +156,34 @@ func TestPrintDiagnosticsRendering(t *testing.T) {
 	verbose := b.String()
 	if !strings.Contains(verbose, "condition estimate") {
 		t.Fatalf("verbose rendering must include info records, got %q", verbose)
+	}
+}
+
+// TestErrClassTokens pins the machine-readable class tokens that daemon job
+// records and structured logs expose; partial and cancelled take precedence
+// over the per-item cause they may wrap, mirroring SolveExitCode.
+func TestErrClassTokens(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{&simerr.SingularError{Op: "t", Row: -1}, "singular"},
+		{&simerr.NonConvergenceError{Op: "t"}, "non-convergence"},
+		{simerr.BadInput("t", "x"), "bad-input"},
+		{&simerr.CancelledError{Op: "t", Err: context.Canceled}, "cancelled"},
+		{context.DeadlineExceeded, "cancelled"},
+		{&simerr.NaNError{Op: "t"}, "nan"},
+		{&simerr.IllConditionedError{Op: "t"}, "ill-conditioned"},
+		{&simerr.PartialError{Op: "t", Failed: 1, Total: 3,
+			Err: &simerr.SingularError{Op: "t", Row: -1}}, "partial"},
+		{&simerr.CancelledError{Op: "t",
+			Err: fmt.Errorf("wrap: %w", context.DeadlineExceeded)}, "cancelled"},
+		{errors.New("untyped"), "error"},
+	}
+	for _, tc := range cases {
+		if got := ErrClass(tc.err); got != tc.want {
+			t.Errorf("ErrClass(%v) = %q, want %q", tc.err, got, tc.want)
+		}
 	}
 }

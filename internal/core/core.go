@@ -8,6 +8,8 @@ package core
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -151,6 +153,30 @@ func (b *BoardSpec) Validate() error {
 		return bad("unknown testing scheme %q", b.Testing)
 	}
 	return nil
+}
+
+// Fingerprint returns a content hash of everything the extracted operators
+// depend on: geometry, stackup, mesh resolution, kernel/testing scheme and
+// port placement — every field of the spec except the display Name. Two specs
+// with equal fingerprints extract identical networks, so the fingerprint is
+// the cache key for assembled-operator reuse (a renamed board still hits the
+// cache; moving a via or changing the stackup misses it). The hash is over
+// the canonical JSON encoding of the spec with Name cleared: encoding/json
+// emits struct fields in declaration order with shortest-round-trip float
+// formatting, so the encoding — and the hash — is deterministic across runs
+// and machines.
+func (b *BoardSpec) Fingerprint() string {
+	canon := *b
+	canon.Name = ""
+	blob, err := json.Marshal(&canon)
+	if err != nil {
+		// BoardSpec is plain data (numbers, strings, slices); Marshal cannot
+		// fail on it. Guard anyway: an unhashable spec must never alias
+		// another spec's cache entry.
+		return "unhashable"
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
 }
 
 // BuildShape converts the spec geometry to SI metres.

@@ -183,3 +183,46 @@ func TestExtractPortCollision(t *testing.T) {
 		t.Fatal("colliding ports must error")
 	}
 }
+
+// TestFingerprint pins the cache-key contract: the hash covers everything
+// the extracted operators depend on and nothing else — renaming a board
+// keeps the key, moving a port or touching the stackup changes it, and the
+// encoding is deterministic across calls.
+func TestFingerprint(t *testing.T) {
+	b, err := ParseBoard([]byte(validBoard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := b.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint must be a sha256 hex digest, got %q", fp)
+	}
+	if b.Fingerprint() != fp {
+		t.Fatal("fingerprint must be deterministic")
+	}
+	renamed := *b
+	renamed.Name = "same geometry, different label"
+	if renamed.Fingerprint() != fp {
+		t.Fatal("display name must not change the fingerprint (a renamed board re-extracts identically)")
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(*BoardSpec)
+	}{
+		{"moved port", func(s *BoardSpec) { s.Ports[0].X += 0.5 }},
+		{"plane separation", func(s *BoardSpec) { s.PlaneSepMM *= 2 }},
+		{"permittivity", func(s *BoardSpec) { s.EpsR = 3.8 }},
+		{"mesh resolution", func(s *BoardSpec) { s.MeshNx = 16 }},
+		{"kernel", func(s *BoardSpec) { s.Kernel = "microstrip" }},
+		{"extra nodes", func(s *BoardSpec) { s.ExtraNodes++ }},
+	} {
+		mutated, err := ParseBoard([]byte(validBoard))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.mut(mutated)
+		if mutated.Fingerprint() == fp {
+			t.Fatalf("%s must change the fingerprint", tc.name)
+		}
+	}
+}

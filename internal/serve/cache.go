@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+
+	"pdnsim/internal/checkpoint"
+	"pdnsim/internal/diag"
+	"pdnsim/internal/extract"
+	"pdnsim/internal/mat"
+)
+
+// opCache persists extracted networks — the reduced Γ/C/G operators, the
+// expensive product of mesh → BEM assembly → O(n³) reduction — keyed by the
+// board's geometry+stackup content hash (core.BoardSpec.Fingerprint). A
+// repeat what-if query against the same board skips re-assembly entirely and
+// goes straight to the (cheap, per-frequency) sweep solves.
+//
+// Entries ride the checkpoint envelope, so they inherit its integrity
+// armour: CRC-32C over the payload, versioned schema, atomic writes. The
+// degradation contract is the robustness half: a corrupt entry (bit flip,
+// truncation, torn write survivor, schema drift) is *evicted and recomputed*
+// with a repaired diag warning on the job that found it — cache damage can
+// cost latency, never correctness and never a 500.
+type opCache struct {
+	dir string
+}
+
+// cacheKind tags operator-cache entries in the checkpoint envelope.
+const cacheKind = "opcache"
+
+// cacheEntry is the serialised network: exactly the fields a sweep or
+// netlist emission needs. mat.Matrix marshals losslessly (shortest
+// round-trip float formatting), so a cached network evaluates bitwise
+// identically to a fresh extraction.
+type cacheEntry struct {
+	NodeCells       []int       `json:"node_cells"`
+	PortNames       []string    `json:"port_names"`
+	NumPorts        int         `json:"num_ports"`
+	Gamma           *mat.Matrix `json:"gamma"`
+	G               *mat.Matrix `json:"g,omitempty"`
+	C               *mat.Matrix `json:"c"`
+	LossTan         float64     `json:"loss_tan,omitempty"`
+	SkinCrossoverHz float64     `json:"skin_crossover_hz,omitempty"`
+}
+
+// valid checks the decoded entry's internal consistency. A JSON-valid but
+// semantically mangled entry (a flip that survived into a still-decodable
+// payload cannot — the CRC catches it — but a schema-compatible stale write
+// could) must be treated as corruption, not served.
+func (e *cacheEntry) valid() bool {
+	n := len(e.NodeCells)
+	if n == 0 || e.NumPorts <= 0 || e.NumPorts > n || len(e.PortNames) != e.NumPorts {
+		return false
+	}
+	for _, m := range []*mat.Matrix{e.Gamma, e.C} {
+		if m == nil || m.Rows != n || m.Cols != n || len(m.Data) != n*n {
+			return false
+		}
+	}
+	if e.G != nil && (e.G.Rows != n || e.G.Cols != n || len(e.G.Data) != n*n) {
+		return false
+	}
+	return true
+}
+
+// path maps a fingerprint to its entry file.
+func (c *opCache) path(fingerprint string) string {
+	return filepath.Join(c.dir, fingerprint+".opc")
+}
+
+// get looks a fingerprint up. hit=false means extract fresh; repaired=true
+// additionally means a corrupt entry was found and evicted, which the caller
+// records as a repaired diag warning on the job. A nil receiver (cache
+// disabled) always misses. Filesystem errors other than "not exist" are
+// conservative misses without eviction — the entry may be fine and the disk
+// transient.
+func (c *opCache) get(fingerprint string) (nw *extract.Network, hit, repaired bool) {
+	if c == nil {
+		return nil, false, false
+	}
+	path := c.path(fingerprint)
+	var e cacheEntry
+	err := checkpoint.Load(path, cacheKind, &e)
+	switch {
+	case err == nil:
+		if !e.valid() {
+			_ = os.Remove(path)
+			return nil, false, true
+		}
+		d := diag.New()
+		d.Infof("serve", "operator cache", 0, 0,
+			"network restored from operator cache (assembly and reduction skipped)")
+		return &extract.Network{
+			NodeCells:       e.NodeCells,
+			PortNames:       e.PortNames,
+			NumPorts:        e.NumPorts,
+			Gamma:           e.Gamma,
+			G:               e.G,
+			C:               e.C,
+			LossTan:         e.LossTan,
+			SkinCrossoverHz: e.SkinCrossoverHz,
+			Diag:            d,
+		}, true, false
+	case checkpoint.Corrupt(err):
+		_ = os.Remove(path)
+		return nil, false, true
+	case os.IsNotExist(err):
+		return nil, false, false
+	default:
+		return nil, false, false
+	}
+}
+
+// put stores an extracted network. Errors are returned for the caller to
+// log as a degradation warning; they never fail the job that computed nw.
+func (c *opCache) put(fingerprint string, nw *extract.Network) error {
+	if c == nil {
+		return nil
+	}
+	e := cacheEntry{
+		NodeCells:       nw.NodeCells,
+		PortNames:       nw.PortNames,
+		NumPorts:        nw.NumPorts,
+		Gamma:           nw.Gamma,
+		G:               nw.G,
+		C:               nw.C,
+		LossTan:         nw.LossTan,
+		SkinCrossoverHz: nw.SkinCrossoverHz,
+	}
+	return checkpoint.Save(c.path(fingerprint), cacheKind, &e)
+}

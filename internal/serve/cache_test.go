@@ -1,0 +1,175 @@
+package serve_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pdnsim/internal/serve"
+)
+
+// runOne submits a request and waits for a terminal state, returning the
+// status plus both artifacts.
+func runOne(t *testing.T, s *serve.Server, req *serve.JobRequest) (serve.JobStatus, string, string) {
+	t.Helper()
+	id, err := s.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitTerminal(t, s, id, 30*time.Second)
+	nl, err := s.Netlist(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := s.Touchstone(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, nl, ts
+}
+
+// cacheFile locates the single operator-cache entry in a state directory.
+func cacheFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.opc"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected exactly one cache entry in %s, got %v (%v)", dir, matches, err)
+	}
+	return matches[0]
+}
+
+// TestWarmCacheSkipsAssembly is the warm-path acceptance hook: a repeat query
+// against the same board serves from the operator cache without invoking the
+// extraction pipeline (the Assemblies counter stays flat), and produces the
+// identical result.
+func TestWarmCacheSkipsAssembly(t *testing.T) {
+	dir := t.TempDir()
+	s := startServer(t, serve.Config{Workers: 1, StateDir: dir}, serve.Hooks{})
+
+	cold, coldNL, coldTS := runOne(t, s, sweepReq(4, ""))
+	if cold.State != serve.StateDone || cold.CacheHit {
+		t.Fatalf("cold run: state=%q hit=%v, want done/miss", cold.State, cold.CacheHit)
+	}
+	if got := s.Stats().Assemblies; got != 1 {
+		t.Fatalf("cold run assemblies = %d, want 1", got)
+	}
+
+	warm, warmNL, warmTS := runOne(t, s, sweepReq(4, ""))
+	if warm.State != serve.StateDone || !warm.CacheHit || warm.CacheRepaired {
+		t.Fatalf("warm run: state=%q hit=%v repaired=%v, want done/hit/clean",
+			warm.State, warm.CacheHit, warm.CacheRepaired)
+	}
+	if got := s.Stats().Assemblies; got != 1 {
+		t.Fatalf("warm hit must not re-assemble: assemblies = %d, want 1", got)
+	}
+	if warmNL != coldNL {
+		t.Fatalf("cached netlist differs from cold extraction:\ncold:\n%s\nwarm:\n%s", coldNL, warmNL)
+	}
+	if warmTS != coldTS {
+		t.Fatal("cached sweep differs from cold sweep — the cache must be bitwise lossless")
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("cache counters = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestCacheSurvivesRestart: a fresh daemon over the same state directory
+// serves the previous process's cache entries.
+func TestCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startServer(t, serve.Config{Workers: 1, StateDir: dir}, serve.Hooks{})
+	runOne(t, s1, &serve.JobRequest{Board: []byte(testBoard)})
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	s1.Drain(dctx)
+
+	s2 := startServer(t, serve.Config{Workers: 1, StateDir: dir}, serve.Hooks{})
+	st, _, _ := runOne(t, s2, &serve.JobRequest{Board: []byte(testBoard)})
+	if st.State != serve.StateDone || !st.CacheHit {
+		t.Fatalf("restarted daemon: state=%q hit=%v, want done/hit", st.State, st.CacheHit)
+	}
+	if got := s2.Stats().Assemblies; got != 0 {
+		t.Fatalf("restarted daemon re-assembled a cached board: assemblies = %d", got)
+	}
+}
+
+// TestCacheCorruptionDegradesGracefully is the degradation contract: a cache
+// entry damaged on disk — truncated or bit-flipped — is detected by the
+// checkpoint envelope's CRC, evicted, and transparently recomputed. The job
+// succeeds with results identical to a cold run, carries a repaired warning,
+// and the daemon never surfaces the damage as a failure.
+func TestCacheCorruptionDegradesGracefully(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit flip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x10
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := startServer(t, serve.Config{Workers: 1, StateDir: dir}, serve.Hooks{})
+
+			cold, coldNL, coldTS := runOne(t, s, sweepReq(4, ""))
+			if cold.State != serve.StateDone {
+				t.Fatalf("cold run failed: %+v", cold)
+			}
+			tc.corrupt(t, cacheFile(t, dir))
+
+			st, nl, ts := runOne(t, s, sweepReq(4, ""))
+			if st.State != serve.StateDone {
+				t.Fatalf("corrupt cache must degrade, not fail: state=%q error=%q", st.State, st.Error)
+			}
+			if st.CacheHit || !st.CacheRepaired {
+				t.Fatalf("hit=%v repaired=%v, want miss + repaired", st.CacheHit, st.CacheRepaired)
+			}
+			warned := false
+			for _, w := range st.Warnings {
+				if strings.Contains(w, "integrity") && strings.Contains(w, "auto-repaired") {
+					warned = true
+				}
+			}
+			if !warned {
+				t.Fatalf("repaired warning missing from status: %q", st.Warnings)
+			}
+			if nl != coldNL || ts != coldTS {
+				t.Fatal("recomputed results differ from the cold run")
+			}
+			if got := s.Stats().Assemblies; got != 2 {
+				t.Fatalf("eviction must recompute: assemblies = %d, want 2", got)
+			}
+			if got := s.Stats().CacheRepairs; got != 1 {
+				t.Fatalf("cache repairs = %d, want 1", got)
+			}
+
+			// The recompute rewrote the entry: a third query is a clean hit.
+			again, _, _ := runOne(t, s, sweepReq(4, ""))
+			if !again.CacheHit || again.CacheRepaired {
+				t.Fatalf("post-repair query: hit=%v repaired=%v, want clean hit",
+					again.CacheHit, again.CacheRepaired)
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pdnsim/internal/simerr"
+)
+
+// maxBodyBytes bounds a job submission body. Board descriptions are a few
+// kilobytes; 8 MiB leaves room for very dense polygon outlines while keeping
+// a hostile or confused client from ballooning the daemon's memory.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /healthz              liveness: 200 while the process serves HTTP
+//	GET  /readyz               readiness: 200 while accepting, 503 draining
+//	POST /jobs                 submit a JobRequest → 202 {"id": ...}
+//	GET  /jobs                 list retained job statuses
+//	GET  /jobs/{id}            job status (partial jobs are 200, not errors)
+//	GET  /jobs/{id}/netlist    extracted equivalent-circuit netlist
+//	GET  /jobs/{id}/touchstone sweep S-parameters (partial jobs: surviving points)
+//
+// Admission failures map to transport statuses: a full queue is 429 with a
+// Retry-After estimate, a draining daemon 503, a malformed request 400. A
+// job's *solve* failing is not a transport failure — the submission was
+// accepted, and the failure (with its simerr class) is data in the status
+// body.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/netlist", s.handleNetlist)
+	mux.HandleFunc("GET /jobs/{id}/touchstone", s.handleTouchstone)
+	return mux
+}
+
+// writeJSON renders v with status code. Encoding failures are impossible for
+// the plain-data payloads used here; the error return of Encode is
+// deliberately dropped after the header went out.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errBody is the JSON error envelope.
+type errBody struct {
+	Error string `json:"error"`
+	Class string `json:"class,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "stats": st})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "stats": st})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody{Error: fmt.Sprintf("malformed job request: %v", err), Class: "bad-input"})
+		return
+	}
+	id, err := s.Submit(r.Context(), &req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status_url": "/jobs/" + id})
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, errBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errBody{Error: err.Error()})
+	case errors.Is(err, simerr.ErrBadInput):
+		writeJSON(w, http.StatusBadRequest, errBody{Error: err.Error(), Class: "bad-input"})
+	case errors.Is(err, simerr.ErrCancelled):
+		// The client went away mid-submit; 499-style, but stdlib has no
+		// constant — the write usually fails anyway.
+		writeJSON(w, http.StatusRequestTimeout, errBody{Error: err.Error(), Class: "cancelled"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.JobStatus(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errBody{Error: err.Error()})
+		return
+	}
+	// Deliberately 200 for every known job, including failed and partial
+	// ones: the transport succeeded, the job's disposition is the payload.
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleNetlist(w http.ResponseWriter, r *http.Request) {
+	s.handleArtifact(w, r, s.Netlist, "netlist not available: the job has not completed extraction")
+}
+
+func (s *Server) handleTouchstone(w http.ResponseWriter, r *http.Request) {
+	s.handleArtifact(w, r, s.Touchstone, "touchstone not available: the job has no completed sweep")
+}
+
+// handleArtifact serves a plain-text job artifact: 404 for unknown jobs,
+// 409 while the artifact does not exist (yet, or ever — the status API says
+// which), 200 with the text otherwise.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request, get func(string) (string, error), missing string) {
+	text, err := get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errBody{Error: err.Error()})
+		return
+	}
+	if text == "" {
+		writeJSON(w, http.StatusConflict, errBody{Error: missing})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprint(w, text)
+}

@@ -1,0 +1,779 @@
+// Package serve is the extraction daemon: a bounded worker pool behind a
+// fixed-capacity queue that accepts board extraction and sweep jobs over
+// HTTP/JSON and survives every failure mode the solver knows how to name.
+// The design goal is robustness, not API surface:
+//
+//   - Backpressure, not collapse: a full queue sheds load with 429 and a
+//     Retry-After estimated from the observed job duration, so saturation
+//     degrades service latency for new work instead of memory and tail
+//     latency for accepted work.
+//   - Deadlines, not hangs: every job runs under a per-job context deadline
+//     threaded through ExtractSupervisedCtx and SweepZSupervised, so a
+//     pathological solve costs its deadline, never a worker forever.
+//   - Isolation, not contagion: per-point supervision (bounded retries with
+//     escalating perturbation) and simerr.ErrPartial mean one singular
+//     frequency point degrades one job to "partial" — reported with HTTP
+//     200 and point-level detail — instead of failing the job, and one
+//     failed job never touches its neighbours.
+//   - Graceful degradation of the operator cache: extracted networks are
+//     cached under a geometry+stackup content hash in the checkpoint
+//     envelope; a CRC-failing or truncated entry is evicted and recomputed
+//     with a repaired diag warning, never a 500.
+//   - Graceful drain: on SIGINT/SIGTERM the daemon stops accepting, lets
+//     in-flight jobs finish (or, past the grace deadline, cancels them so
+//     their sweeps flush resumable snapshots), flushes never-started jobs
+//     to a queue manifest, and exits 0. No accepted job is silently
+//     dropped — every one ends in a terminal state a client can query.
+//
+// The package is the library half; cmd/pdnserve wires it to flags, signals
+// and an http.Server, and cmd/pdnload drives it for latency baselines.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"pdnsim/internal/checkpoint"
+	"pdnsim/internal/cli"
+	"pdnsim/internal/core"
+	"pdnsim/internal/diag"
+	"pdnsim/internal/extract"
+	"pdnsim/internal/simerr"
+	"pdnsim/internal/sparam"
+	"pdnsim/internal/supervise"
+)
+
+// Control-flow sentinels of the admission path. They are intentionally not
+// simerr solve classes: they describe the daemon's disposition towards a
+// request, not a numerical failure, and they never cross the package
+// boundary except through the HTTP status mapping in handlers.go.
+var (
+	// ErrBusy: the queue is full; the client should retry after the
+	// estimate the handler attaches (HTTP 429).
+	ErrBusy = errors.New("serve: queue full")
+	// ErrDraining: the daemon is shutting down and no longer accepts work
+	// (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrUnknownJob: no such job ID (HTTP 404).
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// Defaults. Every knob has a working zero value so `serve.New(serve.Config{})`
+// is a functional in-memory daemon.
+const (
+	// DefaultQueueCap bounds the accepted-but-not-started backlog. 16 keeps
+	// worst-case queue latency at ~8 average jobs per worker on the default
+	// two workers — past that, shedding with a Retry-After is kinder to the
+	// client than an unbounded wait.
+	DefaultQueueCap = 16
+	// DefaultDeadline bounds a job that asked for no deadline. Two minutes
+	// is an order of magnitude above the heaviest committed benchmark board
+	// sweep, so it only fires on runaway work.
+	DefaultDeadline = 2 * time.Minute
+	// MaxDeadline caps client-requested deadlines so one job cannot pin a
+	// worker for an afternoon.
+	MaxDeadline = 10 * time.Minute
+	// DefaultCheckpointEvery is the sweep snapshot cadence for daemon jobs.
+	// Service jobs are much smaller than batch runs (checkpoint.DefaultEvery
+	// is tuned for million-step transients), and a drained job should lose
+	// at most a few points of work.
+	DefaultCheckpointEvery = 8
+	// DefaultMaxJobs bounds the terminal-job history retained for the
+	// status API; the oldest terminal records are pruned past it so a
+	// long-lived daemon's memory stays flat.
+	DefaultMaxJobs = 1000
+)
+
+// ewmaAlpha is the smoothing factor of the job-duration estimate behind
+// Retry-After: 0.3 weights the last ~5 jobs, tracking workload shifts
+// without jittering on one outlier.
+const ewmaAlpha = 0.3
+
+// Config tunes the daemon. The zero value serves from memory with two
+// workers and no persistence.
+type Config struct {
+	// Workers is the worker-pool size. Each worker runs one job at a time;
+	// the dense kernels inside a job parallelise themselves under the
+	// internal/mat worker budget, so a few workers saturate the machine.
+	// Zero selects min(2, GOMAXPROCS).
+	Workers int
+	// QueueCap is the accepted-but-not-started backlog bound. Zero selects
+	// DefaultQueueCap.
+	QueueCap int
+	// DefaultDeadline applies to jobs that request none; MaxDeadline caps
+	// what a job may request. Zeros select the package defaults.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// StateDir, when non-empty, enables persistence: the operator/factor
+	// cache, per-job sweep snapshots, and the drain queue manifest all live
+	// here. Empty serves from memory (no cache, drain cannot snapshot).
+	StateDir string
+	// CheckpointEvery is the sweep snapshot cadence (points between
+	// snapshots) for daemon jobs. Zero selects DefaultCheckpointEvery.
+	CheckpointEvery int
+	// MaxJobs bounds retained terminal job records. Zero selects
+	// DefaultMaxJobs.
+	MaxJobs int
+	// Policy supervises extractions and sweep points. The zero value
+	// applies the package supervise defaults.
+	Policy supervise.Policy
+}
+
+// Hooks are the solver entry points the worker calls, injectable so the
+// chaos suite can substitute failing, slow, or counting implementations
+// without touching the daemon's control flow. Zero fields select the real
+// solver.
+type Hooks struct {
+	Extract func(ctx context.Context, spec *core.BoardSpec, pol supervise.Policy) (*core.Result, supervise.Status, error)
+	Sweep   func(ctx context.Context, freqs []float64, opts sparam.SweepOptions, zAt sparam.ZFunc) (*sparam.Sweep, []sparam.PointStatus, error)
+}
+
+// Stats is a snapshot of the daemon's counters. Assemblies counts actual
+// extraction runs (the assembly-counter hook): a warm cache hit serves a
+// repeat query without incrementing it, which is exactly what the cache
+// tests assert.
+type Stats struct {
+	Accepted    int64 `json:"accepted"`
+	Rejected    int64 `json:"rejected"` // shed with 429 (queue full)
+	Completed   int64 `json:"completed"`
+	Assemblies  int64 `json:"assemblies"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheRepairs counts corrupt cache entries evicted and recomputed.
+	CacheRepairs int64 `json:"cache_repairs"`
+	Queued       int   `json:"queued"`
+	Running      int   `json:"running"`
+}
+
+// DrainReport summarises a completed drain.
+type DrainReport struct {
+	Finished    int `json:"finished"`    // in-flight jobs that completed during the grace window
+	Snapshotted int `json:"snapshotted"` // in-flight jobs cancelled past grace with a resumable snapshot
+	Cancelled   int `json:"cancelled"`   // in-flight jobs cancelled past grace without a snapshot
+	Flushed     int `json:"flushed"`     // queued jobs flushed to the manifest, never started
+}
+
+// Server is the daemon. Create with New, start workers with Start, attach
+// Handler to an http.Server, and stop with Drain.
+type Server struct {
+	cfg   Config
+	hooks Hooks
+	cache *opCache // nil when StateDir is empty
+
+	mu        sync.Mutex
+	queue     chan *job
+	jobs      map[string]*job
+	order     []string // insertion order, for pruning and listing
+	seq       int
+	accepting bool
+	draining  bool
+	drained   chan struct{} // closed when the first Drain completes
+	report    DrainReport
+	running   int
+	ewmaNs    float64
+	stats     Stats
+
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New builds a Server. Hooks fields left nil select the real solver.
+func New(cfg Config, hooks Hooks) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = min(2, runtime.GOMAXPROCS(0))
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = DefaultDeadline
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = MaxDeadline
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if hooks.Extract == nil {
+		hooks.Extract = func(ctx context.Context, spec *core.BoardSpec, pol supervise.Policy) (*core.Result, supervise.Status, error) {
+			return spec.ExtractSupervisedCtx(ctx, pol)
+		}
+	}
+	if hooks.Sweep == nil {
+		hooks.Sweep = sparam.SweepZSupervised
+	}
+	s := &Server{
+		cfg:       cfg,
+		hooks:     hooks,
+		queue:     make(chan *job, cfg.QueueCap),
+		jobs:      make(map[string]*job),
+		accepting: true,
+		drained:   make(chan struct{}),
+	}
+	if cfg.StateDir != "" {
+		s.cache = &opCache{dir: cfg.StateDir}
+	}
+	return s
+}
+
+// Start launches the worker pool. ctx is the lifetime parent of every job's
+// context: cancelling it hard-cancels all work (Drain is the graceful path).
+// Start is not idempotent; call it once.
+func (s *Server) Start(ctx context.Context) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	workers := s.cfg.Workers
+	s.mu.Unlock()
+	if s.cfg.StateDir != "" {
+		// Best-effort: persistence degrades to in-memory service if the
+		// directory cannot be created; the daemon must come up regardless.
+		_ = os.MkdirAll(s.cfg.StateDir, 0o755)
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker(ctx)
+	}
+}
+
+// Submit validates and enqueues a job, returning its ID. A full queue
+// returns ErrBusy (shed load, HTTP 429); a draining server ErrDraining
+// (503); a malformed request a simerr.ErrBadInput-class error (400). ctx is
+// the *request* context — it gates only admission, not the job's run.
+func (s *Server) Submit(ctx context.Context, req *JobRequest) (string, error) {
+	if err := simerr.CheckCtx(ctx, "serve: submit"); err != nil {
+		return "", err
+	}
+	if req == nil || len(req.Board) == 0 {
+		return "", simerr.BadInput("serve: submit", "missing board description")
+	}
+	spec, err := core.ParseBoard(req.Board)
+	if err != nil {
+		return "", err
+	}
+	if req.Sweep != nil {
+		if err := req.Sweep.validate(); err != nil {
+			return "", err
+		}
+	}
+	if req.DeadlineMS < 0 {
+		return "", simerr.BadInput("serve: submit", "deadline_ms must be non-negative, got %d", req.DeadlineMS)
+	}
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.accepting {
+		return "", ErrDraining
+	}
+	s.seq++
+	jb := &job{
+		id:        fmt.Sprintf("j-%06d", s.seq),
+		spec:      spec,
+		rawBoard:  append([]byte(nil), req.Board...),
+		sweep:     req.Sweep,
+		deadline:  deadline,
+		submitted: time.Now(),
+		state:     StateQueued,
+		diag:      diag.New(),
+	}
+	select {
+	case s.queue <- jb:
+	default:
+		s.seq-- // the ID was never issued
+		s.stats.Rejected++
+		return "", ErrBusy
+	}
+	s.jobs[jb.id] = jb
+	s.order = append(s.order, jb.id)
+	s.stats.Accepted++
+	s.pruneLocked()
+	return jb.id, nil
+}
+
+// RetryAfter estimates, in whole seconds, when a shed client should retry:
+// the queued+running backlog times the smoothed job duration, divided across
+// the worker pool. Never less than one second.
+func (s *Server) RetryAfter() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	avg := s.ewmaNs
+	if avg <= 0 {
+		avg = float64(time.Second) // no history yet: assume a short job
+	}
+	backlog := float64(len(s.queue) + s.running + 1)
+	secs := int(math.Ceil(avg * backlog / float64(s.cfg.Workers) / float64(time.Second)))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = len(s.queue)
+	st.Running = s.running
+	return st
+}
+
+// Ready reports whether the daemon accepts new jobs (readyz).
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepting
+}
+
+// JobStatus returns the public status of a job.
+func (s *Server) JobStatus(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return s.statusLocked(jb), nil
+}
+
+// Jobs lists the status of every retained job, oldest first.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		if jb, ok := s.jobs[id]; ok {
+			out = append(out, s.statusLocked(jb))
+		}
+	}
+	return out
+}
+
+// Netlist returns the extracted equivalent-circuit netlist of a completed
+// job ("" until extraction finished).
+func (s *Server) Netlist(id string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return "", ErrUnknownJob
+	}
+	return jb.netlist, nil
+}
+
+// Touchstone returns the sweep result of a completed job ("" until a sweep
+// finished; partial jobs return the surviving points).
+func (s *Server) Touchstone(id string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return "", ErrUnknownJob
+	}
+	return jb.touchstone, nil
+}
+
+// statusLocked renders a job's public status. Caller holds s.mu.
+func (s *Server) statusLocked(jb *job) JobStatus {
+	st := JobStatus{
+		ID:              jb.id,
+		State:           jb.state,
+		Board:           jb.spec.Name,
+		Submitted:       stamp(jb.submitted),
+		Started:         stamp(jb.started),
+		Finished:        stamp(jb.finished),
+		DeadlineMS:      jb.deadline.Milliseconds(),
+		CacheHit:        jb.cacheHit,
+		CacheRepaired:   jb.cacheRepaired,
+		ExtractAttempts: jb.extractAttempts,
+		Nodes:           jb.nodes,
+		Ports:           jb.ports,
+		CTotal:          jb.ctotal,
+		SnapshotPath:    jb.snapshotPath,
+	}
+	if jb.err != nil {
+		st.ErrorClass = cli.ErrClass(jb.err)
+		st.Error = jb.err.Error()
+	}
+	for _, it := range jb.diag.Items() {
+		if it.Severity >= diag.Warning {
+			st.Warnings = append(st.Warnings, it.String())
+		}
+	}
+	if len(jb.points) > 0 {
+		rep := &SweepReport{Points: len(jb.points)}
+		for _, p := range jb.points {
+			switch {
+			case p.Err != nil:
+				rep.Failed++
+				rep.Abnormal = append(rep.Abnormal, PointReport{
+					FreqHz: p.Freq, Attempts: p.Attempts, PerturbRel: p.PerturbRel, Error: p.Err.Error()})
+			case p.Attempts > 1:
+				rep.Retried++
+				rep.Abnormal = append(rep.Abnormal, PointReport{
+					FreqHz: p.Freq, Attempts: p.Attempts, PerturbRel: p.PerturbRel})
+			case p.Attempts == 0:
+				rep.Restored++
+			}
+		}
+		st.Sweep = rep
+	}
+	return st
+}
+
+// pruneLocked drops the oldest terminal job records past cfg.MaxJobs so a
+// long-lived daemon's status history stays bounded. Running and queued jobs
+// are never pruned — the no-silent-drop invariant holds for every accepted
+// job still in flight. Caller holds s.mu.
+func (s *Server) pruneLocked() {
+	excess := len(s.order) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		jb, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if excess > 0 && jb.state.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// worker consumes the queue until Drain closes it.
+func (s *Server) worker(ctx context.Context) {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.runJob(ctx, jb)
+	}
+}
+
+// runJob executes one job under its deadline. Every exit path lands the job
+// in a terminal state — errors and partial results are recorded, never
+// returned: the worker pool must survive anything the solver does.
+func (s *Server) runJob(ctx context.Context, jb *job) {
+	s.mu.Lock()
+	if s.draining {
+		// The drain flusher races the workers for queued jobs; ones a
+		// worker wins would prolong the drain, so they are flushed here
+		// with the same disposition.
+		s.flushJobLocked(jb)
+		s.report.Flushed++
+		s.mu.Unlock()
+		return
+	}
+	jb.state = StateRunning
+	jb.started = time.Now()
+	s.running++
+	jctx, cancel := context.WithTimeout(ctx, jb.deadline)
+	jb.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	err := s.execute(jctx, jb)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb.finished = time.Now()
+	jb.cancel = nil
+	jb.err = err
+	s.running--
+	s.stats.Completed++
+	dur := float64(jb.finished.Sub(jb.started))
+	if s.ewmaNs <= 0 {
+		s.ewmaNs = dur
+	} else {
+		s.ewmaNs = ewmaAlpha*dur + (1-ewmaAlpha)*s.ewmaNs
+	}
+	switch {
+	case err == nil:
+		jb.state = StateDone
+	case errors.Is(err, simerr.ErrPartial):
+		jb.state = StatePartial
+	case errors.Is(err, simerr.ErrCancelled):
+		if jb.snapshotPath != "" {
+			jb.state = StateSnapshotted
+		} else {
+			jb.state = StateCancelled
+		}
+	default:
+		jb.state = StateFailed
+	}
+	if s.draining {
+		switch jb.state {
+		case StateSnapshotted:
+			s.report.Snapshotted++
+		case StateCancelled:
+			s.report.Cancelled++
+		default:
+			s.report.Finished++
+		}
+	}
+}
+
+// execute runs the extraction (cache-aware) and optional sweep. It returns
+// the job's disposition error (nil, ErrPartial-class, ErrCancelled-class, or
+// a solve failure); side results land on jb under s.mu.
+func (s *Server) execute(ctx context.Context, jb *job) error {
+	fp := jb.spec.Fingerprint()
+	nw, hit, repaired := s.cache.get(fp)
+	s.mu.Lock()
+	jb.cacheHit = hit
+	jb.cacheRepaired = repaired
+	if repaired {
+		s.stats.CacheRepairs++
+		jb.diag.Warnf("serve", "operator cache", 0, 0, true,
+			"cache entry %s failed its integrity check; evicted and recomputed from the board description", fp[:12])
+	}
+	if hit {
+		s.stats.CacheHits++
+	} else {
+		s.stats.CacheMisses++
+	}
+	s.mu.Unlock()
+
+	if !hit {
+		s.mu.Lock()
+		s.stats.Assemblies++
+		s.mu.Unlock()
+		res, st, err := s.hooks.Extract(ctx, jb.spec, s.cfg.Policy)
+		s.mu.Lock()
+		jb.extractAttempts = st.Attempts
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		nw = res.Network
+		if perr := s.cache.put(fp, nw); perr != nil {
+			// A cache write failure degrades future latency, not this job.
+			s.mu.Lock()
+			jb.diag.Warnf("serve", "operator cache", 0, 0, false,
+				"cache write failed (serving uncached): %v", perr)
+			s.mu.Unlock()
+		}
+	}
+
+	nl := nw.Netlist(jb.spec.Name)
+	s.mu.Lock()
+	jb.diag.Merge(nw.Diag)
+	jb.nodes = nw.NumNodes()
+	jb.ports = nw.NumPorts
+	jb.ctotal = nw.TotalCapacitance()
+	jb.netlist = nl
+	s.mu.Unlock()
+
+	if jb.sweep == nil {
+		return nil
+	}
+	return s.runSweep(ctx, jb, nw)
+}
+
+// runSweep executes the job's sweep with per-point supervision and, when a
+// state directory exists, periodic resumable snapshots.
+func (s *Server) runSweep(ctx context.Context, jb *job, nw *extract.Network) error {
+	sw := jb.sweep
+	freqs := sparam.LinSpace(sw.FMin, sw.FMax, sw.NF)
+	opts := sparam.SweepOptions{Z0: sw.Z0, Policy: s.cfg.Policy, ResumeFrom: sw.ResumeFrom}
+	var snapPath string
+	if s.cfg.StateDir != "" {
+		snapPath = filepath.Join(s.cfg.StateDir, jb.id+".sweep.ckpt")
+		opts.Checkpoint = checkpoint.Policy{Path: snapPath, Every: s.cfg.CheckpointEvery}
+	}
+	result, points, err := s.hooks.Sweep(ctx, freqs, opts, nw.PortZCtx)
+	s.mu.Lock()
+	jb.points = points
+	if snapPath != "" {
+		if _, serr := os.Stat(snapPath); serr == nil {
+			jb.snapshotPath = snapPath
+		}
+	}
+	s.mu.Unlock()
+	if err != nil && !errors.Is(err, simerr.ErrPartial) {
+		return err
+	}
+	ts, terr := result.Touchstone(jb.spec.Name)
+	if terr != nil {
+		return terr
+	}
+	s.mu.Lock()
+	jb.touchstone = ts
+	jb.diag.Merge(result.Diag)
+	if jb.snapshotPath != "" && err == nil {
+		// The sweep completed; its interim snapshot is no longer needed.
+		_ = os.Remove(jb.snapshotPath)
+		jb.snapshotPath = ""
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Drain gracefully shuts the daemon down: stop accepting, flush queued jobs
+// to the manifest, let in-flight jobs finish — and once ctx expires, cancel
+// them so their sweeps flush resumable snapshots. Drain always terminates:
+// in-flight work is context-aware by contract, and the escalation path
+// cancels it. Safe to call concurrently; every caller observes the first
+// drain's report.
+func (s *Server) Drain(ctx context.Context) DrainReport {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.drained
+		s.mu.Lock()
+		rep := s.report
+		s.mu.Unlock()
+		return rep
+	}
+	s.draining = true
+	s.accepting = false
+	s.mu.Unlock()
+
+	flushed := s.flushQueued()
+	close(s.queue)
+	s.writeManifest(flushed)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancelInFlight()
+		<-done
+	}
+
+	s.mu.Lock()
+	s.report.Flushed += len(flushed)
+	rep := s.report
+	s.mu.Unlock()
+	close(s.drained)
+	return rep
+}
+
+// flushQueued empties the queue of never-started jobs, marking them flushed.
+func (s *Server) flushQueued() []*job {
+	var out []*job
+	for {
+		select {
+		case jb := <-s.queue:
+			s.mu.Lock()
+			s.flushJobLocked(jb)
+			s.mu.Unlock()
+			out = append(out, jb)
+		default:
+			return out
+		}
+	}
+}
+
+// flushJobLocked marks a never-started job as flushed. Caller holds s.mu.
+func (s *Server) flushJobLocked(jb *job) {
+	jb.state = StateFlushed
+	jb.finished = time.Now()
+	jb.err = simerr.Tagf(simerr.ErrCancelled, "serve: drained before start; resubmit from the queue manifest")
+}
+
+// manifestKind tags drain queue manifests in the checkpoint envelope.
+const manifestKind = "serve-queue"
+
+// manifestEntry is one flushed job in the drain manifest: everything needed
+// to resubmit it.
+type manifestEntry struct {
+	ID         string          `json:"id"`
+	Board      json.RawMessage `json:"board"`
+	Sweep      *SweepSpec      `json:"sweep,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+}
+
+// manifest is the drain-time queue state.
+type manifest struct {
+	DrainedAt string          `json:"drained_at"`
+	Jobs      []manifestEntry `json:"jobs"`
+}
+
+// writeManifest persists the flushed queue so accepted-but-never-started
+// jobs survive the process. Best-effort: with no state directory the jobs
+// are still individually marked flushed and queryable until shutdown.
+func (s *Server) writeManifest(flushed []*job) {
+	if s.cfg.StateDir == "" || len(flushed) == 0 {
+		return
+	}
+	m := manifest{DrainedAt: time.Now().UTC().Format(time.RFC3339Nano)}
+	for _, jb := range flushed {
+		m.Jobs = append(m.Jobs, manifestEntry{
+			ID: jb.id, Board: jb.rawBoard, Sweep: jb.sweep, DeadlineMS: jb.deadline.Milliseconds()})
+	}
+	path := filepath.Join(s.cfg.StateDir, "queue.manifest")
+	if err := checkpoint.Save(path, manifestKind, &m); err != nil {
+		s.mu.Lock()
+		for _, jb := range flushed {
+			jb.diag.Warnf("serve", "queue manifest", 0, 0, false,
+				"drain could not persist the queued job: %v", err)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// ReadManifest loads a drain queue manifest written by a previous run, so a
+// restarted daemon (or an operator script) can resubmit flushed jobs.
+func ReadManifest(stateDir string) ([]JobRequest, error) {
+	var m manifest
+	if err := checkpoint.Load(filepath.Join(stateDir, "queue.manifest"), manifestKind, &m); err != nil {
+		return nil, err
+	}
+	reqs := make([]JobRequest, 0, len(m.Jobs))
+	for _, e := range m.Jobs {
+		reqs = append(reqs, JobRequest{Board: e.Board, Sweep: e.Sweep, DeadlineMS: e.DeadlineMS})
+	}
+	return reqs, nil
+}
+
+// cancelInFlight cancels every running job (drain escalation past the grace
+// deadline): their ctx-aware solves abort and checkpoint-enabled sweeps
+// flush a final resumable snapshot on the way out.
+func (s *Server) cancelInFlight() {
+	s.mu.Lock()
+	cancels := make([]func(), 0, s.running)
+	for _, jb := range s.jobs {
+		if jb.cancel != nil {
+			cancels = append(cancels, jb.cancel)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// finitePos reports a positive, finite float.
+func finitePos(x float64) bool {
+	return x > 0 && !math.IsInf(x, 0)
+}

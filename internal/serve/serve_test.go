@@ -1,0 +1,405 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pdnsim/internal/serve"
+)
+
+// testBoard is a small board whose extraction runs in milliseconds: an 8×8
+// mesh with two ports, the same shape the core package tests use.
+const testBoard = `{
+  "name": "serve test plane",
+  "shape": {"type": "rect", "w_mm": 20, "h_mm": 20},
+  "plane_sep_mm": 0.5,
+  "eps_r": 4.5,
+  "sheet_res_ohm_sq": 0.001,
+  "mesh_nx": 8,
+  "mesh_ny": 8,
+  "extra_nodes": 6,
+  "ports": [
+    {"name": "P1", "x_mm": 1, "y_mm": 1},
+    {"name": "P2", "x_mm": 19, "y_mm": 19}
+  ]
+}`
+
+// sweep returns a small sweep request body against testBoard.
+func sweepReq(nf int, resumeFrom string) *serve.JobRequest {
+	return &serve.JobRequest{
+		Board: []byte(testBoard),
+		Sweep: &serve.SweepSpec{FMin: 1e6, FMax: 1e9, NF: nf, ResumeFrom: resumeFrom},
+	}
+}
+
+// noLeaks snapshots the goroutine count and returns a check to run after the
+// daemon is fully stopped. It tolerates transient runtime goroutines by
+// polling: a real leak (a worker stuck in a job, a timer goroutine pinned by
+// an unstopped server) never converges back to the baseline.
+func noLeaks(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	}
+}
+
+// startServer builds and starts a daemon whose lifetime is bound to the test.
+// The returned cleanup drains it (generous grace) — individual tests that
+// exercise drain themselves call Drain first; the deferred one is idempotent.
+func startServer(t *testing.T, cfg serve.Config, hooks serve.Hooks) *serve.Server {
+	t.Helper()
+	s := serve.New(cfg, hooks)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	t.Cleanup(func() {
+		dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer dcancel()
+		s.Drain(dctx)
+		cancel()
+	})
+	return s
+}
+
+// waitTerminal polls a job until it reaches a terminal state.
+func waitTerminal(t *testing.T, s *serve.Server, id string, timeout time.Duration) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := s.JobStatus(id)
+		if err != nil {
+			t.Fatalf("JobStatus(%s): %v", id, err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q after %v", id, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// postJob submits a request over HTTP and returns the response.
+func postJob(t *testing.T, client *http.Client, base string, req *serve.JobRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding %s body: %v", resp.Request.URL, err)
+	}
+	return v
+}
+
+func TestExtractOnlyJobLifecycle(t *testing.T) {
+	check := noLeaks(t)
+	s := startServer(t, serve.Config{Workers: 2}, serve.Hooks{})
+
+	id, err := s.Submit(context.Background(), &serve.JobRequest{Board: []byte(testBoard)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitTerminal(t, s, id, 30*time.Second)
+	if st.State != serve.StateDone {
+		t.Fatalf("state = %q (error %q), want done", st.State, st.Error)
+	}
+	if st.Nodes <= 0 || st.Ports != 2 || st.CTotal <= 0 {
+		t.Fatalf("result summary not populated: nodes=%d ports=%d ctotal=%g", st.Nodes, st.Ports, st.CTotal)
+	}
+	if st.ExtractAttempts != 1 {
+		t.Fatalf("clean extraction must report 1 attempt, got %d", st.ExtractAttempts)
+	}
+	if st.Submitted == "" || st.Started == "" || st.Finished == "" {
+		t.Fatalf("timestamps missing: %+v", st)
+	}
+	nl, err := s.Netlist(id)
+	if err != nil || !strings.Contains(nl, "P1") {
+		t.Fatalf("netlist unavailable after done: err=%v text=%q", err, nl)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	s.Drain(dctx)
+	check()
+}
+
+func TestSweepJobProducesTouchstone(t *testing.T) {
+	s := startServer(t, serve.Config{Workers: 1}, serve.Hooks{})
+	id, err := s.Submit(context.Background(), sweepReq(5, ""))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitTerminal(t, s, id, 30*time.Second)
+	if st.State != serve.StateDone {
+		t.Fatalf("state = %q (error %q), want done", st.State, st.Error)
+	}
+	if st.Sweep == nil || st.Sweep.Points != 5 || st.Sweep.Failed != 0 {
+		t.Fatalf("sweep report = %+v, want 5 clean points", st.Sweep)
+	}
+	ts, err := s.Touchstone(id)
+	if err != nil || !strings.Contains(ts, "# HZ S RI R") {
+		t.Fatalf("touchstone unavailable: err=%v head=%.60q", err, ts)
+	}
+	if st.SnapshotPath != "" {
+		t.Fatalf("clean completion must not retain a snapshot, got %q", st.SnapshotPath)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := startServer(t, serve.Config{}, serve.Hooks{})
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  *serve.JobRequest
+	}{
+		{"nil request", nil},
+		{"empty board", &serve.JobRequest{}},
+		{"garbage board", &serve.JobRequest{Board: []byte("{nope")}},
+		{"bad sweep nf", &serve.JobRequest{Board: []byte(testBoard),
+			Sweep: &serve.SweepSpec{FMin: 1e6, FMax: 1e9, NF: 0}}},
+		{"bad sweep range", &serve.JobRequest{Board: []byte(testBoard),
+			Sweep: &serve.SweepSpec{FMin: 1e9, FMax: 1e6, NF: 3}}},
+		{"negative z0", &serve.JobRequest{Board: []byte(testBoard),
+			Sweep: &serve.SweepSpec{FMin: 1e6, FMax: 1e9, NF: 3, Z0: -50}}},
+		{"negative deadline", &serve.JobRequest{Board: []byte(testBoard), DeadlineMS: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := s.Submit(ctx, tc.req); err == nil {
+				t.Fatal("invalid request must be rejected at admission")
+			}
+		})
+	}
+	if got := s.Stats().Accepted; got != 0 {
+		t.Fatalf("rejected requests must not count as accepted, got %d", got)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	check := noLeaks(t)
+	s := startServer(t, serve.Config{Workers: 1}, serve.Hooks{})
+	hs := httptest.NewServer(s.Handler())
+	client := hs.Client()
+
+	resp, err := client.Get(hs.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = client.Get(hs.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while accepting: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	// Malformed body → 400 at the transport layer.
+	resp, err = client.Post(hs.URL+"/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	// Valid submit → 202 with an id and a pollable status URL.
+	resp = postJob(t, client, hs.URL, sweepReq(3, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	acc := decodeBody[map[string]string](t, resp)
+	id := acc["id"]
+	if id == "" || acc["status_url"] != "/jobs/"+id {
+		t.Fatalf("submit body = %v", acc)
+	}
+	waitTerminal(t, s, id, 30*time.Second)
+
+	resp, err = client.Get(hs.URL + "/jobs/" + id)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("status fetch: %v %v", err, resp)
+	}
+	st := decodeBody[serve.JobStatus](t, resp)
+	if st.State != serve.StateDone || st.ID != id {
+		t.Fatalf("status body = %+v", st)
+	}
+
+	// Artifacts over HTTP.
+	for _, path := range []string{"/jobs/" + id + "/netlist", "/jobs/" + id + "/touchstone"} {
+		resp, err = client.Get(hs.URL + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("artifact %s: %v %v", path, err, resp)
+		}
+		resp.Body.Close()
+	}
+
+	// Unknown job → 404 everywhere.
+	for _, path := range []string{"/jobs/j-999999", "/jobs/j-999999/netlist", "/jobs/j-999999/touchstone"} {
+		resp, err = client.Get(hs.URL + path)
+		if err != nil || resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job at %s: %v %v", path, err, resp)
+		}
+		resp.Body.Close()
+	}
+
+	// List contains the job.
+	resp, err = client.Get(hs.URL + "/jobs")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %v %v", err, resp)
+	}
+	list := decodeBody[map[string][]serve.JobStatus](t, resp)
+	if len(list["jobs"]) != 1 || list["jobs"][0].ID != id {
+		t.Fatalf("list body = %v", list)
+	}
+
+	// After drain: readyz flips to 503 and submits are refused with 503.
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	s.Drain(dctx)
+	resp, err = client.Get(hs.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp = postJob(t, client, hs.URL, sweepReq(3, ""))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	client.CloseIdleConnections()
+	hs.Close()
+	check()
+}
+
+// TestDeadlineClamp pins the admission-time deadline policy: zero selects the
+// default, a request is honoured, an excessive one is clamped to MaxDeadline.
+func TestDeadlineClamp(t *testing.T) {
+	s := startServer(t, serve.Config{
+		Workers:         1,
+		DefaultDeadline: 7 * time.Second,
+		MaxDeadline:     9 * time.Second,
+	}, serve.Hooks{})
+	ctx := context.Background()
+	cases := []struct {
+		reqMS  int64
+		wantMS int64
+	}{
+		{0, 7000},
+		{1500, 1500},
+		{3_600_000, 9000},
+	}
+	for _, tc := range cases {
+		id, err := s.Submit(ctx, &serve.JobRequest{Board: []byte(testBoard), DeadlineMS: tc.reqMS})
+		if err != nil {
+			t.Fatalf("Submit(deadline %dms): %v", tc.reqMS, err)
+		}
+		st, err := s.JobStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DeadlineMS != tc.wantMS {
+			t.Fatalf("deadline_ms = %d for request %d, want %d", st.DeadlineMS, tc.reqMS, tc.wantMS)
+		}
+	}
+}
+
+// TestJobHistoryPruning: terminal records past MaxJobs are pruned so a
+// long-lived daemon's memory stays bounded.
+func TestJobHistoryPruning(t *testing.T) {
+	s := startServer(t, serve.Config{Workers: 2, MaxJobs: 3, QueueCap: 64}, serve.Hooks{})
+	ctx := context.Background()
+	var last string
+	for i := 0; i < 8; i++ {
+		id, err := s.Submit(ctx, &serve.JobRequest{Board: []byte(testBoard)})
+		if err != nil {
+			t.Fatalf("Submit #%d: %v", i, err)
+		}
+		waitTerminal(t, s, id, 30*time.Second)
+		last = id
+	}
+	jobs := s.Jobs()
+	if len(jobs) > 3 {
+		t.Fatalf("retained %d job records, want ≤ 3", len(jobs))
+	}
+	found := false
+	for _, st := range jobs {
+		if st.ID == last {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("newest job %s pruned before older ones: %+v", last, jobs)
+	}
+}
+
+// TestRetryAfterIsPositive: the estimate is always at least one second, with
+// or without duration history.
+func TestRetryAfterIsPositive(t *testing.T) {
+	s := serve.New(serve.Config{}, serve.Hooks{})
+	if ra := s.RetryAfter(); ra < 1 {
+		t.Fatalf("RetryAfter = %d, want ≥ 1", ra)
+	}
+}
+
+// TestStartIsIdempotent: a second Start must not spawn a second worker pool
+// (the drain below would hang on the extra workers' wg entries otherwise).
+func TestStartIsIdempotent(t *testing.T) {
+	check := noLeaks(t)
+	s := serve.New(serve.Config{Workers: 1}, serve.Hooks{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	s.Start(ctx)
+	id, err := s.Submit(context.Background(), &serve.JobRequest{Board: []byte(testBoard)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, id, 30*time.Second)
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	s.Drain(dctx)
+	check()
+}
+
+// TestStatusURLFormat guards the ID scheme scripts parse.
+func TestStatusURLFormat(t *testing.T) {
+	s := startServer(t, serve.Config{}, serve.Hooks{})
+	id, err := s.Submit(context.Background(), &serve.JobRequest{Board: []byte(testBoard)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("j-%06d", 1); id != want {
+		t.Fatalf("first job id = %q, want %q", id, want)
+	}
+	waitTerminal(t, s, id, 30*time.Second)
+}

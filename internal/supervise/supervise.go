@@ -180,16 +180,20 @@ func Do[T any](ctx context.Context, p Policy, index int, fn func(ctx context.Con
 
 // sleepCtx waits for d or until ctx is cancelled, whichever comes first,
 // returning a simerr.ErrCancelled-class error in the latter case. A nil ctx
-// waits unconditionally.
+// waits unconditionally (a nil Done channel never fires), but every wait goes
+// through the same select — there is deliberately no bare time.Sleep here: a
+// sleeping backoff cannot observe cancellation, so a cancelled run would
+// still wait out the full (up to MaxBackoff) delay before every remaining
+// retry instead of aborting promptly.
 func sleepCtx(ctx context.Context, d time.Duration) error {
-	if ctx == nil {
-		time.Sleep(d)
-		return nil
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
-	case <-ctx.Done():
+	case <-done:
 		return &simerr.CancelledError{Op: "supervise: backoff", Err: ctx.Err()}
 	case <-t.C:
 		return nil

@@ -132,6 +132,49 @@ func TestBackoffRespectsCancellation(t *testing.T) {
 	}
 }
 
+// TestBackoffCancelInterruptsTheWait is the regression test for the bare
+// time.Sleep backoff: a cancellation arriving *during* a backoff wait must
+// abort the wait itself, not be discovered only at the top of the next loop
+// iteration after the full delay has been slept out. The old code slept
+// unconditionally, so the cancel landed after the wait, attempt 2 still ran,
+// and the reported failure came from the loop-top check (Attempts == 2, Op
+// "supervise"); the select-based wait returns during the backoff with
+// Attempts == 1 and the cancellation attributed to "supervise: backoff".
+func TestBackoffCancelInterruptsTheWait(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, Backoff: MaxBackoff} // every retry waits the full 100 ms cap
+	calls := 0
+	go func() {
+		time.Sleep(10 * time.Millisecond) // well inside the first 100 ms backoff
+		cancel()
+	}()
+	start := time.Now()
+	_, st := Do(ctx, p, 0, func(ctx context.Context, pr float64) (int, error) {
+		calls++
+		return 0, &simerr.SingularError{Op: "test", Row: -1}
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(st.Err, simerr.ErrCancelled) {
+		t.Fatalf("cancel during backoff must report ErrCancelled, got %v", st.Err)
+	}
+	var ce *simerr.CancelledError
+	if !errors.As(st.Err, &ce) || ce.Op != "supervise: backoff" {
+		t.Fatalf("cancellation must interrupt the backoff wait itself, got error %v", st.Err)
+	}
+	if calls != 1 || st.Attempts != 1 {
+		t.Fatalf("no further attempt may run after a cancelled backoff: %d calls, %d attempts", calls, st.Attempts)
+	}
+	// Loose wall-clock bound: the interrupted wait returns in milliseconds;
+	// any implementation that sleeps out even one full backoff before
+	// noticing the cancel spends ≥ 100 ms (and up to 900 ms if every retry's
+	// wait is slept through). 500 ms leaves head-room for a loaded CI runner
+	// without letting a wait-it-out implementation through the structural
+	// assertions above.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled backoff took %v; the wait is not being interrupted", elapsed)
+	}
+}
+
 func TestBackoffCapsAtMax(t *testing.T) {
 	p := Policy{Backoff: 40 * time.Millisecond}
 	if got := p.backoffFor(2); got != 40*time.Millisecond {
