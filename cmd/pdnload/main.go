@@ -157,7 +157,14 @@ func main() {
 		fatal(cli.ExitIO, firstErr)
 	}
 
-	run := summarize(*label, outcomes, wall)
+	// Sweep runs and extraction-only runs measure different work; distinct
+	// benchmark names keep the trajectory regression gate from comparing one
+	// against the other.
+	benchName := "ServeJobLatency"
+	if *nf > 0 {
+		benchName = "ServeSweepJobLatency"
+	}
+	run := summarize(*label, benchName, outcomes, wall)
 	if err := write(*out, *appendRuns, run); err != nil {
 		fatal(cli.ExitIO, err)
 	}
@@ -240,7 +247,7 @@ func drain(resp *http.Response) {
 
 // summarize folds the outcomes into one benchjson run with percentile
 // metrics.
-func summarize(label string, outcomes []jobOutcome, wall time.Duration) Run {
+func summarize(label, benchName string, outcomes []jobOutcome, wall time.Duration) Run {
 	lats := make([]float64, 0, len(outcomes))
 	shed, abnormal := 0, 0
 	for _, oc := range outcomes {
@@ -259,7 +266,7 @@ func summarize(label string, outcomes []jobOutcome, wall time.Duration) Run {
 		mean /= float64(len(lats))
 	}
 	b := Benchmark{
-		Name:       "ServeJobLatency",
+		Name:       benchName,
 		Iterations: int64(len(lats)),
 		NsPerOp:    mean,
 		Metrics: map[string]float64{

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	pdnserve [-addr :8844] [-workers 2] [-queue 16] [-state-dir /var/lib/pdnsim] \
-//	         [-deadline 2m] [-max-deadline 10m] [-drain-grace 30s]
+//	         [-deadline 2m] [-max-deadline 10m] [-drain-grace 30s] \
+//	         [-shard-points 8] [-shard-lease 30s] [-shard-attempts 3] [-no-recover]
 //
 // API (see internal/serve):
 //
@@ -25,6 +26,12 @@
 // -drain-grace to finish, then cancels them so sweeps flush resumable
 // snapshots, flushes never-started jobs to -state-dir/queue.manifest, and
 // exits 0. A second signal aborts immediately.
+//
+// Crash safety: with a -state-dir, sweep jobs run as leased shards under a
+// write-ahead job journal, and on startup the daemon replays journal + queue
+// manifest, automatically resubmitting every accepted-but-unfinished job
+// under its original id — each resumes from its last completed shard. Use
+// -no-recover to start cold and leave the state files in place.
 package main
 
 import (
@@ -53,6 +60,10 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, fmt.Sprintf("sweep points between resumable snapshots (0 = %d)", serve.DefaultCheckpointEvery))
 	maxJobs := flag.Int("max-jobs", 0, fmt.Sprintf("terminal job records retained for the status API (0 = %d)", serve.DefaultMaxJobs))
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a drain lets in-flight jobs finish before cancelling them into snapshots")
+	shardPoints := flag.Int("shard-points", 0, "sweep points per dispatch shard (0 = checkpoint-every)")
+	shardLease := flag.Duration("shard-lease", 0, fmt.Sprintf("per-shard lease: a dispatch exceeding it is cancelled and requeued (0 = %v)", serve.DefaultShardLease))
+	shardAttempts := flag.Int("shard-attempts", 0, fmt.Sprintf("dispatches per shard before quarantine (0 = %d)", serve.DefaultShardAttempts))
+	noRecover := flag.Bool("no-recover", false, "skip replaying the job journal and queue manifest on startup")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: pdnserve [flags]")
@@ -68,6 +79,9 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		CheckpointEvery: *ckptEvery,
 		MaxJobs:         *maxJobs,
+		ShardPoints:     *shardPoints,
+		ShardLease:      *shardLease,
+		ShardAttempts:   *shardAttempts,
 	}, serve.Hooks{})
 
 	// Jobs live under their own lifetime context, not the signal context: a
@@ -77,9 +91,31 @@ func main() {
 	defer jobCancel()
 	srv.Start(jobCtx)
 
-	if reqs, err := serve.ReadManifest(*stateDir); *stateDir != "" && err == nil && len(reqs) > 0 {
-		fmt.Fprintf(os.Stderr, "pdnserve: note: %s/queue.manifest holds %d job(s) flushed by a previous drain; resubmit them via POST /jobs\n",
-			*stateDir, len(reqs))
+	if *noRecover {
+		if reqs, err := serve.ReadManifest(*stateDir); *stateDir != "" && err == nil && len(reqs) > 0 {
+			fmt.Fprintf(os.Stderr, "pdnserve: note: %s/queue.manifest holds %d job(s) flushed by a previous drain; resubmit them via POST /jobs (recovery disabled by -no-recover)\n",
+				*stateDir, len(reqs))
+		}
+	} else if *stateDir != "" {
+		rep, err := srv.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdnserve: recovery: journal replay failed (serving without it): %v\n", err)
+		}
+		if rep.TruncatedTail {
+			fmt.Fprintf(os.Stderr, "pdnserve: recovery: journal ended in a torn record (crash signature); replayed the valid prefix\n")
+		}
+		for _, id := range rep.Resubmitted {
+			fmt.Fprintf(os.Stderr, "pdnserve: recovery: resubmitted job %s\n", id)
+		}
+		for _, f := range rep.Failed {
+			fmt.Fprintf(os.Stderr, "pdnserve: recovery: unrecoverable job dropped: %s\n", f)
+		}
+		for _, id := range rep.SkippedBusy {
+			fmt.Fprintf(os.Stderr, "pdnserve: recovery: job %s did not fit the queue; it stays journaled for the next start\n", id)
+		}
+		if rep.ManifestJobs > 0 {
+			fmt.Fprintf(os.Stderr, "pdnserve: recovery: queue manifest held %d job(s); evicted=%v\n", rep.ManifestJobs, rep.ManifestEvicted)
+		}
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

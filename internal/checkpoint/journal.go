@@ -1,0 +1,205 @@
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"pdnsim/internal/simerr"
+)
+
+// A Journal is an append-only write-ahead log built from the same framed
+// envelope as snapshots: one JSON envelope per line, each carrying a Kind,
+// a CRC-32C over its payload, and the schema version. Unlike a snapshot —
+// one atomic rename per save — a journal accretes records cheaply (append +
+// fsync per record) and is replayed front-to-back after a crash. A torn
+// final line (the crash landed mid-append) is expected and truncates the
+// replay rather than failing it; corruption *before* the tail also stops the
+// replay at the last good record, because records after a damaged one may
+// depend on state the damaged one carried.
+//
+// The journal grows without bound under pure appends; Rewrite compacts it by
+// atomically replacing the file with a caller-chosen record set (the
+// still-live records), using the same stage+sync+rename discipline as Save.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// JournalRecord is one replayed (or to-be-compacted) journal record: the
+// envelope Kind plus the raw payload for the caller to decode.
+type JournalRecord struct {
+	Kind    string
+	Payload json.RawMessage
+}
+
+// journalMaxLine bounds one journal line during replay. Records are small
+// (ids, shard indices, a board spec at most), so 16 MiB is far above any
+// legitimate record while still catching a pathological unterminated line.
+const journalMaxLine = 16 << 20
+
+// OpenJournal opens (creating if absent) the journal at path for appending.
+func OpenJournal(path string) (*Journal, error) {
+	if path == "" {
+		return nil, simerr.BadInput("checkpoint: journal", "empty journal path")
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: journal open: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// Append frames payload in a checksummed envelope of the given kind and
+// appends it as one line, syncing before returning: when Append returns nil
+// the record survives a crash. Safe for concurrent use.
+func (j *Journal) Append(kind string, payload any) error {
+	line, err := encodeJournalLine(kind, payload)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return simerr.BadInput("checkpoint: journal append", "journal is closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: journal append: %w", err)
+	}
+	return nil
+}
+
+// Rewrite atomically replaces the journal's contents with recs (stage, sync,
+// rename — a crash mid-rewrite leaves the old journal intact) and reopens
+// the handle for appending. This is the compaction step: the caller replays,
+// decides which records are still live, and rewrites the journal down to
+// them.
+func (j *Journal) Rewrite(recs []JournalRecord) error {
+	var buf bytes.Buffer
+	for _, r := range recs {
+		line, err := encodeJournalLine(r.Kind, r.Payload)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return simerr.BadInput("checkpoint: journal rewrite", "journal is closed")
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: journal rewrite: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: journal rewrite: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: journal rewrite: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: journal rewrite: %w", err)
+	}
+	// Keep appending to the renamed file, not the unlinked old inode.
+	old := j.f
+	j.f = f
+	old.Close()
+	return nil
+}
+
+// Close syncs and closes the journal. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: journal close: %w", err)
+	}
+	return nil
+}
+
+// encodeJournalLine frames one record as an envelope line (newline-
+// terminated compact JSON — json.Marshal never emits raw newlines, so one
+// record is exactly one line).
+func encodeJournalLine(kind string, payload any) ([]byte, error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, &simerr.BadInputError{Op: "checkpoint: journal append",
+			Detail: "payload not serialisable", Err: err}
+	}
+	env := envelope{
+		Magic:   Magic,
+		Version: Version,
+		Kind:    kind,
+		CRC:     crc32.Checksum(body, castagnoli),
+		Payload: body,
+	}
+	line, err := json.Marshal(&env)
+	if err != nil {
+		return nil, &simerr.BadInputError{Op: "checkpoint: journal append",
+			Detail: "envelope not serialisable", Err: err}
+	}
+	return append(line, '\n'), nil
+}
+
+// ReplayJournal reads the journal at path front to back and returns the
+// longest valid prefix of records. truncated reports that a torn or corrupt
+// record stopped the replay early (a crash mid-append tears the final line;
+// that is the normal post-crash state, not an error). A missing file
+// surfaces with its *fs.PathError cause preserved — callers distinguish "no
+// journal yet" (errors.Is(err, fs.ErrNotExist)) from real I/O failures.
+func ReplayJournal(path string) (recs []JournalRecord, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("checkpoint: journal replay: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), journalMaxLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			return recs, true, nil
+		}
+		if env.Magic != Magic || env.Version != Version {
+			return recs, true, nil
+		}
+		if crc32.Checksum(env.Payload, castagnoli) != env.CRC {
+			return recs, true, nil
+		}
+		recs = append(recs, JournalRecord{Kind: env.Kind, Payload: env.Payload})
+	}
+	if sc.Err() != nil {
+		// An overlong or unreadable tail truncates the replay like a torn
+		// line does: everything before it was verified.
+		return recs, true, nil
+	}
+	return recs, false, nil
+}

@@ -55,10 +55,11 @@ func delayedExtract(delay time.Duration) func(context.Context, *core.BoardSpec, 
 	}
 }
 
-// slowSweep wraps the real supervised sweep with a per-point context-aware
-// delay, stretching a sweep's wall time without changing its numbers.
-func slowSweep(perPoint time.Duration) func(context.Context, []float64, sparam.SweepOptions, sparam.ZFunc) (*sparam.Sweep, []sparam.PointStatus, error) {
-	return func(ctx context.Context, freqs []float64, opts sparam.SweepOptions, zAt sparam.ZFunc) (*sparam.Sweep, []sparam.PointStatus, error) {
+// slowSweep wraps the real supervised shard sweep with a per-point
+// context-aware delay, stretching a sweep's wall time without changing its
+// numbers.
+func slowSweep(perPoint time.Duration) func(context.Context, []float64, int, int, []bool, sparam.SweepOptions, sparam.ZFunc) ([]*mat.CMatrix, []sparam.PointStatus, error) {
+	return func(ctx context.Context, freqs []float64, lo, hi int, skip []bool, opts sparam.SweepOptions, zAt sparam.ZFunc) ([]*mat.CMatrix, []sparam.PointStatus, error) {
 		slow := func(ctx context.Context, omega float64) (*mat.CMatrix, error) {
 			t := time.NewTimer(perPoint)
 			defer t.Stop()
@@ -69,15 +70,15 @@ func slowSweep(perPoint time.Duration) func(context.Context, []float64, sparam.S
 			}
 			return zAt(ctx, omega)
 		}
-		return sparam.SweepZSupervised(ctx, freqs, opts, slow)
+		return sparam.SweepZShardSupervised(ctx, freqs, lo, hi, skip, opts, slow)
 	}
 }
 
-// poleSweep wraps the real sweep but makes every evaluation within 1% of
-// fBad (Hz) singular — a resonance pole the supervisor's ppb perturbations
+// poleSweep wraps the real shard sweep but makes every evaluation within 1%
+// of fBad (Hz) singular — a resonance pole the supervisor's ppb perturbations
 // cannot step over, so that one point fails for good while the rest succeed.
-func poleSweep(fBad float64) func(context.Context, []float64, sparam.SweepOptions, sparam.ZFunc) (*sparam.Sweep, []sparam.PointStatus, error) {
-	return func(ctx context.Context, freqs []float64, opts sparam.SweepOptions, zAt sparam.ZFunc) (*sparam.Sweep, []sparam.PointStatus, error) {
+func poleSweep(fBad float64) func(context.Context, []float64, int, int, []bool, sparam.SweepOptions, sparam.ZFunc) ([]*mat.CMatrix, []sparam.PointStatus, error) {
+	return func(ctx context.Context, freqs []float64, lo, hi int, skip []bool, opts sparam.SweepOptions, zAt sparam.ZFunc) ([]*mat.CMatrix, []sparam.PointStatus, error) {
 		poisoned := func(ctx context.Context, omega float64) (*mat.CMatrix, error) {
 			f := omega / (2 * math.Pi)
 			if math.Abs(f-fBad) < 0.01*fBad {
@@ -85,7 +86,7 @@ func poleSweep(fBad float64) func(context.Context, []float64, sparam.SweepOption
 			}
 			return zAt(ctx, omega)
 		}
-		return sparam.SweepZSupervised(ctx, freqs, opts, poisoned)
+		return sparam.SweepZShardSupervised(ctx, freqs, lo, hi, skip, opts, poisoned)
 	}
 }
 

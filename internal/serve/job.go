@@ -1,11 +1,15 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"sync"
 	"time"
 
 	"pdnsim/internal/core"
 	"pdnsim/internal/diag"
+	"pdnsim/internal/extract"
+	"pdnsim/internal/mat"
 	"pdnsim/internal/simerr"
 	"pdnsim/internal/sparam"
 )
@@ -146,16 +150,32 @@ type JobStatus struct {
 	Sweep        *SweepReport `json:"sweep,omitempty"`
 	SnapshotPath string       `json:"snapshot_path,omitempty"`
 	Warnings     []string     `json:"warnings,omitempty"`
+
+	// Shard progress (sweep jobs only; additive fields, absent for
+	// extraction-only jobs). ShardsDone counts completed shards including
+	// ones wholly restored from a resume snapshot; Quarantined counts poison
+	// shards that exhausted their dispatch attempts — their points appear in
+	// Sweep.Abnormal when the job completes.
+	ShardsTotal int `json:"shards_total,omitempty"`
+	ShardsDone  int `json:"shards_done,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
 }
 
-// job is the server-side record. All fields are guarded by Server.mu after
-// construction; the worker mutates them only through Server methods.
+// job is the server-side record. Fields are guarded by Server.mu after
+// construction except where noted; the workers mutate them only through
+// Server methods.
 type job struct {
 	id       string
 	spec     *core.BoardSpec
 	rawBoard json.RawMessage
 	sweep    *SweepSpec
 	deadline time.Duration
+	// fingerprint is the board's content hash (operator-cache key and the
+	// idempotency key of journal records).
+	fingerprint string
+	// recovered marks a job resubmitted by Recover after a crash: its sweep
+	// auto-resumes from the job's own snapshot when one survived.
+	recovered bool
 
 	submitted time.Time
 	started   time.Time
@@ -163,7 +183,8 @@ type job struct {
 
 	state  JobState
 	err    error
-	cancel func() // non-nil while running; used by drain escalation
+	cancel func()          // non-nil while running; used by drain escalation
+	ctx    context.Context // job-lifetime context while running; shards derive leases from it
 
 	cacheHit        bool
 	cacheRepaired   bool
@@ -173,10 +194,28 @@ type job struct {
 	ctotal       float64
 	netlist      string
 	touchstone   string
+	network      *extract.Network // extracted network; set once before shards dispatch
 
 	points       []sparam.PointStatus
 	snapshotPath string
 	diag         *diag.Diagnostics
+
+	// Shard bookkeeping (Server.mu). outstanding counts shards not yet
+	// resolved — done, cancelled, or quarantined; the worker that resolves
+	// the last one finalises the job.
+	shardsTotal       int
+	shardsDone        int
+	shardsQuarantined int
+	shardsOutstanding int
+
+	// Sweep point state, guarded by sweepMu — never by Server.mu: shard
+	// merges write results and snapshot files while the status API holds
+	// Server.mu, and the two must not serialise against each other.
+	// Lock order: sweepMu strictly before Server.mu, never the reverse.
+	sweepMu sync.Mutex
+	freqs   []float64
+	results []*mat.CMatrix
+	done    []bool
 }
 
 // stamp renders a timestamp for the status API ("" when unset).

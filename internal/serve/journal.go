@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"pdnsim/internal/checkpoint"
+	"pdnsim/internal/core"
+	"pdnsim/internal/diag"
+)
+
+// journalFile is the write-ahead job journal inside the state directory: an
+// append-only sequence of CRC-framed records (the checkpoint envelope, one
+// per line) that lets Recover rebuild the set of accepted-but-unfinished jobs
+// after a crash. The journal is metadata only — the sweep results themselves
+// are in the per-job snapshot files — so losing it degrades crash recovery,
+// never correctness.
+const journalFile = "jobs.journal"
+
+// Journal record kinds. The replay logic needs only accept and finish to
+// compute the live set; start, lease and shard-done records are evidence for
+// operators and tests (which shard held a lease when the process died, how
+// far a sweep had progressed) and are dropped on compaction.
+const (
+	journalKindAccept    = "serve-accept"
+	journalKindStart     = "serve-start"
+	journalKindLease     = "serve-lease"
+	journalKindShardDone = "serve-shard-done"
+	journalKindFinish    = "serve-finish"
+)
+
+// jobAcceptRec is the write-ahead accept record: the full request, so a
+// replay can resubmit the job without any other source of truth.
+type jobAcceptRec struct {
+	ID          string          `json:"id"`
+	Board       json.RawMessage `json:"board"`
+	Sweep       *SweepSpec      `json:"sweep,omitempty"`
+	DeadlineMS  int64           `json:"deadline_ms,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Accepted    string          `json:"accepted,omitempty"`
+}
+
+// jobStartRec marks a worker picking the job up.
+type jobStartRec struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// shardLeaseRec is written before a shard dispatch executes: the claim, its
+// attempt number, and when the lease expires.
+type shardLeaseRec struct {
+	ID          string `json:"id"`
+	Shard       int    `json:"shard"`
+	Lo          int    `json:"lo"`
+	Hi          int    `json:"hi"`
+	Attempt     int    `json:"attempt"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Expires     string `json:"expires,omitempty"`
+}
+
+// shardDoneRec marks a shard dispatch that completed and merged, after its
+// points were made durable in the job's sweep snapshot.
+type shardDoneRec struct {
+	ID          string `json:"id"`
+	Shard       int    `json:"shard"`
+	Lo          int    `json:"lo"`
+	Hi          int    `json:"hi"`
+	Points      int    `json:"points"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// jobFinishRec marks a job terminal. Replay treats a finished id as settled
+// regardless of record order (ids are never reused, so an accept landing
+// after a fast worker's finish cannot resurrect the job).
+type jobFinishRec struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Class string `json:"class,omitempty"`
+}
+
+// journalAppend writes one record to the job journal, if one is open. A
+// failed append degrades crash-recovery coverage for this job, never
+// service: the error is counted and attached to the job's diagnostics. Call
+// without holding s.mu — the append fsyncs.
+func (s *Server) journalAppend(jb *job, kind string, payload any) {
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	if j == nil {
+		return
+	}
+	if err := j.Append(kind, payload); err != nil {
+		s.mu.Lock()
+		s.stats.JournalErrors++
+		jb.diag.Warnf("serve", "job journal", 0, 0, false,
+			"journal append (%s) failed; crash recovery may not cover this transition: %v", kind, err)
+		s.mu.Unlock()
+	}
+}
+
+// RecoverReport summarises a Recover pass.
+type RecoverReport struct {
+	// Resubmitted lists the ids of jobs re-admitted to the queue, in their
+	// original acceptance order and under their original ids.
+	Resubmitted []string `json:"resubmitted,omitempty"`
+	// SkippedBusy lists live jobs that did not fit the queue; they keep
+	// their journal records and are retried on the next Recover.
+	SkippedBusy []string `json:"skipped_busy,omitempty"`
+	// Failed lists jobs whose journaled request no longer validates
+	// ("id: reason"); they are reported and dropped.
+	Failed []string `json:"failed,omitempty"`
+	// TruncatedTail reports that the journal ended in a torn or corrupt
+	// record (the expected signature of a mid-append crash); the valid
+	// prefix was replayed.
+	TruncatedTail bool `json:"truncated_tail,omitempty"`
+	// ManifestJobs counts jobs found in the drain queue manifest;
+	// ManifestEvicted reports that the manifest was removed because every
+	// job in it was re-admitted (or is unrecoverable).
+	ManifestJobs    int  `json:"manifest_jobs,omitempty"`
+	ManifestEvicted bool `json:"manifest_evicted,omitempty"`
+}
+
+// Recover replays the job journal and the drain queue manifest from the
+// state directory and resubmits every accepted-but-unfinished job under its
+// original id, marked recovered so its sweep resumes from the job's own
+// snapshot. Call once, after Start. The sequence is deliberate:
+//
+//  1. Replay the journal (longest valid prefix; a torn tail is the normal
+//     crash signature) and union it with the manifest: journal accepts
+//     without a finish record are crash-interrupted work, manifest entries
+//     are drain-flushed work. Both resubmit; ids dedupe the overlap.
+//  2. Compact the journal down to fresh accept records for the live set
+//     BEFORE resubmitting — resubmitted jobs start finishing immediately,
+//     and their finish records must land after the compaction, not be
+//     erased by it.
+//  3. Resubmit in acceptance order, restoring the id sequence so new
+//     submissions never collide with recovered ids.
+//  4. Evict the manifest only once none of its jobs still need it.
+//
+// With no state directory Recover is a no-op. Admission failures are
+// per-job and reported; the returned error covers only an unreadable
+// journal.
+func (s *Server) Recover() (RecoverReport, error) {
+	var rep RecoverReport
+	if s.cfg.StateDir == "" {
+		return rep, nil
+	}
+	recs, truncated, err := checkpoint.ReplayJournal(filepath.Join(s.cfg.StateDir, journalFile))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return rep, err
+	}
+	rep.TruncatedTail = truncated
+
+	accepts := make(map[string]jobAcceptRec)
+	finished := make(map[string]bool)
+	var order []string
+	maxSeq := 0
+	note := func(id string) {
+		if n, ok := jobSeq(id); ok && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	for _, r := range recs {
+		switch r.Kind {
+		case journalKindAccept:
+			var a jobAcceptRec
+			if json.Unmarshal(r.Payload, &a) != nil || a.ID == "" {
+				continue
+			}
+			if _, seen := accepts[a.ID]; !seen {
+				order = append(order, a.ID)
+			}
+			accepts[a.ID] = a
+			note(a.ID)
+		case journalKindFinish:
+			var f jobFinishRec
+			if json.Unmarshal(r.Payload, &f) != nil || f.ID == "" {
+				continue
+			}
+			finished[f.ID] = true
+			note(f.ID)
+		}
+	}
+
+	// Drain-flushed jobs carry accept records but no finish; the manifest is
+	// their canonical copy and covers journals lost to a separate failure.
+	manPath := filepath.Join(s.cfg.StateDir, "queue.manifest")
+	var man manifest
+	haveManifest := checkpoint.Load(manPath, manifestKind, &man) == nil
+	manifestIDs := make(map[string]bool)
+	if haveManifest {
+		rep.ManifestJobs = len(man.Jobs)
+		for _, e := range man.Jobs {
+			if e.ID == "" {
+				continue
+			}
+			manifestIDs[e.ID] = true
+			note(e.ID)
+			if _, seen := accepts[e.ID]; !seen {
+				order = append(order, e.ID)
+				accepts[e.ID] = jobAcceptRec{ID: e.ID, Board: e.Board, Sweep: e.Sweep, DeadlineMS: e.DeadlineMS}
+			}
+		}
+	}
+
+	// Validate the live set. A job whose board no longer parses (journal
+	// bitrot, schema drift) is unrecoverable: reported, then dropped by the
+	// compaction below.
+	type pendingJob struct {
+		rec       jobAcceptRec
+		spec      *core.BoardSpec
+		deadline  time.Duration
+		submitted time.Time
+	}
+	var live []pendingJob
+	failedIDs := make(map[string]bool)
+	for _, id := range order {
+		if finished[id] {
+			continue
+		}
+		a := accepts[id]
+		spec, perr := core.ParseBoard(a.Board)
+		if perr == nil && a.Sweep != nil {
+			perr = a.Sweep.validate()
+		}
+		if perr != nil {
+			rep.Failed = append(rep.Failed, id+": "+perr.Error())
+			failedIDs[id] = true
+			continue
+		}
+		deadline := time.Duration(a.DeadlineMS) * time.Millisecond
+		if deadline <= 0 {
+			deadline = s.cfg.DefaultDeadline
+		}
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+		submitted, terr := time.Parse(time.RFC3339Nano, a.Accepted)
+		if terr != nil {
+			submitted = time.Now()
+		}
+		live = append(live, pendingJob{rec: a, spec: spec, deadline: deadline, submitted: submitted})
+	}
+
+	s.mu.Lock()
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+	j := s.journal
+	s.mu.Unlock()
+	if j != nil {
+		var keep []checkpoint.JournalRecord
+		for _, p := range live {
+			if b, merr := json.Marshal(p.rec); merr == nil {
+				keep = append(keep, checkpoint.JournalRecord{Kind: journalKindAccept, Payload: b})
+			}
+		}
+		if rerr := j.Rewrite(keep); rerr != nil {
+			s.mu.Lock()
+			s.stats.JournalErrors++
+			s.mu.Unlock()
+		}
+	}
+
+	for _, p := range live {
+		jb := &job{
+			id:          p.rec.ID,
+			spec:        p.spec,
+			rawBoard:    append([]byte(nil), p.rec.Board...),
+			sweep:       p.rec.Sweep,
+			deadline:    p.deadline,
+			fingerprint: p.spec.Fingerprint(),
+			recovered:   true,
+			submitted:   p.submitted,
+			state:       StateQueued,
+			diag:        diag.New(),
+		}
+		s.mu.Lock()
+		admitted := false
+		if s.accepting {
+			select {
+			case s.queue <- jb:
+				admitted = true
+			default:
+			}
+		}
+		if admitted {
+			s.jobs[jb.id] = jb
+			s.order = append(s.order, jb.id)
+			s.stats.Accepted++
+			s.stats.Recovered++
+			s.pruneLocked()
+			s.cond.Signal()
+		}
+		s.mu.Unlock()
+		if admitted {
+			rep.Resubmitted = append(rep.Resubmitted, jb.id)
+		} else {
+			rep.SkippedBusy = append(rep.SkippedBusy, jb.id)
+		}
+	}
+
+	if haveManifest {
+		needed := false
+		admitted := make(map[string]bool, len(rep.Resubmitted))
+		for _, id := range rep.Resubmitted {
+			admitted[id] = true
+		}
+		for id := range manifestIDs {
+			if !admitted[id] && !failedIDs[id] && !finished[id] {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			if os.Remove(manPath) == nil {
+				rep.ManifestEvicted = true
+			}
+		}
+	}
+	return rep, nil
+}
+
+// jobSeq extracts the numeric sequence of a "j-NNNNNN" job id, so Recover
+// can restore the id counter past every id it has seen.
+func jobSeq(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "j-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

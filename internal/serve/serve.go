@@ -24,6 +24,17 @@
 //     their sweeps flush resumable snapshots), flushes never-started jobs
 //     to a queue manifest, and exits 0. No accepted job is silently
 //     dropped — every one ends in a terminal state a client can query.
+//   - Crash safety, not just graceful degradation: sweep jobs are split
+//     into shards dispatched to the shared pool under per-shard leases, a
+//     write-ahead journal (jobs.journal, on the checkpoint envelope)
+//     records accept/start/lease/shard-done/finish transitions, and
+//     Recover replays journal + queue manifest on restart so a daemon
+//     killed with SIGKILL mid-burst resumes every incomplete job from its
+//     last completed shard — bitwise-identical to an uninterrupted run. A
+//     shard whose lease expires is requeued with jittered backoff and
+//     bounded attempts; one that exhausts them is quarantined as a poison
+//     shard and its job completes "partial" with per-point detail instead
+//     of hanging or dying.
 //
 // The package is the library half; cmd/pdnserve wires it to flags, signals
 // and an http.Server, and cmd/pdnload drives it for latency baselines.
@@ -45,7 +56,7 @@ import (
 	"pdnsim/internal/cli"
 	"pdnsim/internal/core"
 	"pdnsim/internal/diag"
-	"pdnsim/internal/extract"
+	"pdnsim/internal/mat"
 	"pdnsim/internal/simerr"
 	"pdnsim/internal/sparam"
 	"pdnsim/internal/supervise"
@@ -90,6 +101,18 @@ const (
 	// status API; the oldest terminal records are pruned past it so a
 	// long-lived daemon's memory stays flat.
 	DefaultMaxJobs = 1000
+	// DefaultShardLease bounds one dispatch of one sweep shard. 30 s is two
+	// orders of magnitude above a shard of the heaviest committed benchmark
+	// board (DefaultShardPoints ≈ checkpoint-cadence points at ~100 ms each),
+	// so it fires only on a genuinely hung solve — and long before the job
+	// deadline would, which is the point: the lease frees the worker and
+	// requeues the shard while the job keeps its other shards' progress.
+	DefaultShardLease = 30 * time.Second
+	// DefaultShardAttempts bounds dispatches of one shard (first try plus
+	// requeues after lease expiry or a panic). Three mirrors the supervise
+	// attempt budget: transient stalls (machine load, a neighbour pinning
+	// the cores) get two more chances; a deterministic hang is quarantined.
+	DefaultShardAttempts = 3
 )
 
 // ewmaAlpha is the smoothing factor of the job-duration estimate behind
@@ -123,8 +146,21 @@ type Config struct {
 	// DefaultMaxJobs.
 	MaxJobs int
 	// Policy supervises extractions and sweep points. The zero value
-	// applies the package supervise defaults.
+	// applies the package supervise defaults. Its backoff schedule (with
+	// full jitter) also paces shard requeues after lease expiry.
 	Policy supervise.Policy
+	// ShardPoints is the number of sweep points per shard. Zero selects
+	// CheckpointEvery, aligning the unit of dispatch with the snapshot
+	// cadence: every completed shard persists its points, so a crash loses
+	// at most the shards in flight.
+	ShardPoints int
+	// ShardLease bounds one dispatch of one shard; an expired lease cancels
+	// the shard's solve (freeing the worker) and requeues it. Zero selects
+	// DefaultShardLease.
+	ShardLease time.Duration
+	// ShardAttempts bounds dispatches of one shard before it is quarantined
+	// as a poison shard. Zero selects DefaultShardAttempts.
+	ShardAttempts int
 }
 
 // Hooks are the solver entry points the worker calls, injectable so the
@@ -133,7 +169,12 @@ type Config struct {
 // solver.
 type Hooks struct {
 	Extract func(ctx context.Context, spec *core.BoardSpec, pol supervise.Policy) (*core.Result, supervise.Status, error)
-	Sweep   func(ctx context.Context, freqs []float64, opts sparam.SweepOptions, zAt sparam.ZFunc) (*sparam.Sweep, []sparam.PointStatus, error)
+	// Sweep evaluates one shard — the half-open range [lo, hi) of freqs —
+	// returning per-point S matrices and statuses of length hi−lo. skip is
+	// indexed by absolute frequency index and marks points already complete
+	// (restored or finished by an earlier lease of the same shard); they
+	// must be left nil/zero-attempts. The scheduler owns aggregation.
+	Sweep func(ctx context.Context, freqs []float64, lo, hi int, skip []bool, opts sparam.SweepOptions, zAt sparam.ZFunc) ([]*mat.CMatrix, []sparam.PointStatus, error)
 }
 
 // Stats is a snapshot of the daemon's counters. Assemblies counts actual
@@ -149,8 +190,19 @@ type Stats struct {
 	CacheMisses int64 `json:"cache_misses"`
 	// CacheRepairs counts corrupt cache entries evicted and recomputed.
 	CacheRepairs int64 `json:"cache_repairs"`
-	Queued       int   `json:"queued"`
-	Running      int   `json:"running"`
+	// Shards counts shard dispatches (requeues included); LeaseExpiries
+	// counts dispatches cut off by their lease watchdog; Quarantined counts
+	// poison shards that exhausted their attempts.
+	Shards        int64 `json:"shards"`
+	LeaseExpiries int64 `json:"lease_expiries"`
+	Quarantined   int64 `json:"quarantined"`
+	// Recovered counts jobs resubmitted by Recover (journal or manifest
+	// replay); JournalErrors counts write-ahead journal appends that failed
+	// (service continues; crash-recovery coverage degrades).
+	Recovered     int64 `json:"recovered"`
+	JournalErrors int64 `json:"journal_errors"`
+	Queued        int   `json:"queued"`
+	Running       int   `json:"running"`
 }
 
 // DrainReport summarises a completed drain.
@@ -180,6 +232,17 @@ type Server struct {
 	running   int
 	ewmaNs    float64
 	stats     Stats
+
+	// Shard scheduling. Workers pull from shardQ before the job queue
+	// (finish started work first); cond (on mu) wakes them when a shard is
+	// pushed, a job is enqueued, a job finalises, or the queue closes.
+	shardQ      []*shardTask
+	cond        *sync.Cond
+	queueClosed bool
+
+	// journal is the write-ahead job journal (nil without a StateDir, or
+	// when opening it failed — service degrades to non-crash-safe).
+	journal *checkpoint.Journal
 
 	wg      sync.WaitGroup
 	started bool
@@ -211,7 +274,16 @@ func New(cfg Config, hooks Hooks) *Server {
 		}
 	}
 	if hooks.Sweep == nil {
-		hooks.Sweep = sparam.SweepZSupervised
+		hooks.Sweep = sparam.SweepZShardSupervised
+	}
+	if cfg.ShardPoints <= 0 {
+		cfg.ShardPoints = cfg.CheckpointEvery
+	}
+	if cfg.ShardLease <= 0 {
+		cfg.ShardLease = DefaultShardLease
+	}
+	if cfg.ShardAttempts <= 0 {
+		cfg.ShardAttempts = DefaultShardAttempts
 	}
 	s := &Server{
 		cfg:       cfg,
@@ -221,6 +293,7 @@ func New(cfg Config, hooks Hooks) *Server {
 		accepting: true,
 		drained:   make(chan struct{}),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	if cfg.StateDir != "" {
 		s.cache = &opCache{dir: cfg.StateDir}
 	}
@@ -243,6 +316,12 @@ func (s *Server) Start(ctx context.Context) {
 		// Best-effort: persistence degrades to in-memory service if the
 		// directory cannot be created; the daemon must come up regardless.
 		_ = os.MkdirAll(s.cfg.StateDir, 0o755)
+		if j, err := checkpoint.OpenJournal(filepath.Join(s.cfg.StateDir, journalFile)); err == nil {
+			s.mu.Lock()
+			s.journal = j
+			s.mu.Unlock()
+		}
+		// An unopenable journal degrades crash recovery, never service.
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -282,32 +361,46 @@ func (s *Server) Submit(ctx context.Context, req *JobRequest) (string, error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if !s.accepting {
+		s.mu.Unlock()
 		return "", ErrDraining
 	}
 	s.seq++
 	jb := &job{
-		id:        fmt.Sprintf("j-%06d", s.seq),
-		spec:      spec,
-		rawBoard:  append([]byte(nil), req.Board...),
-		sweep:     req.Sweep,
-		deadline:  deadline,
-		submitted: time.Now(),
-		state:     StateQueued,
-		diag:      diag.New(),
+		id:          fmt.Sprintf("j-%06d", s.seq),
+		spec:        spec,
+		rawBoard:    append([]byte(nil), req.Board...),
+		sweep:       req.Sweep,
+		deadline:    deadline,
+		fingerprint: spec.Fingerprint(),
+		submitted:   time.Now(),
+		state:       StateQueued,
+		diag:        diag.New(),
 	}
 	select {
 	case s.queue <- jb:
 	default:
 		s.seq-- // the ID was never issued
 		s.stats.Rejected++
+		s.mu.Unlock()
 		return "", ErrBusy
 	}
 	s.jobs[jb.id] = jb
 	s.order = append(s.order, jb.id)
 	s.stats.Accepted++
 	s.pruneLocked()
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	// Write-ahead accept record, before the 202 reaches the client: a crash
+	// from here on replays the job. (A worker may complete the job before
+	// this lands — the replay treats a finish record as terminal regardless
+	// of record order, so the race is harmless.)
+	s.journalAppend(jb, journalKindAccept, jobAcceptRec{
+		ID: jb.id, Board: jb.rawBoard, Sweep: jb.sweep,
+		DeadlineMS: jb.deadline.Milliseconds(), Fingerprint: jb.fingerprint,
+		Accepted: stamp(jb.submitted),
+	})
 	return jb.id, nil
 }
 
@@ -421,7 +514,15 @@ func (s *Server) statusLocked(jb *job) JobStatus {
 			st.Warnings = append(st.Warnings, it.String())
 		}
 	}
-	if len(jb.points) > 0 {
+	if jb.shardsTotal > 0 {
+		st.ShardsTotal = jb.shardsTotal
+		st.ShardsDone = jb.shardsDone
+		st.Quarantined = jb.shardsQuarantined
+	}
+	// The per-point report is rendered once the job is terminal: mid-run the
+	// statuses are still being merged shard by shard (the shard counters
+	// above are the live progress signal).
+	if len(jb.points) > 0 && jb.state.Terminal() {
 		rep := &SweepReport{Points: len(jb.points)}
 		for _, p := range jb.points {
 			switch {
@@ -467,17 +568,62 @@ func (s *Server) pruneLocked() {
 	s.order = kept
 }
 
-// worker consumes the queue until Drain closes it.
+// worker pulls shards first, then queued jobs, until the drain closes the
+// queue and every started job has resolved. A worker that begins a sweep job
+// returns to the pool once the job's shards are queued — the shards execute
+// on whichever workers are free, and the one resolving the last shard
+// finalises the job.
 func (s *Server) worker(ctx context.Context) {
 	defer s.wg.Done()
-	for jb := range s.queue {
-		s.runJob(ctx, jb)
+	for {
+		t, jb, ok := s.nextWork()
+		switch {
+		case !ok:
+			return
+		case t != nil:
+			s.runShard(ctx, t)
+		default:
+			s.runJob(ctx, jb)
+		}
 	}
 }
 
-// runJob executes one job under its deadline. Every exit path lands the job
-// in a terminal state — errors and partial results are recorded, never
-// returned: the worker pool must survive anything the solver does.
+// nextWork blocks until a shard, a queued job, or pool shutdown is ready.
+// Shards outrank jobs: they are pieces of already-started work, and
+// finishing started jobs before admitting new ones keeps queue latency
+// honest and makes drains convergent. Shutdown requires the queue closed,
+// no running jobs, and no queued shards — a running job may still push
+// shards (including via a backoff timer), so workers park on the cond until
+// the last job finalises.
+func (s *Server) nextWork() (*shardTask, *job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.shardQ) > 0 {
+			t := s.shardQ[0]
+			s.shardQ[0] = nil
+			s.shardQ = s.shardQ[1:]
+			return t, nil, true
+		}
+		select {
+		case jb, open := <-s.queue:
+			if open {
+				return nil, jb, true
+			}
+			s.queueClosed = true
+		default:
+		}
+		if s.queueClosed && s.running == 0 && len(s.shardQ) == 0 {
+			return nil, nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// runJob starts one job under its deadline: extraction (cache-aware), then —
+// for sweep jobs — shard fan-out. Every exit path eventually lands the job
+// in a terminal state via finalize; errors are recorded, never returned: the
+// worker pool must survive anything the solver does.
 func (s *Server) runJob(ctx context.Context, jb *job) {
 	s.mu.Lock()
 	if s.draining {
@@ -486,6 +632,7 @@ func (s *Server) runJob(ctx context.Context, jb *job) {
 		// with the same disposition.
 		s.flushJobLocked(jb)
 		s.report.Flushed++
+		s.cond.Broadcast()
 		s.mu.Unlock()
 		return
 	}
@@ -494,15 +641,32 @@ func (s *Server) runJob(ctx context.Context, jb *job) {
 	s.running++
 	jctx, cancel := context.WithTimeout(ctx, jb.deadline)
 	jb.cancel = cancel
+	jb.ctx = jctx
 	s.mu.Unlock()
-	defer cancel()
 
-	err := s.execute(jctx, jb)
+	s.journalAppend(jb, journalKindStart, jobStartRec{ID: jb.id, Fingerprint: jb.fingerprint})
 
+	err := s.extract(jctx, jb)
+	if err != nil || jb.sweep == nil {
+		s.finalize(jb, err)
+		return
+	}
+	if err := s.beginSweep(jb); err != nil {
+		s.finalize(jb, err)
+	}
+}
+
+// finalize lands a job in its terminal state, updates the pool accounting
+// and the drain report, releases the deadline timer, and journals the finish
+// record. It runs exactly once per started job — from runJob for extraction
+// jobs and sweep-setup failures, from the worker resolving the last shard
+// otherwise.
+func (s *Server) finalize(jb *job, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	jb.finished = time.Now()
+	cancel := jb.cancel
 	jb.cancel = nil
+	jb.ctx = nil
+	jb.finished = time.Now()
 	jb.err = err
 	s.running--
 	s.stats.Completed++
@@ -536,13 +700,20 @@ func (s *Server) runJob(ctx context.Context, jb *job) {
 			s.report.Finished++
 		}
 	}
+	state := jb.state
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.journalAppend(jb, journalKindFinish, jobFinishRec{
+		ID: jb.id, State: string(state), Class: cli.ErrClass(err)})
 }
 
-// execute runs the extraction (cache-aware) and optional sweep. It returns
-// the job's disposition error (nil, ErrPartial-class, ErrCancelled-class, or
-// a solve failure); side results land on jb under s.mu.
-func (s *Server) execute(ctx context.Context, jb *job) error {
-	fp := jb.spec.Fingerprint()
+// extract runs the cache-aware extraction half of a job and stores the
+// network on jb; side results land on jb under s.mu.
+func (s *Server) extract(ctx context.Context, jb *job) error {
+	fp := jb.fingerprint
 	nw, hit, repaired := s.cache.get(fp)
 	s.mu.Lock()
 	jb.cacheHit = hit
@@ -587,51 +758,9 @@ func (s *Server) execute(ctx context.Context, jb *job) error {
 	jb.ports = nw.NumPorts
 	jb.ctotal = nw.TotalCapacitance()
 	jb.netlist = nl
+	jb.network = nw
 	s.mu.Unlock()
-
-	if jb.sweep == nil {
-		return nil
-	}
-	return s.runSweep(ctx, jb, nw)
-}
-
-// runSweep executes the job's sweep with per-point supervision and, when a
-// state directory exists, periodic resumable snapshots.
-func (s *Server) runSweep(ctx context.Context, jb *job, nw *extract.Network) error {
-	sw := jb.sweep
-	freqs := sparam.LinSpace(sw.FMin, sw.FMax, sw.NF)
-	opts := sparam.SweepOptions{Z0: sw.Z0, Policy: s.cfg.Policy, ResumeFrom: sw.ResumeFrom}
-	var snapPath string
-	if s.cfg.StateDir != "" {
-		snapPath = filepath.Join(s.cfg.StateDir, jb.id+".sweep.ckpt")
-		opts.Checkpoint = checkpoint.Policy{Path: snapPath, Every: s.cfg.CheckpointEvery}
-	}
-	result, points, err := s.hooks.Sweep(ctx, freqs, opts, nw.PortZCtx)
-	s.mu.Lock()
-	jb.points = points
-	if snapPath != "" {
-		if _, serr := os.Stat(snapPath); serr == nil {
-			jb.snapshotPath = snapPath
-		}
-	}
-	s.mu.Unlock()
-	if err != nil && !errors.Is(err, simerr.ErrPartial) {
-		return err
-	}
-	ts, terr := result.Touchstone(jb.spec.Name)
-	if terr != nil {
-		return terr
-	}
-	s.mu.Lock()
-	jb.touchstone = ts
-	jb.diag.Merge(result.Diag)
-	if jb.snapshotPath != "" && err == nil {
-		// The sweep completed; its interim snapshot is no longer needed.
-		_ = os.Remove(jb.snapshotPath)
-		jb.snapshotPath = ""
-	}
-	s.mu.Unlock()
-	return err
+	return nil
 }
 
 // Drain gracefully shuts the daemon down: stop accepting, flush queued jobs
@@ -656,6 +785,10 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 
 	flushed := s.flushQueued()
 	close(s.queue)
+	s.mu.Lock()
+	s.queueClosed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
 	s.writeManifest(flushed)
 
 	done := make(chan struct{})
@@ -673,7 +806,14 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 	s.mu.Lock()
 	s.report.Flushed += len(flushed)
 	rep := s.report
+	j := s.journal
+	s.journal = nil
 	s.mu.Unlock()
+	if j != nil {
+		// Flushed jobs keep their accept records (no finish is journaled for
+		// them): a restarted daemon re-admits them from journal ∪ manifest.
+		_ = j.Close()
+	}
 	close(s.drained)
 	return rep
 }

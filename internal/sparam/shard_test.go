@@ -1,0 +1,177 @@
+package sparam
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"pdnsim/internal/mat"
+	"pdnsim/internal/simerr"
+)
+
+// Sharded evaluation is only a scheduling change: the union of shard results
+// must be bitwise identical to a whole SweepZSupervised run over the same
+// frequencies — this is what lets the serve scheduler promise that a crashed
+// and resumed sharded sweep reproduces an uninterrupted run exactly.
+func TestShardSweepBitwiseMatchesFullSweep(t *testing.T) {
+	freqs := testFreqs(11)
+	opts := SweepOptions{Z0: 50, Policy: noWait}
+	full, _, err := SweepZSupervised(context.Background(), freqs, opts, wellZ)
+	if err != nil {
+		t.Fatalf("full sweep: %v", err)
+	}
+	results := make([]*mat.CMatrix, len(freqs))
+	for lo := 0; lo < len(freqs); lo += 4 {
+		hi := min(lo+4, len(freqs))
+		shard, statuses, err := SweepZShardSupervised(context.Background(), freqs, lo, hi, nil, opts, wellZ)
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", lo, hi, err)
+		}
+		if len(shard) != hi-lo || len(statuses) != hi-lo {
+			t.Fatalf("shard [%d,%d): %d results, %d statuses", lo, hi, len(shard), len(statuses))
+		}
+		for k, s := range shard {
+			if s == nil || statuses[k].Err != nil {
+				t.Fatalf("shard point %d failed: %v", lo+k, statuses[k].Err)
+			}
+			results[lo+k] = s
+		}
+	}
+	for i, p := range full.Points {
+		got := results[i]
+		for r := 0; r < p.S.Rows; r++ {
+			for c := 0; c < p.S.Cols; c++ {
+				w, g := p.S.At(r, c), got.At(r, c)
+				if math.Float64bits(real(w)) != math.Float64bits(real(g)) ||
+					math.Float64bits(imag(w)) != math.Float64bits(imag(g)) {
+					t.Fatalf("point %d S(%d,%d): sharded %v != full %v", i, r, c, g, w)
+				}
+			}
+		}
+	}
+}
+
+// A retried shard must not recompute points that already completed: the skip
+// mask suppresses them, leaving nil results and zero-attempt statuses.
+func TestShardSweepHonoursSkipMask(t *testing.T) {
+	freqs := testFreqs(6)
+	skip := make([]bool, len(freqs))
+	skip[1], skip[2] = true, true
+	var calls atomic.Int64
+	zAt := func(ctx context.Context, omega float64) (*mat.CMatrix, error) {
+		calls.Add(1)
+		return wellZ(ctx, omega)
+	}
+	results, statuses, err := SweepZShardSupervised(context.Background(), freqs, 0, 4, skip, SweepOptions{Z0: 50, Policy: noWait}, zAt)
+	if err != nil {
+		t.Fatalf("shard: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("skip mask ignored: %d solves for 2 live points", calls.Load())
+	}
+	for k := 0; k < 4; k++ {
+		if skip[k] {
+			if results[k] != nil || statuses[k].Attempts != 0 {
+				t.Fatalf("skipped point %d was computed: %+v", k, statuses[k])
+			}
+		} else if results[k] == nil || statuses[k].Err != nil {
+			t.Fatalf("live point %d failed: %v", k, statuses[k].Err)
+		}
+	}
+}
+
+// Cancellation mid-shard returns the points that finished before the cut —
+// the scheduler merges them before requeueing, so a lease expiry never
+// throws away completed work.
+func TestShardSweepCancelKeepsCompletedPoints(t *testing.T) {
+	freqs := testFreqs(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	var solved atomic.Int64
+	zAt := func(c context.Context, omega float64) (*mat.CMatrix, error) {
+		if solved.Add(1) > 3 {
+			cancel()
+			// Wait out the cancellation so exactly three points complete
+			// regardless of scheduling.
+			<-c.Done()
+			return nil, simerr.CheckCtx(c, "test: cancelled point")
+		}
+		return wellZ(c, omega)
+	}
+	results, _, err := SweepZShardSupervised(ctx, freqs, 0, len(freqs), nil, SweepOptions{Z0: 50, Policy: noWait}, zAt)
+	if !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	kept := 0
+	for _, r := range results {
+		if r != nil {
+			kept++
+		}
+	}
+	if kept != 3 {
+		t.Fatalf("cancelled shard kept %d completed points, want 3", kept)
+	}
+}
+
+func TestShardSweepRejectsBadRange(t *testing.T) {
+	freqs := testFreqs(4)
+	opts := SweepOptions{Z0: 50, Policy: noWait}
+	for _, r := range [][2]int{{-1, 2}, {2, 2}, {3, 1}, {0, 5}} {
+		if _, _, err := SweepZShardSupervised(context.Background(), freqs, r[0], r[1], nil, opts, wellZ); !errors.Is(err, simerr.ErrBadInput) {
+			t.Fatalf("range [%d,%d) accepted: %v", r[0], r[1], err)
+		}
+	}
+	bad := make([]bool, 2)
+	if _, _, err := SweepZShardSupervised(context.Background(), freqs, 0, 2, bad, opts, wellZ); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("short skip mask accepted: %v", err)
+	}
+}
+
+// The exported checkpoint helpers round-trip through the same snapshot
+// format SweepZSupervised uses, bitwise.
+func TestSweepCheckpointSaveLoadRoundTrip(t *testing.T) {
+	freqs := testFreqs(5)
+	opts := SweepOptions{Z0: 50, Policy: noWait}
+	results, statuses, err := SweepZShardSupervised(context.Background(), freqs, 0, len(freqs), nil, opts, wellZ)
+	if err != nil {
+		t.Fatalf("shard: %v", err)
+	}
+	for k := range statuses {
+		if statuses[k].Err != nil {
+			t.Fatalf("point %d: %v", k, statuses[k].Err)
+		}
+	}
+	done := []bool{true, false, true, true, false}
+	for i, d := range done {
+		if !d {
+			results[i] = nil
+		}
+	}
+	path := filepath.Join(t.TempDir(), "shard.sweep.ckpt")
+	if err := SaveSweepCheckpoint(path, freqs, opts.Z0, done, results); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	gotDone, gotRes, err := LoadSweepCheckpoint(path, freqs, opts.Z0)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for i := range freqs {
+		if gotDone[i] != done[i] {
+			t.Fatalf("point %d done=%v, want %v", i, gotDone[i], done[i])
+		}
+		if !done[i] {
+			continue
+		}
+		w, g := results[i].At(0, 0), gotRes[i].At(0, 0)
+		if math.Float64bits(real(w)) != math.Float64bits(real(g)) ||
+			math.Float64bits(imag(w)) != math.Float64bits(imag(g)) {
+			t.Fatalf("point %d restored %v, want %v", i, g, w)
+		}
+	}
+	// A mismatched run must be rejected, not silently restored.
+	if _, _, err := LoadSweepCheckpoint(path, freqs, 75); !errors.Is(err, simerr.ErrBadInput) {
+		t.Fatalf("Z0 mismatch accepted: %v", err)
+	}
+}

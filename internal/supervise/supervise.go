@@ -19,6 +19,7 @@ package supervise
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"time"
 
 	"pdnsim/internal/simerr"
@@ -48,6 +49,16 @@ const DefaultBackoff = time.Millisecond
 // MaxBackoff caps the exponential backoff so a deep retry budget never
 // stalls a run for longer than a solve would take.
 const MaxBackoff = 100 * time.Millisecond
+
+// JitterFrac is the full-jitter fraction applied to every retry wait: the
+// actual delay is uniform in [1−JitterFrac, 1+JitterFrac] × the
+// deterministic schedule (±50%). Deterministic exponential backoff retries
+// simultaneously-failed items in lockstep — when a burst of sweep shards
+// lose their leases together (one slow disk stall, one GC pause), they
+// would all re-hit the worker pool at the same instant and collide again.
+// Spreading each wait over a 2×JitterFrac window decorrelates the herd
+// while keeping the mean equal to the deterministic schedule.
+const JitterFrac = 0.5
 
 // Policy bounds the retries of one work item. The zero value selects every
 // default, so `var p supervise.Policy` is a working configuration.
@@ -114,8 +125,10 @@ func (p Policy) perturbFor(attempt int) float64 {
 	return out
 }
 
-// backoffFor returns the wait before attempt k (1-based; no wait before the
-// first attempt), doubling from Backoff and capped at MaxBackoff.
+// backoffFor returns the deterministic base wait before attempt k (1-based;
+// no wait before the first attempt), doubling from Backoff and capped at
+// MaxBackoff. The wait actually slept is RetryDelay, which jitters this
+// schedule by ±JitterFrac.
 func (p Policy) backoffFor(attempt int) time.Duration {
 	if attempt <= 1 || p.Backoff < 0 {
 		return 0
@@ -134,6 +147,24 @@ func (p Policy) backoffFor(attempt int) time.Duration {
 		return MaxBackoff
 	}
 	return d
+}
+
+// RetryDelay returns the jittered wait before attempt k (1-based): the
+// deterministic backoffFor schedule scaled by a uniform random factor in
+// [1−JitterFrac, 1+JitterFrac]. This is the delay Do actually sleeps, and
+// the one external requeue loops (the serve shard scheduler) should use so
+// their retries decorrelate the same way.
+func (p Policy) RetryDelay(attempt int) time.Duration {
+	return jitter(p.backoffFor(attempt))
+}
+
+// jitter spreads d uniformly over [1−JitterFrac, 1+JitterFrac]·d.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	lo := (1 - JitterFrac) * float64(d)
+	return time.Duration(lo + rand.Float64()*2*JitterFrac*float64(d))
 }
 
 // Do runs one work item under the policy. fn receives the context and the
@@ -157,7 +188,7 @@ func Do[T any](ctx context.Context, p Policy, index int, fn func(ctx context.Con
 			st.Err = err
 			return zero, st
 		}
-		if wait := p.backoffFor(attempt); wait > 0 {
+		if wait := p.RetryDelay(attempt); wait > 0 {
 			if err := sleepCtx(ctx, wait); err != nil {
 				st.Err = err
 				return zero, st

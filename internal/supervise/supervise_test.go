@@ -215,3 +215,38 @@ func TestCustomPolicyKnobs(t *testing.T) {
 		t.Fatalf("custom RetryOn ignored: %d calls", calls)
 	}
 }
+
+// RetryDelay applies full jitter (±JitterFrac) to the deterministic backoff
+// schedule: every sample must stay inside the jitter window, and repeated
+// samples must actually vary — a constant delay would retry a burst of
+// simultaneously-requeued items in lockstep (the thundering herd the jitter
+// exists to break up).
+func TestRetryDelayJitterBounds(t *testing.T) {
+	p := Policy{Backoff: 40 * time.Millisecond}
+	for _, attempt := range []int{2, 3, 4} {
+		base := p.backoffFor(attempt)
+		lo := time.Duration((1 - JitterFrac) * float64(base))
+		hi := time.Duration((1 + JitterFrac) * float64(base))
+		seen := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d := p.RetryDelay(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("attempt %d: 200 jittered delays collapsed to %d distinct value(s)", attempt, len(seen))
+		}
+	}
+}
+
+func TestRetryDelayZeroBeforeFirstAttempt(t *testing.T) {
+	p := Policy{Backoff: 40 * time.Millisecond}
+	if d := p.RetryDelay(1); d != 0 {
+		t.Fatalf("first attempt must not wait, got %v", d)
+	}
+	if d := (Policy{Backoff: -1}).RetryDelay(5); d != 0 {
+		t.Fatalf("disabled backoff must not wait, got %v", d)
+	}
+}

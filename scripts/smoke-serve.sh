@@ -9,6 +9,12 @@
 # (exit 0), the interrupted job ends "snapshotted" with a resumable snapshot
 # on disk, and a restarted daemon resumes that snapshot to a clean "done",
 # restoring completed points instead of recomputing them.
+#
+# A second leg covers the crash path: the daemon is killed with SIGKILL
+# mid-sweep (no drain, no flush) and restarted over the same state directory.
+# Startup recovery must resubmit the job under its original id with no
+# operator action, and its touchstone must be byte-identical to an
+# uninterrupted run of the same sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -99,31 +105,77 @@ pid=""
   echo "smoke-serve: drain must exit 0, got $status"; cat "$tmp/serve.err"; exit 1; }
 
 snap="$state/$id.sweep.ckpt"
-if [ ! -s "$snap" ]; then
+if [ -s "$snap" ]; then
+  echo "smoke-serve: restarting and resuming from $snap"
+  start_daemon
+  rid=$(submit "{\"board\":$board,\"sweep\":$sweep,\"resume_from\":\"$snap\"},\"deadline_ms\":600000}")
+  for _ in $(seq 1 1200); do
+    st=$(job_state "$rid")
+    [ "$st" = done ] && break
+    case "$st" in failed|cancelled|partial|snapshotted|flushed)
+      echo "smoke-serve: resumed job ended $st"; curl -sf "$base/jobs/$rid"; exit 1 ;;
+    esac
+    sleep 0.1
+  done
+  [ "$st" = done ] || { echo "smoke-serve: resumed job never finished (last: $st)"; exit 1; }
+  body=$(curl -sf "$base/jobs/$rid")
+  echo "$body" | grep -q '"restored":[1-9]' || {
+    echo "smoke-serve: resumed job restored no points: $body"; exit 1; }
+else
   # The sweep outpaced the kill on a fast machine: the drain finished the
   # job cleanly and removed its interim snapshot — a correct drain, but the
-  # resume leg cannot run.
+  # snapshot-resume leg cannot run. The crash leg below still does.
   grep -q '"finished":1' "$tmp/serve.err" || {
     echo "smoke-serve: no snapshot and no finished job after drain"; cat "$tmp/serve.err"; exit 1; }
-  echo "smoke-serve: sweep finished before the kill landed; drain exit 0 verified (resume not exercised)"
-  exit 0
+  echo "smoke-serve: sweep finished before the kill landed (snapshot-resume leg skipped)"
+  start_daemon
 fi
 
-echo "smoke-serve: restarting and resuming from $snap"
+echo "smoke-serve: uninterrupted reference sweep for the crash leg"
+ksweep='{"fmin_hz":1e8,"fmax_hz":1e10,"nf":120}'
+ref=$(submit "{\"board\":$board,\"sweep\":$ksweep,\"deadline_ms\":600000}")
+wait_state "$ref" done 1200
+curl -sf "$base/jobs/$ref/touchstone" > "$tmp/ref.s2p"
+[ -s "$tmp/ref.s2p" ] || { echo "smoke-serve: empty reference touchstone"; exit 1; }
+
+echo "smoke-serve: graceful drain before the crash leg"
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+
+echo "smoke-serve: submitting the crash-leg sweep, then SIGKILL mid-sweep"
 start_daemon
-rid=$(submit "{\"board\":$board,\"sweep\":$sweep,\"resume_from\":\"$snap\"},\"deadline_ms\":600000}")
+kid=$(submit "{\"board\":$board,\"sweep\":$ksweep,\"deadline_ms\":600000}")
+wait_state "$kid" running 600
+progressed=0
+for _ in $(seq 1 600); do
+  if curl -sf "$base/jobs/$kid" | grep -q '"shards_done":[1-9]'; then progressed=1; break; fi
+  sleep 0.05
+done
+[ "$progressed" = 1 ] || { echo "smoke-serve: job $kid never completed a shard"; exit 1; }
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "smoke-serve: restarting; startup recovery must resume job $kid"
+start_daemon
+grep -q "recovery: resubmitted job $kid" "$tmp/serve.err" || {
+  echo "smoke-serve: restart did not resubmit $kid"; cat "$tmp/serve.err"; exit 1; }
 for _ in $(seq 1 1200); do
-  st=$(job_state "$rid")
+  st=$(job_state "$kid")
   [ "$st" = done ] && break
   case "$st" in failed|cancelled|partial|snapshotted|flushed)
-    echo "smoke-serve: resumed job ended $st"; curl -sf "$base/jobs/$rid"; exit 1 ;;
+    echo "smoke-serve: recovered job ended $st"; curl -sf "$base/jobs/$kid"; exit 1 ;;
   esac
   sleep 0.1
 done
-[ "$st" = done ] || { echo "smoke-serve: resumed job never finished (last: $st)"; exit 1; }
-body=$(curl -sf "$base/jobs/$rid")
-echo "$body" | grep -q '"restored":[1-9]' || {
-  echo "smoke-serve: resumed job restored no points: $body"; exit 1; }
+[ "$st" = done ] || { echo "smoke-serve: recovered job never finished (last: $st)"; exit 1; }
+curl -sf "$base/jobs/$kid" | grep -q '"restored":[1-9]' || {
+  echo "smoke-serve: recovered job restored no points"; curl -sf "$base/jobs/$kid"; exit 1; }
+curl -sf "$base/jobs/$kid/touchstone" > "$tmp/rec.s2p"
+cmp -s "$tmp/ref.s2p" "$tmp/rec.s2p" || {
+  echo "smoke-serve: crash-recovered touchstone differs from the uninterrupted run"; exit 1; }
+echo "smoke-serve: crash recovery verified bitwise against the uninterrupted run"
 
 echo "smoke-serve: final graceful drain"
 kill -TERM "$pid"
