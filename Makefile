@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-smoke check vet race lint pdnlint smoke smoke-serve
+.PHONY: build test bench bench-smoke check vet race lint pdnlint lint-sarif smoke smoke-serve
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,19 @@ vet:
 
 # pdnlint is the project's own static analyser (cmd/pdnlint): it enforces
 # the solver's safety contracts — typed errors, cancellation in hot loops,
-# no float equality, named tolerances, race-safe fan-out. Zero findings is
-# the contract; suppressions need a //pdnlint:ignore with a reason.
+# no float equality, named tolerances, race-safe fan-out, lock-hold and
+# lock-order discipline, accounted goroutines, durable-write envelopes, and
+# allocation-free //pdn:hot kernels. The roster comes from lint.Analyzers;
+# adding an analyzer there is all it takes for this target (and CI) to
+# enforce it. Zero findings is the contract; suppressions need a
+# //pdnlint:ignore with a reason.
 pdnlint:
 	$(GO) run ./cmd/pdnlint ./...
+
+# lint-sarif writes the same findings as SARIF 2.1.0 (pdnlint.sarif) for
+# code-scanning upload; the exit code still reflects findings.
+lint-sarif:
+	$(GO) run ./cmd/pdnlint -sarif ./... > pdnlint.sarif
 
 # lint is vet plus a formatting check plus pdnlint: any file gofmt would
 # rewrite fails the target (and is listed).

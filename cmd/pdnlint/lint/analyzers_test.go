@@ -2,6 +2,7 @@ package lint
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -41,6 +42,93 @@ func TestMagictol(t *testing.T) {
 
 func TestParaloop(t *testing.T) {
 	RunFixture(t, Paraloop, "paraloop", "pdnsim/internal/paraloopfix")
+}
+
+func TestLockhold(t *testing.T) {
+	RunFixture(t, Lockhold, "lockhold", "pdnsim/internal/lockholdfix")
+}
+
+func TestLockholdIgnoreWithReason(t *testing.T) {
+	// The doc-comment waiver covers the whole function (the single-writer
+	// WAL shape); the undocumented twin still reports both sites.
+	RunFixture(t, Lockhold, "ignorehold", "pdnsim/internal/ignoreholdfix")
+}
+
+func TestGoleak(t *testing.T) {
+	// The synthetic internal/serve/... import path arms the strict
+	// daemon-package accounting rule.
+	RunFixture(t, Goleak, "goleak", "pdnsim/internal/serve/goleakfix")
+}
+
+func TestGoleakRelaxedOutsideDaemon(t *testing.T) {
+	// The same source outside the daemon packages keeps only the
+	// universal exit-path findings; the accounting findings disappear.
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir("testdata/src/goleak", "pdnsim/internal/goleakfix")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	fs := Run([]*Package{pkg}, []*Analyzer{Goleak}, "")
+	if len(fs) != 2 {
+		t.Fatalf("want exactly the 2 exit-path findings outside daemon packages, got %v", fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Message, "no exit path") {
+			t.Fatalf("accounting finding leaked outside daemon packages: %v", f)
+		}
+	}
+}
+
+func TestDurable(t *testing.T) {
+	RunFixture(t, Durable, "durable", "pdnsim/internal/durablefix")
+}
+
+func TestDurableExemptsCheckpointPackage(t *testing.T) {
+	// The envelope implementation is the one place raw durable I/O
+	// belongs; under its import path the same fixture is silent. A fresh
+	// loader, not the shared one: the shared loader caches packages by
+	// import path, and poisoning its cache with a fixture registered as
+	// the real pdnsim/internal/checkpoint would break every later
+	// whole-module load in this test binary.
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir("testdata/src/durable", "pdnsim/internal/checkpoint")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if fs := Run([]*Package{pkg}, []*Analyzer{Durable}, ""); len(fs) != 0 {
+		t.Fatalf("durable must not fire inside internal/checkpoint, got %v", fs)
+	}
+}
+
+func TestHotalloc(t *testing.T) {
+	RunFixture(t, Hotalloc, "hotalloc", "pdnsim/internal/hotallocfix")
+}
+
+func TestAnalyzerRosterHasNine(t *testing.T) {
+	// The acceptance gate on the roster itself: nine analyzers with
+	// distinct names, so every consumer deriving its set from
+	// lint.Analyzers (CLI, Makefile lint, SARIF rules) sees all of them.
+	if len(Analyzers) != 9 {
+		t.Fatalf("lint.Analyzers has %d entries, want 9", len(Analyzers))
+	}
+	seen := map[string]bool{}
+	for _, a := range Analyzers {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incompletely registered", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"lockhold", "goleak", "durable", "hotalloc"} {
+		if !seen[name] {
+			t.Fatalf("roster is missing %q", name)
+		}
+	}
 }
 
 func TestIgnoreDirectives(t *testing.T) {
@@ -120,5 +208,76 @@ func TestFindingJSONShape(t *testing.T) {
 	}
 	if decoded[0]["analyzer"] != "floateq" {
 		t.Fatalf("analyzer key must carry the analyzer name, got %v", decoded[0]["analyzer"])
+	}
+}
+
+// TestSARIFRoundTrip locks the -sarif output contract: a SARIF 2.1.0 log
+// whose encoding survives json.Unmarshal with version, schema, the full
+// rule table, and per-finding rule/location intact.
+func TestSARIFRoundTrip(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir("testdata/src/floateq", "pdnsim/internal/floateqfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{Floateq}, "")
+	if len(findings) == 0 {
+		t.Fatal("floateq fixture must produce findings for the SARIF test")
+	}
+	raw, err := json.Marshal(SARIFReport(findings, Analyzers))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log SARIFLog
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("SARIF does not round-trip: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Fatalf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("schema = %q, want a sarif-2.1.0 schema URI", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want exactly one run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "pdnlint" {
+		t.Fatalf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if want := len(Analyzers) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Fatalf("rule table has %d entries, want %d (roster + hygiene)", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("results = %d, findings = %d", len(run.Results), len(findings))
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for i, r := range run.Results {
+		if !ruleIDs[r.RuleID] {
+			t.Fatalf("result %d ruleId %q missing from the rule table", i, r.RuleID)
+		}
+		if r.Level != "error" || r.Message.Text == "" {
+			t.Fatalf("result %d incomplete: %+v", i, r)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine <= 0 {
+			t.Fatalf("result %d location incomplete: %+v", i, loc)
+		}
+		if strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Fatalf("artifact URI must be slash-separated, got %q", loc.ArtifactLocation.URI)
+		}
+	}
+
+	// Empty findings still produce a valid array-carrying run.
+	raw, err = json.Marshal(SARIFReport(nil, Analyzers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"results":null`) {
+		t.Fatalf("empty report must carry an empty results array, got %s", raw)
 	}
 }

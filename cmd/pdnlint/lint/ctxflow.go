@@ -25,9 +25,15 @@ import (
 //     ignore directive rather than sprinkling no-op checks.
 //  3. An accepted context.Context must be used at all; a dropped ctx
 //     parameter advertises cancellability the implementation does not have.
+//  4. time.Sleep is forbidden everywhere (tests are not analyzed): a bare
+//     sleep cannot observe cancellation, so a cancelled job or a draining
+//     daemon sits out the full delay. Wait on a timer inside a select with
+//     ctx.Done() instead — internal/supervise's backoff does exactly this
+//     and is the pattern to copy; a deliberate uncancellable pause
+//     documents itself with an ignore directive.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "long-running exported loops must accept and check a context.Context; no context.Background outside main",
+	Doc:  "long-running exported loops must accept and check a context.Context; no context.Background outside main; no bare time.Sleep",
 	Run:  runCtxflow,
 }
 
@@ -35,21 +41,23 @@ func runCtxflow(p *Package) []RawFinding {
 	var out []RawFinding
 	isMain := p.Types.Name() == "main"
 	for _, f := range p.Files {
-		if !isMain {
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if fn := calleeFunc(p.Info, call); fn != nil {
-					switch fn.FullName() {
-					case "context.Background", "context.TODO":
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(p.Info, call); fn != nil {
+				switch fn.FullName() {
+				case "context.Background", "context.TODO":
+					if !isMain {
 						out = append(out, RawFinding{Pos: call.Pos(), Message: fn.FullName() + "() outside package main pins an uncancellable context; thread a ctx parameter (documented compatibility shims use //pdnlint:ignore ctxflow <reason>)"})
 					}
+				case "time.Sleep":
+					out = append(out, RawFinding{Pos: call.Pos(), Message: "time.Sleep cannot observe cancellation; wait on a timer inside a select with ctx.Done (the supervise backoff pattern), or document the uncancellable pause with an ignore"})
 				}
-				return true
-			})
-		}
+			}
+			return true
+		})
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !fd.Name.IsExported() {

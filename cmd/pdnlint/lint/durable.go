@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Durable enforces the crash-durability contract of PR 4/7 (DESIGN.md
+// §5j): state that recovery depends on must reach disk through the
+// internal/checkpoint envelope — CRC-32C framing, tmp+fsync+rename
+// publication, append-only fsync'd journal records. Two rules:
+//
+//  1. A raw os.WriteFile / os.Create / os.CreateTemp / os.OpenFile /
+//     os.Rename whose path carries a durable marker ("checkpoint",
+//     ".ckpt", "journal", "manifest", "snapshot", ".opc" — matched
+//     case-insensitively against string constants in the call's arguments
+//     or in the initializers of path variables it uses) bypasses the
+//     envelope: no checksum, no atomic publication, and recovery will
+//     happily replay torn bytes. internal/checkpoint itself is exempt —
+//     it *is* the envelope.
+//
+//  2. os.Rename without a positionally preceding (*os.File).Sync in the
+//     same function publishes a file whose contents may not be durable
+//     yet: after a crash the new name can point at empty or truncated
+//     data, which is exactly the torn-write class the envelope's
+//     stage → fsync → rename discipline exists to prevent.
+var Durable = &Analyzer{
+	Name: "durable",
+	Doc:  "checkpoint/journal/manifest files must go through internal/checkpoint; no rename without a preceding fsync in the same function",
+	Run:  runDurable,
+}
+
+// durableMarkers are the path fragments that mark a file as
+// recovery-critical, matched case-insensitively.
+var durableMarkers = []string{"checkpoint", ".ckpt", "journal", "manifest", "snapshot", ".opc"}
+
+// rawFileCalls are the os entry points rule 1 polices.
+var rawFileCalls = map[string]bool{
+	"os.WriteFile":  true,
+	"os.Create":     true,
+	"os.CreateTemp": true,
+	"os.OpenFile":   true,
+	"os.Rename":     true,
+}
+
+func runDurable(p *Package) []RawFinding {
+	if p.Path == "pdnsim/internal/checkpoint" {
+		return nil // the envelope implementation is the one place raw durable I/O belongs
+	}
+	var out []RawFinding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkDurableFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+func checkDurableFunc(p *Package, fd *ast.FuncDecl) []RawFinding {
+	// Single-assignment map from local variables to their initializer
+	// expressions, so a marker constant reaches the os call through
+	// `path := filepath.Join(dir, "x.journal")`.
+	inits := map[types.Object][]ast.Expr{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(s.Rhs) {
+					continue
+				}
+				if obj := p.Info.Defs[id]; obj != nil {
+					inits[obj] = append(inits[obj], s.Rhs[i])
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					inits[obj] = append(inits[obj], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) {
+					if obj := p.Info.Defs[name]; obj != nil {
+						inits[obj] = append(inits[obj], s.Values[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var out []RawFinding
+	var syncs, renames []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch full := fn.FullName(); {
+		case full == "(*os.File).Sync":
+			syncs = append(syncs, call)
+		case rawFileCalls[full]:
+			if full == "os.Rename" {
+				renames = append(renames, call)
+			}
+			if marker, ok := durableMarkerInArgs(p.Info, call, inits); ok {
+				out = append(out, RawFinding{Pos: call.Pos(), Message: fmt.Sprintf(
+					"raw %s on a durable path (%q): checkpoint/journal/manifest state must go through the internal/checkpoint envelope (Save, Journal) for CRC framing and atomic publication", full, marker)})
+			}
+		}
+		return true
+	})
+	for _, r := range renames {
+		synced := false
+		for _, s := range syncs {
+			if s.Pos() < r.Pos() {
+				synced = true
+				break
+			}
+		}
+		if !synced {
+			out = append(out, RawFinding{Pos: r.Pos(), Message: "os.Rename without a preceding (*os.File).Sync in the same function can publish undurable bytes; stage, fsync, then rename (checkpoint.Save's discipline)"})
+		}
+	}
+	return out
+}
+
+// durableMarkerInArgs scans the call's arguments — and, one hop deep, the
+// initializers of variables those arguments use — for a string constant
+// carrying a durable marker.
+func durableMarkerInArgs(info *types.Info, call *ast.CallExpr, inits map[types.Object][]ast.Expr) (string, bool) {
+	var consts []string
+	for _, a := range call.Args {
+		collectStringConsts(info, a, inits, 2, &consts)
+	}
+	for _, c := range consts {
+		lc := strings.ToLower(c)
+		for _, m := range durableMarkers {
+			if strings.Contains(lc, m) {
+				return c, true
+			}
+		}
+	}
+	return "", false
+}
+
+// collectStringConsts gathers string constants from an expression tree,
+// following identifiers to their in-function initializers up to depth
+// hops (enough for path := filepath.Join(dir, name) chains without
+// risking cycles).
+func collectStringConsts(info *types.Info, e ast.Expr, inits map[types.Object][]ast.Expr, depth int, out *[]string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if tv, ok := info.Types[x]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				*out = append(*out, constant.StringVal(tv.Value))
+				return false
+			}
+			if depth > 0 {
+				if obj := info.Uses[x]; obj != nil {
+					for _, init := range inits[obj] {
+						collectStringConsts(info, init, inits, depth-1, out)
+					}
+				}
+			}
+		case *ast.BasicLit:
+			if tv, ok := info.Types[x]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				*out = append(*out, constant.StringVal(tv.Value))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Goleak enforces the goroutine-lifecycle contract (DESIGN.md §5j): every
+// `go` statement needs a provable exit path, and daemon packages must
+// account for their goroutines. Two rules:
+//
+//  1. Exit path (every package): when the spawned body is visible — a
+//     function literal, or a same-package function declaration — each
+//     unbounded `for {}` loop in it must contain a return or a break (a
+//     select case on ctx.Done()/a done channel that returns qualifies, as
+//     that is how daemon workers exit). A bounded or range loop is an exit
+//     path by construction. A body that cannot be resolved (a
+//     function-typed variable, a cross-package callee) is not guessed at.
+//
+//  2. Accounting (strict daemon packages: internal/serve and
+//     cmd/pdnserve): a goroutine must be observable by its spawner —
+//     registered via (*sync.WaitGroup).Add positionally before the go
+//     statement in the same function, or signalling completion by closing
+//     or sending on a channel in its body. A fire-and-forget goroutine in
+//     the daemon is how drains hang and tests leak; the chaos suite's
+//     goroutine-count checks sample this at runtime, goleak proves it at
+//     the spawn site.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement needs a provable exit path; daemon-package goroutines must be WaitGroup-accounted or signal completion on a channel",
+	Run:  runGoleak,
+}
+
+// strictGoleakPkg reports whether the import path is held to the
+// accounting rule (the daemon and its packages).
+func strictGoleakPkg(path string) bool {
+	return path == "pdnsim/cmd/pdnserve" ||
+		path == "pdnsim/internal/serve" ||
+		strings.HasPrefix(path, "pdnsim/internal/serve/")
+}
+
+func runGoleak(p *Package) []RawFinding {
+	var out []RawFinding
+	strict := strictGoleakPkg(p.Path)
+
+	// Same-package function declarations by object, so `go fn(...)` and
+	// `go s.method(...)` resolve to an inspectable body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	reported := map[token.Pos]bool{} // two go stmts on one decl report its loop once
+	for _, f := range p.Files {
+		// Each go statement is checked against its enclosing function: the
+		// innermost FuncDecl/FuncLit whose span contains it.
+		var funcs []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, n)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(p.Info, decls, gs)
+			if body != nil {
+				for _, loop := range endlessLoops(body) {
+					if !reported[loop.Pos()] {
+						reported[loop.Pos()] = true
+						out = append(out, RawFinding{Pos: loop.Pos(), Message: "goroutine loops forever with no exit path; add a select case on ctx.Done() (or a done channel) that returns, or bound the loop"})
+					}
+				}
+			}
+			if strict && !accounted(p.Info, gs, body, enclosingFunc(funcs, gs)) {
+				out = append(out, RawFinding{Pos: gs.Pos(), Message: "unaccounted goroutine in a daemon package: register it with wg.Add before launch or signal completion on a channel the spawner can wait on"})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goBody resolves the statement body a go statement will run: an inline
+// function literal, or a same-package declared function/method.
+func goBody(info *types.Info, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) *ast.BlockStmt {
+	if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return fl.Body
+	}
+	if fn := calleeFunc(info, gs.Call); fn != nil {
+		if fd := decls[fn.Origin()]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// endlessLoops returns the unbounded `for {}` loops in body (not crossing
+// nested function literals) whose own subtree has no return or break.
+func endlessLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var loops []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		escapes := false
+		ast.Inspect(fs.Body, func(m ast.Node) bool {
+			switch b := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				escapes = true
+			case *ast.BranchStmt:
+				if b.Tok == token.BREAK || b.Tok == token.GOTO {
+					escapes = true
+				}
+			}
+			return !escapes
+		})
+		if !escapes {
+			loops = append(loops, fs)
+			return false // the outer finding covers nested loops
+		}
+		return true
+	})
+	return loops
+}
+
+// enclosingFunc returns the innermost function node containing pos.
+func enclosingFunc(funcs []ast.Node, gs *ast.GoStmt) ast.Node {
+	var best ast.Node
+	for _, fn := range funcs {
+		if fn.Pos() <= gs.Pos() && gs.End() <= fn.End() {
+			if best == nil || fn.Pos() >= best.Pos() {
+				best = fn
+			}
+		}
+	}
+	return best
+}
+
+// accounted implements the strict-package rule: wg.Add positionally before
+// the go statement in the same function, or a close/send in the body.
+func accounted(info *types.Info, gs *ast.GoStmt, body *ast.BlockStmt, encl ast.Node) bool {
+	if encl != nil {
+		found := false
+		ast.Inspect(encl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() >= gs.Pos() {
+				return !found
+			}
+			if fn := calleeFunc(info, call); fn != nil && fn.FullName() == "(*sync.WaitGroup).Add" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	if body == nil {
+		return false
+	}
+	signals := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			signals = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					signals = true
+				}
+			}
+		}
+		return !signals
+	})
+	return signals
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Hotalloc polices the PR 5 kernel discipline (DESIGN.md §5j): loops
+// annotated //pdn:hot — the blocked dense kernels in internal/mat, the
+// FDTD row-stepping closures — are the measured inner loops behind the
+// BENCH_*.json trajectory, and a heap allocation, interface boxing, defer,
+// or map access inside one silently re-introduces the per-iteration costs
+// the blocking work removed. Inside a hot loop the analyzer flags:
+//
+//   - make / new / append builtins and &CompositeLit (heap allocation)
+//   - function literals (closure allocation per iteration)
+//   - passing a concrete value to an interface parameter (boxing)
+//   - string ↔ []byte/[]rune conversions (copy + allocation)
+//   - defer (allocates a frame and delays work to function exit)
+//   - map indexing (hash + possible growth; kernels use slices)
+//   - go statements (per-iteration goroutine launch)
+//
+// Annotation forms: a //pdn:hot line directly above (or on) a for/range
+// statement marks that loop and its nest; //pdn:hot in a function's doc
+// comment marks every loop in the function, including loops in its
+// closures. Cold setup loops stay unannotated — the annotation is a claim
+// about the measured path, not decoration.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no heap allocation, interface boxing, defer, or map access inside //pdn:hot annotated loops",
+	Run:  runHotalloc,
+}
+
+// hotMarker is the annotation comment, matched exactly after trimming.
+const hotMarker = "//pdn:hot"
+
+func runHotalloc(p *Package) []RawFinding {
+	var out []RawFinding
+	for _, f := range p.Files {
+		hotLines := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == hotMarker {
+					hotLines[p.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			docHot := false
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == hotMarker {
+						docHot = true
+					}
+				}
+			}
+			var visit func(n ast.Node)
+			visit = func(n ast.Node) {
+				ast.Inspect(n, func(m ast.Node) bool {
+					var body *ast.BlockStmt
+					switch loop := m.(type) {
+					case *ast.ForStmt:
+						body = loop.Body
+					case *ast.RangeStmt:
+						body = loop.Body
+					default:
+						return true
+					}
+					line := p.Fset.Position(m.Pos()).Line
+					if docHot || hotLines[line] || hotLines[line-1] {
+						out = append(out, checkHotLoop(p, body)...)
+						return false // the whole nest was just checked
+					}
+					return true
+				})
+			}
+			visit(fd.Body)
+		}
+	}
+	return out
+}
+
+// checkHotLoop reports the forbidden constructs inside one hot loop body.
+// Nested function literals are flagged as per-iteration allocations and
+// not descended into. (Under a doc-level annotation a closure *outside*
+// any loop is fine — the FDTD row steppers — and its own loops are still
+// visited and checked as hot.)
+func checkHotLoop(p *Package, body *ast.BlockStmt) []RawFinding {
+	var out []RawFinding
+	report := func(n ast.Node, what string) {
+		out = append(out, RawFinding{Pos: n.Pos(), Message: fmt.Sprintf(
+			"%s inside a //pdn:hot loop; the annotated kernels must run allocation-free — hoist it out of the loop or drop the annotation", what)})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			report(x, "closure allocation (func literal)")
+			return false
+		case *ast.DeferStmt:
+			report(x, "defer")
+			// args still checked; the deferred callee runs later
+		case *ast.GoStmt:
+			report(x, "goroutine launch")
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x, "heap allocation (&composite literal)")
+				}
+			}
+		case *ast.IndexExpr:
+			if tv, ok := p.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(x, "map access")
+				}
+			}
+		case *ast.CallExpr:
+			out = append(out, checkHotCall(p, x)...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotCall classifies one call inside a hot loop: allocating builtin,
+// allocating conversion, or interface boxing at an argument.
+func checkHotCall(p *Package, call *ast.CallExpr) []RawFinding {
+	var out []RawFinding
+	report := func(what string) {
+		out = append(out, RawFinding{Pos: call.Pos(), Message: fmt.Sprintf(
+			"%s inside a //pdn:hot loop; the annotated kernels must run allocation-free — hoist it out of the loop or drop the annotation", what)})
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make", "new", "append":
+				report("heap allocation (" + b.Name() + ")")
+			}
+			return out
+		}
+	}
+	// Conversion: T(x). Flag conversions that allocate or box.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := p.Info.Types[call.Args[0]].Type
+		if src != nil {
+			switch {
+			case types.IsInterface(dst) && !types.IsInterface(src):
+				report("interface boxing (conversion)")
+			case isStringBytesConv(dst, src):
+				report("heap allocation (string conversion)")
+			}
+		}
+		return out
+	}
+	// Regular call: concrete arguments landing in interface parameters box.
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return out
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return out
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := p.Info.Types[arg].Type
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(fmt.Sprintf("interface boxing (concrete %s into %s parameter of %s)", at, pt, fn.Name()))
+	}
+	return out
+}
+
+// isStringBytesConv reports a string ↔ []byte / []rune conversion.
+func isStringBytesConv(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStr(src))
+}

@@ -5,11 +5,14 @@
 // analyzers over them, and filters the findings through //pdnlint:ignore
 // escape-hatch directives.
 //
-// The analyzers enforce the solver's safety contracts — the typed-error
-// taxonomy of internal/simerr, context cancellation through long-running
-// loops, tolerance-based floating-point comparison, auditable tolerance
-// constants, and partitioned writes in parallel fills. See the Analyzers
-// variable for the roster and DESIGN.md §5e for the rationale of each.
+// The analyzers enforce the solver's and daemon's safety contracts — the
+// typed-error taxonomy of internal/simerr, context cancellation through
+// long-running loops, tolerance-based floating-point comparison, auditable
+// tolerance constants, partitioned writes in parallel fills, lock-holding
+// discipline and acquisition order, goroutine lifecycle accounting,
+// checkpoint durability routing, and allocation-free //pdn:hot kernels.
+// See the Analyzers variable for the roster and DESIGN.md §5e/§5j for the
+// rationale of each.
 package lint
 
 import (
@@ -37,8 +40,11 @@ type Analyzer struct {
 	Run  func(p *Package) []RawFinding
 }
 
-// Analyzers is the full pdnlint roster, in reporting order.
-var Analyzers = []*Analyzer{Errwrap, Ctxflow, Floateq, Magictol, Paraloop}
+// Analyzers is the full pdnlint roster, in reporting order. Everything —
+// the CLI, `make lint`, the SARIF rules table, TestWholeModuleIsClean —
+// derives its analyzer set from this variable, so adding an analyzer here
+// is the whole registration.
+var Analyzers = []*Analyzer{Errwrap, Ctxflow, Floateq, Magictol, Paraloop, Lockhold, Goleak, Durable, Hotalloc}
 
 // Finding is a resolved diagnostic, ready for text or JSON output. File is
 // relative to the module root when the engine can make it so.

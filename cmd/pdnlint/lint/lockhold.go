@@ -1,0 +1,555 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockhold enforces the daemon-era critical-section contract (DESIGN.md
+// §5j): a sync.Mutex/RWMutex critical section must not contain a blocking
+// operation. A channel send/receive, a select without a default clause, a
+// time.Sleep, file I/O (and above all an fsync), an HTTP round trip, or a
+// supervised retry loop executed while a mutex is held serialises every
+// contender behind that latency — the exact failure mode PR 7's shard
+// merges must avoid, where the status API shares locks with the solve
+// path. Two rules:
+//
+//  1. No blocking operation while a lock is held. The analysis is
+//     per-function and syntactic over the statement list: Lock()/Unlock()
+//     pairs are tracked through if/for/switch/select branches (a branch
+//     that unlocks and returns does not leak its unlock into the
+//     fall-through path), `defer mu.Unlock()` holds the lock to function
+//     end, and goroutine or deferred closure bodies are analyzed as their
+//     own functions — they do not run under the spawner's critical
+//     section. (*sync.Cond).Wait is exempt: it releases its locker while
+//     parked, which is the designed wait pattern. A select *with* a
+//     default clause is exempt too: that is the non-blocking try-send /
+//     try-receive idiom the admission path relies on.
+//
+//  2. The per-function lock acquisitions also feed a package-wide lock
+//     acquisition-order graph (nodes are "Type.field" lock identities,
+//     edges run from the lock already held to the one being acquired); a
+//     cycle in that graph is a potential deadlock — two goroutines taking
+//     the same pair of locks in opposite order — and is reported once per
+//     cycle.
+//
+// Single-writer WAL appenders (internal/checkpoint.Journal), whose mutex
+// exists precisely to serialise write+fsync on one descriptor, document
+// the waiver with //pdnlint:ignore lockhold <reason> on the function.
+var Lockhold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no blocking operation (channel ops, file I/O, fsync, HTTP, supervise.Do, sleeps) while a sync mutex is held; lock acquisition order must be acyclic",
+	Run:  runLockhold,
+}
+
+// lockAcquire and lockRelease are the sync mutex entry points, by
+// go/types.Func.FullName.
+var lockAcquire = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+var lockRelease = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+// blockingCalls maps callee FullNames to a short description of why the
+// call blocks. File operations are listed individually; every callee from
+// net/http blocks by fiat (a round trip under a mutex is never right).
+var blockingCalls = map[string]string{
+	"time.Sleep":                             "time.Sleep",
+	"(*sync.WaitGroup).Wait":                 "(*sync.WaitGroup).Wait",
+	"(*sync.Mutex).Lock":                     "", // handled as acquisition, never reported
+	"os.Create":                              "os.Create",
+	"os.CreateTemp":                          "os.CreateTemp",
+	"os.Open":                                "os.Open",
+	"os.OpenFile":                            "os.OpenFile",
+	"os.ReadFile":                            "os.ReadFile",
+	"os.WriteFile":                           "os.WriteFile",
+	"os.Rename":                              "os.Rename",
+	"os.Remove":                              "os.Remove",
+	"os.RemoveAll":                           "os.RemoveAll",
+	"os.Mkdir":                               "os.Mkdir",
+	"os.MkdirAll":                            "os.MkdirAll",
+	"os.ReadDir":                             "os.ReadDir",
+	"os.Stat":                                "os.Stat",
+	"os.Lstat":                               "os.Lstat",
+	"os.Truncate":                            "os.Truncate",
+	"(*os.File).Read":                        "(*os.File).Read",
+	"(*os.File).ReadAt":                      "(*os.File).ReadAt",
+	"(*os.File).Write":                       "(*os.File).Write",
+	"(*os.File).WriteAt":                     "(*os.File).WriteAt",
+	"(*os.File).WriteString":                 "(*os.File).WriteString",
+	"(*os.File).Seek":                        "(*os.File).Seek",
+	"(*os.File).Sync":                        "(*os.File).Sync",
+	"(*os.File).Close":                       "(*os.File).Close",
+	"(*os.File).Truncate":                    "(*os.File).Truncate",
+	"io.Copy":                                "io.Copy",
+	"io.ReadAll":                             "io.ReadAll",
+	"pdnsim/internal/supervise.Do":           "supervise.Do",
+	"pdnsim/internal/checkpoint.Save":        "checkpoint.Save",
+	"pdnsim/internal/checkpoint.Load":        "checkpoint.Load",
+	"pdnsim/internal/checkpoint.OpenJournal": "checkpoint.OpenJournal",
+	"pdnsim/internal/checkpoint.ReplayJournal":      "checkpoint.ReplayJournal",
+	"(*pdnsim/internal/checkpoint.Journal).Append":  "Journal.Append (fsync)",
+	"(*pdnsim/internal/checkpoint.Journal).Rewrite": "Journal.Rewrite (fsync)",
+	"(*pdnsim/internal/checkpoint.Journal).Close":   "Journal.Close (fsync)",
+	"pdnsim/internal/sparam.SaveSweepCheckpoint":    "sparam.SaveSweepCheckpoint (fsync)",
+	"pdnsim/internal/sparam.LoadSweepCheckpoint":    "sparam.LoadSweepCheckpoint",
+}
+
+// blockingCallDesc reports whether fn is a known blocking callee.
+func blockingCallDesc(fn *types.Func) (string, bool) {
+	// Generic functions resolve through their origin so instantiations
+	// match the FullName table.
+	fn = fn.Origin()
+	full := fn.FullName()
+	if d, ok := blockingCalls[full]; ok && d != "" {
+		return d, true
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "net/http" {
+		return "net/http." + fn.Name(), true
+	}
+	return "", false
+}
+
+// heldLock is one tracked acquisition: the syntactic receiver ("s.mu") for
+// messages, the type-scoped identity ("Server.mu") for the order graph.
+type heldLock struct {
+	syn     string
+	typeKey string
+}
+
+type lockholdPass struct {
+	p     *Package
+	graph map[string]map[string]token.Pos // held typeKey → acquired typeKey → first edge pos
+	out   []RawFinding
+}
+
+func runLockhold(p *Package) []RawFinding {
+	lp := &lockholdPass{p: p, graph: map[string]map[string]token.Pos{}}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lp.walkFunc(fd.Body)
+			}
+		}
+	}
+	lp.reportCycles()
+	return lp.out
+}
+
+// walkFunc analyzes one function body with no locks held on entry.
+// Function literals encountered inside (goroutines, deferred closures,
+// callbacks) are routed back here: they execute on another goroutine or at
+// another time, not under the enclosing critical section.
+func (lp *lockholdPass) walkFunc(body *ast.BlockStmt) {
+	lp.walkStmts(body.List, map[string]heldLock{})
+}
+
+// walkStmts walks a statement list, returning true when the list
+// terminates control flow (return / break / continue / goto), so branch
+// merges know which arms fall through.
+func (lp *lockholdPass) walkStmts(list []ast.Stmt, held map[string]heldLock) bool {
+	for _, st := range list {
+		if lp.walkStmt(st, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// branchState is one control-flow arm's outcome for merging.
+type branchState struct {
+	held map[string]heldLock
+	term bool
+}
+
+// mergeBranches keeps a lock held after a branch point only when every
+// falling-through arm still holds it. Locks acquired inside a single arm
+// are deliberately not propagated: conditional acquisition is tracked
+// conservatively (a missed finding beats an invented one).
+func mergeBranches(held map[string]heldLock, arms []branchState) {
+	var live []map[string]heldLock
+	for _, a := range arms {
+		if !a.term {
+			live = append(live, a.held)
+		}
+	}
+	if len(live) == 0 {
+		return // all arms terminate; anything after is unreachable
+	}
+	for k := range held {
+		for _, m := range live {
+			if _, ok := m[k]; !ok {
+				delete(held, k)
+				break
+			}
+		}
+	}
+}
+
+func copyHeld(held map[string]heldLock) map[string]heldLock {
+	cp := make(map[string]heldLock, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (lp *lockholdPass) walkStmt(st ast.Stmt, held map[string]heldLock) bool {
+	switch s := st.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		lp.walkExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lp.walkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lp.walkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lp.walkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		lp.walkExpr(s.X, held)
+	case *ast.SendStmt:
+		lp.walkExpr(s.Chan, held)
+		lp.walkExpr(s.Value, held)
+		lp.blocking(s.Arrow, "channel send", held)
+	case *ast.GoStmt:
+		// The spawned body runs concurrently, not under the caller's locks.
+		for _, a := range s.Call.Args {
+			lp.walkExpr(a, held)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lp.walkFunc(fl.Body)
+		}
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held to the end of the
+		// function (no state change). Deferred closures run at return,
+		// outside the tracked critical sections.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lp.walkFunc(fl.Body)
+		}
+		for _, a := range s.Call.Args {
+			lp.walkExpr(a, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lp.walkExpr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return lp.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		lp.walkStmt(s.Init, held)
+		lp.walkExpr(s.Cond, held)
+		thenArm := branchState{held: copyHeld(held)}
+		thenArm.term = lp.walkStmts(s.Body.List, thenArm.held)
+		elseArm := branchState{held: copyHeld(held)}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseArm.term = lp.walkStmts(e.List, elseArm.held)
+		case *ast.IfStmt:
+			elseArm.term = lp.walkStmt(e, elseArm.held)
+		}
+		mergeBranches(held, []branchState{thenArm, elseArm})
+	case *ast.ForStmt:
+		lp.walkStmt(s.Init, held)
+		if s.Cond != nil {
+			lp.walkExpr(s.Cond, held)
+		}
+		body := copyHeld(held)
+		lp.walkStmts(s.Body.List, body)
+		lp.walkStmt(s.Post, body)
+	case *ast.RangeStmt:
+		lp.walkExpr(s.X, held)
+		body := copyHeld(held)
+		lp.walkStmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		lp.walkStmt(s.Init, held)
+		if s.Tag != nil {
+			lp.walkExpr(s.Tag, held)
+		}
+		lp.walkCaseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		lp.walkStmt(s.Init, held)
+		lp.walkCaseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			lp.blocking(s.Pos(), "select without a default clause", held)
+		}
+		var arms []branchState
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// The comm op itself is the select; a with-default select is
+			// the non-blocking try pattern and a without-default one was
+			// already reported, so the comm clauses are not re-flagged.
+			arm := branchState{held: copyHeld(held)}
+			arm.term = lp.walkStmts(cc.Body, arm.held)
+			arms = append(arms, arm)
+		}
+		mergeBranches(held, arms)
+	case *ast.LabeledStmt:
+		return lp.walkStmt(s.Stmt, held)
+	}
+	return false
+}
+
+// walkCaseClauses merges switch / type-switch arms like if branches; a
+// switch without a default has an implicit falling-through empty arm.
+func (lp *lockholdPass) walkCaseClauses(body *ast.BlockStmt, held map[string]heldLock) {
+	var arms []branchState
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			lp.walkExpr(e, held)
+		}
+		arm := branchState{held: copyHeld(held)}
+		arm.term = lp.walkStmts(cc.Body, arm.held)
+		arms = append(arms, arm)
+	}
+	if !hasDefault {
+		arms = append(arms, branchState{held: copyHeld(held)})
+	}
+	mergeBranches(held, arms)
+}
+
+// walkExpr scans an expression for calls and channel receives under the
+// current held set. Function literals are analyzed as fresh functions.
+func (lp *lockholdPass) walkExpr(e ast.Expr, held map[string]heldLock) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		lp.walkFunc(x.Body)
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			lp.walkExpr(a, held)
+		}
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			lp.walkExpr(sel.X, held)
+		}
+		lp.call(x, held)
+	case *ast.UnaryExpr:
+		lp.walkExpr(x.X, held)
+		if x.Op == token.ARROW {
+			lp.blocking(x.Pos(), "channel receive", held)
+		}
+	case *ast.BinaryExpr:
+		lp.walkExpr(x.X, held)
+		lp.walkExpr(x.Y, held)
+	case *ast.ParenExpr:
+		lp.walkExpr(x.X, held)
+	case *ast.SelectorExpr:
+		lp.walkExpr(x.X, held)
+	case *ast.StarExpr:
+		lp.walkExpr(x.X, held)
+	case *ast.TypeAssertExpr:
+		lp.walkExpr(x.X, held)
+	case *ast.IndexExpr:
+		lp.walkExpr(x.X, held)
+		lp.walkExpr(x.Index, held)
+	case *ast.IndexListExpr:
+		lp.walkExpr(x.X, held)
+		for _, i := range x.Indices {
+			lp.walkExpr(i, held)
+		}
+	case *ast.SliceExpr:
+		lp.walkExpr(x.X, held)
+		lp.walkExpr(x.Low, held)
+		lp.walkExpr(x.High, held)
+		lp.walkExpr(x.Max, held)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			lp.walkExpr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		lp.walkExpr(x.Key, held)
+		lp.walkExpr(x.Value, held)
+	}
+}
+
+// call classifies one call: lock acquisition, lock release, exempt wait,
+// or (under a held lock) a blocking operation.
+func (lp *lockholdPass) call(call *ast.CallExpr, held map[string]heldLock) {
+	fn := calleeFunc(lp.p.Info, call)
+	if fn == nil {
+		return
+	}
+	full := fn.Origin().FullName()
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	switch {
+	case lockAcquire[full]:
+		if sel == nil {
+			return
+		}
+		syn, typeKey := lp.lockKeys(sel)
+		for _, k := range sortedHeldKeys(held) {
+			lp.addEdge(held[k].typeKey, typeKey, call.Pos())
+		}
+		held[syn] = heldLock{syn: syn, typeKey: typeKey}
+		return
+	case lockRelease[full]:
+		if sel == nil {
+			return
+		}
+		syn, _ := lp.lockKeys(sel)
+		delete(held, syn)
+		return
+	case full == "(*sync.Cond).Wait":
+		// Cond.Wait atomically releases its locker while parked; waiting
+		// under the cond's own mutex is the designed pattern.
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	if desc, ok := blockingCallDesc(fn); ok {
+		lp.blocking(call.Pos(), desc, held)
+	}
+}
+
+// lockKeys derives the two identities of a lock from its Lock/Unlock
+// selector: the syntactic receiver string, and "Type.field" when the
+// receiver is a field of a named type (the graph identity).
+func (lp *lockholdPass) lockKeys(sel *ast.SelectorExpr) (syn, typeKey string) {
+	recv := ast.Unparen(sel.X)
+	syn = types.ExprString(recv)
+	typeKey = syn
+	fieldSel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return syn, typeKey
+	}
+	tv, ok := lp.p.Info.Types[fieldSel.X]
+	if !ok || tv.Type == nil {
+		return syn, typeKey
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		typeKey = named.Obj().Name() + "." + fieldSel.Sel.Name
+	}
+	return syn, typeKey
+}
+
+func sortedHeldKeys(held map[string]heldLock) []string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// blocking reports a blocking operation when at least one lock is held.
+func (lp *lockholdPass) blocking(pos token.Pos, what string, held map[string]heldLock) {
+	if len(held) == 0 {
+		return
+	}
+	names := sortedHeldKeys(held)
+	lp.out = append(lp.out, RawFinding{Pos: pos, Message: fmt.Sprintf(
+		"%s while %s is held; a blocking operation under a mutex stalls every contender — move it outside the critical section",
+		what, strings.Join(names, ", "))})
+}
+
+func (lp *lockholdPass) addEdge(from, to string, pos token.Pos) {
+	if from == to {
+		return
+	}
+	m := lp.graph[from]
+	if m == nil {
+		m = map[string]token.Pos{}
+		lp.graph[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// reportCycles runs a DFS over the acquisition-order graph and reports
+// each distinct cycle once, anchored at the back edge that closes it.
+func (lp *lockholdPass) reportCycles() {
+	nodes := make([]string, 0, len(lp.graph))
+	for n := range lp.graph {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	state := map[string]int{} // 0 unvisited, 1 on stack, 2 done
+	var stack []string
+	seen := map[string]bool{}
+	var visit func(n string)
+	visit = func(n string) {
+		state[n] = 1
+		stack = append(stack, n)
+		tos := make([]string, 0, len(lp.graph[n]))
+		for m := range lp.graph[n] {
+			tos = append(tos, m)
+		}
+		sort.Strings(tos)
+		for _, m := range tos {
+			switch state[m] {
+			case 0:
+				visit(m)
+			case 1:
+				i := 0
+				for j, s := range stack {
+					if s == m {
+						i = j
+						break
+					}
+				}
+				cyc := append(append([]string{}, stack[i:]...), m)
+				key := strings.Join(cyc, "→")
+				if !seen[key] {
+					seen[key] = true
+					lp.out = append(lp.out, RawFinding{Pos: lp.graph[n][m], Message: fmt.Sprintf(
+						"lock acquisition order cycle: %s; two goroutines taking these locks in opposite orders deadlock — pick one order and document it",
+						strings.Join(cyc, " -> "))})
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[n] = 2
+	}
+	for _, n := range nodes {
+		if state[n] == 0 {
+			visit(n)
+		}
+	}
+}

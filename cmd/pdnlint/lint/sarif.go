@@ -1,0 +1,106 @@
+package lint
+
+import "path/filepath"
+
+// SARIF 2.1.0 output: the static-analysis interchange format GitHub code
+// scanning ingests. Only the subset of the schema the findings populate is
+// modeled; the structs are exported so tests (and tooling) can round-trip
+// a report through encoding/json.
+
+// SARIFLog is the top-level report object.
+type SARIFLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one tool invocation: the driver (with its rule table) plus
+// the results it produced.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule describes one analyzer; result ruleIds refer back to these.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifSchemaURI pins the 2.1.0 schema the report claims conformance to.
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// SARIFReport renders findings as a single-run SARIF 2.1.0 log. The rule
+// table carries every analyzer in the roster (plus the engine's own
+// "pdnlint" directive-hygiene rule) whether or not it fired, so code
+// scanning can show the full contract set; Results is non-nil even when
+// empty, as the schema requires an array.
+func SARIFReport(findings []Finding, analyzers []*Analyzer) *SARIFLog {
+	rules := make([]SARIFRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, SARIFRule{ID: a.Name, ShortDescription: SARIFMessage{Text: a.Doc}})
+	}
+	rules = append(rules, SARIFRule{ID: "pdnlint", ShortDescription: SARIFMessage{
+		Text: "ignore-directive hygiene: every //pdnlint:ignore names a known analyzer and carries a reason"}})
+
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, SARIFResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: SARIFMessage{Text: f.Message},
+			Locations: []SARIFLocation{{PhysicalLocation: SARIFPhysicalLocation{
+				ArtifactLocation: SARIFArtifactLocation{URI: filepath.ToSlash(f.File)},
+				Region:           SARIFRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	return &SARIFLog{
+		Version: "2.1.0",
+		Schema:  sarifSchemaURI,
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: "pdnlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}

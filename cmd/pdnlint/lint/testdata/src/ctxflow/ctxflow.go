@@ -1,10 +1,12 @@
 // Package ctxflowfix exercises the ctxflow analyzer: no
-// context.Background outside package main, and exported ctx-taking
-// functions with loops must check the ctx inside a loop.
+// context.Background outside package main, exported ctx-taking functions
+// with loops must check the ctx inside a loop, and bare time.Sleep is
+// flagged in favour of ctx-aware waiting.
 package ctxflowfix
 
 import (
 	"context"
+	"time"
 
 	"pdnsim/internal/simerr"
 )
@@ -74,4 +76,31 @@ func quietLoop(ctx context.Context, n int) {
 // Accepted: no loops — a straight-line ctx pass-through.
 func PassThrough(ctx context.Context) error {
 	return simerr.CheckCtx(ctx, "fixture: pass through")
+}
+
+// Flagged: a bare sleep cannot observe cancellation — the retry waits out
+// its full delay even after the job is cancelled.
+func SleepyPoll(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := simerr.CheckCtx(ctx, "fixture: poll"); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond) // want "time.Sleep cannot observe cancellation"
+	}
+	return nil
+}
+
+// Accepted: timer + select is the supervise backoff pattern — the wait
+// ends at the timer or the cancellation, whichever comes first.
+func PatientPoll(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		t := time.NewTimer(time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	return nil
 }

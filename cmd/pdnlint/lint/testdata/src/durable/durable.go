@@ -1,0 +1,64 @@
+// Package durablefix exercises the durable analyzer: raw file operations
+// on recovery-critical paths are flagged, as are renames that publish
+// before an fsync; the staged checkpoint.Save discipline and plain report
+// files are accepted.
+package durablefix
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Flagged: a raw write to a journal path bypasses the envelope.
+func badJournal(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "jobs.journal"), data, 0o644) // want "raw os.WriteFile on a durable path"
+}
+
+// Flagged: the durable marker arrives through a local path variable.
+func badCkpt(dir string, data []byte) error {
+	path := filepath.Join(dir, "run.ckpt")
+	return os.WriteFile(path, data, 0o644) // want "raw os.WriteFile on a durable path"
+}
+
+// Flagged: os.Create on a manifest.
+func badManifest(dir string) (*os.File, error) {
+	return os.Create(dir + "/queue.manifest") // want "raw os.Create on a durable path"
+}
+
+// Flagged: renaming into place without making the bytes durable first.
+func badRename(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want "os.Rename without a preceding"
+}
+
+// Accepted: stage, fsync, then rename — checkpoint.Save's discipline.
+// (The rename itself is clean; only a *marked* path routed around the
+// envelope is rule 1's business.)
+func goodRename(tmp, dst string, data []byte) error {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// Accepted: plain report files are not durable paths.
+func goodReport(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "report.json"), data, 0o644)
+}
+
+// Accepted: reading a snapshot is fine; only creation/publication must go
+// through the envelope.
+func goodRead(dir string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, "run.snapshot"))
+}

@@ -1,0 +1,103 @@
+// Package goleakfix exercises the goleak analyzer. The fixture is
+// type-checked under a pdnsim/internal/serve/... import path, so the
+// strict daemon-package accounting rule is armed alongside the universal
+// exit-path rule; TestGoleakRelaxedOutsideDaemon re-runs the same source
+// under a non-daemon path and expects only the exit-path findings.
+package goleakfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Flagged twice: the goroutine loops forever with no exit path, and
+// nothing accounts for it.
+func leak(ch chan int) {
+	go func() { // want "unaccounted goroutine in a daemon package"
+		for { // want "no exit path"
+			<-ch
+		}
+	}()
+}
+
+// Flagged: terminates, but the daemon cannot observe that it did.
+func fireAndForget(counter *int) {
+	go func() { // want "unaccounted goroutine in a daemon package"
+		*counter++
+	}()
+}
+
+// Accepted: WaitGroup-accounted before launch, ctx-select exit path.
+func worker(ctx context.Context, wg *sync.WaitGroup, work chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w, ok := <-work:
+				if !ok {
+					return
+				}
+				_ = w
+			}
+		}
+	}()
+}
+
+// Accepted: bounded range loop, completion signalled by closing out.
+func fanIn(items []int) chan int {
+	out := make(chan int, len(items))
+	go func() {
+		for _, it := range items {
+			out <- it
+		}
+		close(out)
+	}()
+	return out
+}
+
+// spin exits via a done channel; runNamed resolves the named callee's
+// body through the same-package declaration index.
+func spin(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+	}
+}
+
+// Accepted: named callee with an exit path, accounted before launch.
+func runNamed(wg *sync.WaitGroup, stop chan struct{}) {
+	wg.Add(1)
+	go spin(stop)
+}
+
+// spinForever has no exit path; the finding lands on its loop when it is
+// launched as a goroutine.
+func spinForever(counter *int) {
+	for { // want "no exit path"
+		*counter++
+	}
+}
+
+func runForever(wg *sync.WaitGroup, counter *int) {
+	wg.Add(1)
+	go spinForever(counter)
+}
+
+// Accepted: an unbounded loop whose exit hides behind a break.
+func drain(wg *sync.WaitGroup, work chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := <-work; !ok {
+				break
+			}
+		}
+	}()
+}

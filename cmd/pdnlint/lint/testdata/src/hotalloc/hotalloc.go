@@ -1,0 +1,79 @@
+// Package hotallocfix exercises the hotalloc analyzer: allocation,
+// boxing, defer and map traffic inside //pdn:hot loops are flagged; the
+// same constructs in unannotated (cold) loops are not, and the accepted
+// kernel shape — index arithmetic over slices — stays silent.
+package hotallocfix
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+func done() {}
+
+// Flagged: every forbidden construct, one per line.
+func bad(xs []float64, m map[int]float64) float64 {
+	sum := 0.0
+	//pdn:hot
+	for i, x := range xs {
+		buf := make([]float64, 4) // want "heap allocation .make."
+		buf = append(buf, x)      // want "heap allocation .append."
+		_ = buf
+		fmt.Println(x)    // want "interface boxing"
+		sum += m[i]       // want "map access"
+		p := &point{x: x} // want "heap allocation"
+		_ = p
+		b := []byte("hot") // want "heap allocation .string conversion."
+		_ = b
+		defer done()                     // want "defer"
+		f := func() float64 { return x } // want "closure allocation"
+		_ = f
+	}
+	return sum
+}
+
+// Flagged: the marker on the outer loop covers the whole nest.
+func badNest(a [][]float64) float64 {
+	sum := 0.0
+	//pdn:hot
+	for i := range a {
+		for j := range a[i] {
+			sum += a[i][j]
+			_ = new(point) // want "heap allocation .new."
+		}
+	}
+	return sum
+}
+
+// axpy is the accepted kernel shape under a doc-level annotation: index
+// arithmetic on slices only.
+//
+//pdn:hot
+func axpy(c, b []float64, v float64) {
+	for j := range b {
+		c[j] += v * b[j]
+	}
+}
+
+// stride has a doc-level annotation and a closure outside any loop — the
+// FDTD row-stepper shape. The closure's own loop is hot and clean.
+//
+//pdn:hot
+func stride(rows [][]float64, v float64) {
+	row := func(r []float64) {
+		for j := range r {
+			r[j] *= v
+		}
+	}
+	for i := range rows {
+		row(rows[i])
+	}
+}
+
+// cold is unannotated: the same allocations draw no findings.
+func cold(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

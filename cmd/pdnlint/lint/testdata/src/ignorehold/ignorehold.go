@@ -1,0 +1,39 @@
+// Package ignoreholdfix checks the escape hatch against the new
+// concurrency analyzers: a documented ignore in the function's doc
+// comment waives lockhold across the whole function (the single-writer
+// WAL shape), while the identical undocumented function still reports.
+package ignoreholdfix
+
+import (
+	"os"
+	"sync"
+)
+
+type wal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// append serialises write+fsync on one descriptor; the mutex exists for
+// exactly that, so the lockhold waiver is the designed shape here.
+//
+//pdnlint:ignore lockhold single-writer WAL: the mutex serialises write+fsync on one descriptor and nothing else nests inside it
+func (w *wal) append(line []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// appendUndocumented is the same code without the waiver: both the write
+// and the fsync report.
+func (w *wal) appendUndocumented(line []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil { // want `os.File..Write while w.mu is held`
+		return err
+	}
+	return w.f.Sync() // want `os.File..Sync while w.mu is held`
+}

@@ -1,0 +1,155 @@
+// Package lockholdfix exercises the lockhold analyzer: blocking
+// operations inside sync.Mutex critical sections are flagged, the
+// designed non-blocking and hand-off patterns are accepted, and opposite
+// lock acquisition orders surface as a cycle.
+package lockholdfix
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state int
+	ch    chan int
+}
+
+// Flagged: file I/O while the deferred unlock keeps mu held to return.
+func (s *server) badWrite(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile while s.mu is held"
+}
+
+// Flagged: fsync under the lock — the shard-merge defect shape.
+func (s *server) badSync(f *os.File) error {
+	s.mu.Lock()
+	err := f.Sync() // want `os.File..Sync while s.mu is held`
+	s.mu.Unlock()
+	return err
+}
+
+// Flagged: blocking channel operations under the lock.
+func (s *server) badSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) badRecv() int {
+	s.mu.Lock()
+	v := <-s.ch // want "channel receive while s.mu is held"
+	s.mu.Unlock()
+	return v
+}
+
+func (s *server) badSelect(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without a default clause while s.mu is held"
+	case <-done:
+	case v := <-s.ch:
+		s.state = v
+	}
+}
+
+func (s *server) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+// Accepted: a select with a default clause is the non-blocking try-send.
+func (s *server) goodTrySend(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Accepted: unlock before the I/O.
+func (s *server) goodWrite(path string, data []byte) error {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Accepted: an early-return branch that unlocks does not leak a held lock
+// into the code after the if, and the main path unlocks before writing.
+func (s *server) goodBranch(path string, data []byte, skip bool) error {
+	s.mu.Lock()
+	if skip {
+		s.mu.Unlock()
+		return nil
+	}
+	s.state++
+	s.mu.Unlock()
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Flagged: only one branch unlocks, so the fall-through still holds mu.
+func (s *server) badBranch(path string, data []byte, flush bool) error {
+	s.mu.Lock()
+	if flush {
+		s.state = 0
+	} else {
+		s.state++
+	}
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile while s.mu is held"
+}
+
+// Accepted: Cond.Wait releases its locker while parked.
+type pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (p *pool) take() {
+	p.mu.Lock()
+	for p.n == 0 {
+		p.cond.Wait()
+	}
+	p.n--
+	p.mu.Unlock()
+}
+
+// Accepted: a goroutine body does not run under the spawner's lock.
+func (s *server) goodAsync(path string, data []byte, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = os.WriteFile(path, data, 0o644)
+	}()
+}
+
+// Opposite acquisition orders: ab takes a then b, ba takes b then a — the
+// classic two-goroutine deadlock, reported once at the edge that closes
+// the cycle.
+type ordered struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (l *ordered) ab() {
+	l.a.Lock()
+	l.b.Lock()
+	l.b.Unlock()
+	l.a.Unlock()
+}
+
+func (l *ordered) ba() {
+	l.b.Lock()
+	l.a.Lock() // want "lock acquisition order cycle"
+	l.a.Unlock()
+	l.b.Unlock()
+}

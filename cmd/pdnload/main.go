@@ -14,22 +14,31 @@
 // run (label, date, percentile metrics), so service latency baselines live in
 // the same files and tooling as the kernel benchmarks.
 //
+// The whole run is interruptible: SIGINT/SIGTERM cancels the load context,
+// and every wait the generator performs — the Retry-After backoff after a
+// 429 shed, the status poll interval, the HTTP requests themselves —
+// observes that cancellation, so Ctrl-C stops the run promptly instead of
+// finishing a multi-second sleep first.
+//
 // Exit codes: 2 usage, 5 I/O or transport failure, 4 when any job ends in a
 // failed state.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"pdnsim/internal/cli"
@@ -121,6 +130,9 @@ func main() {
 		fatal(cli.ExitIO, err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	client := &http.Client{Timeout: 30 * time.Second}
 	outcomes := make([]jobOutcome, 0, *n)
 	var mu sync.Mutex
@@ -138,7 +150,10 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for range next {
-				oc, err := runJob(client, *addr, body)
+				if ctx.Err() != nil {
+					return
+				}
+				oc, err := runJob(ctx, client, *addr, body)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -153,6 +168,9 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if ctx.Err() != nil {
+		fatal(cli.ExitIO, fmt.Errorf("interrupted after %d of %d jobs", len(outcomes), *n))
+	}
 	if firstErr != nil {
 		fatal(cli.ExitIO, firstErr)
 	}
@@ -180,13 +198,21 @@ func main() {
 }
 
 // runJob pushes one job through the daemon: submit (absorbing 429 shed with
-// the server's Retry-After), then poll to a terminal state.
-func runJob(client *http.Client, addr string, body []byte) (jobOutcome, error) {
+// the server's Retry-After), then poll to a terminal state. Every wait —
+// the backoff sleep, the poll interval, the requests — observes ctx, so a
+// cancelled run returns promptly instead of riding out a multi-second
+// Retry-After or polling a job that will never terminate.
+func runJob(ctx context.Context, client *http.Client, addr string, body []byte) (jobOutcome, error) {
 	var oc jobOutcome
 	start := time.Now()
 	var id string
 	for {
-		resp, err := client.Post(addr+"/jobs", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return oc, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
 		if err != nil {
 			return oc, err
 		}
@@ -197,7 +223,9 @@ func runJob(client *http.Client, addr string, body []byte) (jobOutcome, error) {
 			if ra < 1 {
 				ra = 1
 			}
-			time.Sleep(time.Duration(ra) * time.Second)
+			if err := sleepCtx(ctx, time.Duration(ra)*time.Second); err != nil {
+				return oc, err
+			}
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted {
@@ -218,7 +246,11 @@ func runJob(client *http.Client, addr string, body []byte) (jobOutcome, error) {
 	}
 
 	for {
-		resp, err := client.Get(addr + "/jobs/" + id)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/jobs/"+id, nil)
+		if err != nil {
+			return oc, err
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			return oc, err
 		}
@@ -236,7 +268,23 @@ func runJob(client *http.Client, addr string, body []byte) (jobOutcome, error) {
 			oc.latency = time.Since(start)
 			return oc, nil
 		}
-		time.Sleep(10 * time.Millisecond)
+		if err := sleepCtx(ctx, 10*time.Millisecond); err != nil {
+			return oc, err
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx is cancelled — a timer inside a select (the
+// supervise backoff pattern), never a bare time.Sleep, so interrupts are
+// observed mid-wait. Returns ctx.Err() when cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 

@@ -1,0 +1,97 @@
+package main
+
+// Regression tests for the cancellation defect pdnlint's tightened ctxflow
+// rule surfaced: runJob used bare time.Sleep for the 429 Retry-After
+// backoff and the status poll interval, so an interrupt (Ctrl-C) had to
+// ride out the full sleep — up to the server's whole Retry-After — before
+// the load generator noticed. The fixed runJob threads a context through
+// every wait; these tests cancel it mid-wait and require a prompt return.
+// On the pre-fix code both blow their 2-second deadlines (the first by
+// sleeping toward a 3600 s Retry-After).
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRunJobCancelDuringRetryAfterBackoff: the daemon sheds with a huge
+// Retry-After; cancelling the context mid-backoff must abort the submit
+// loop immediately instead of finishing the sleep.
+func TestRunJobCancelDuringRetryAfterBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := runJob(ctx, srv.Client(), srv.URL, []byte(`{}`))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the worker reach the backoff sleep
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("runJob returned nil error from a cancelled backoff")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("runJob still sleeping through Retry-After after cancellation; the backoff must observe ctx")
+	}
+}
+
+// TestRunJobCancelDuringPoll: the job never reaches a terminal state;
+// cancelling the context must break the poll loop.
+func TestRunJobCancelDuringPoll(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]string{"id": "j-000001"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"state": "running"})
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := runJob(ctx, srv.Client(), srv.URL, []byte(`{}`))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the worker enter the poll loop
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("runJob returned nil error from a cancelled poll loop")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("runJob still polling a never-terminal job after cancellation; the poll must observe ctx")
+	}
+}
+
+// TestSleepCtx pins the helper's two behaviours: a live context waits out
+// the duration, a cancelled one returns its error without waiting.
+func TestSleepCtx(t *testing.T) {
+	if err := sleepCtx(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("sleepCtx with a live context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := sleepCtx(ctx, time.Hour); err == nil {
+		t.Fatal("sleepCtx with a cancelled context returned nil")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("sleepCtx did not return promptly on a cancelled context")
+	}
+}

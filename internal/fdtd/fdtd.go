@@ -330,6 +330,7 @@ func (s *Sim) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, err
 			prevV := s.v[(i-1)*ny : i*ny]
 			act := s.active[i*ny : i*ny+ny]
 			actP := s.active[(i-1)*ny : i*ny]
+			//pdn:hot
 			for j := 0; j < ny; j++ {
 				if actP[j] && act[j] {
 					rowIx[j] = cI1*rowIx[j] - cI2*(rowV[j]-prevV[j])/s.Dx
@@ -344,6 +345,7 @@ func (s *Sim) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, err
 		rowIy := s.iy[i*(ny+1) : i*(ny+1)+ny+1]
 		rowV := s.v[i*ny : i*ny+ny]
 		act := s.active[i*ny : i*ny+ny]
+		//pdn:hot
 		for j := 1; j < ny; j++ {
 			if act[j-1] && act[j] {
 				rowIy[j] = cI1*rowIy[j] - cI2*(rowV[j]-rowV[j-1])/s.Dy
@@ -359,6 +361,7 @@ func (s *Sim) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, err
 		rowIy := s.iy[i*(ny+1) : i*(ny+1)+ny+1]
 		act := s.active[i*ny : i*ny+ny]
 		prt := isPort[i*ny : i*ny+ny]
+		//pdn:hot
 		for j := 0; j < ny; j++ {
 			if !act[j] || prt[j] {
 				continue

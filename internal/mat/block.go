@@ -8,6 +8,9 @@ package mat
 //     stays in cache (gemmKBlock rows of B per pass, gemmRowTile output rows
 //     sharing each B load), turning the memory-bound naive triple loop into
 //     a compute-bound one.
+//   - Allocation-free inner loops: the serial kernels carry the //pdn:hot
+//     annotation, and pdnlint's hotalloc analyzer rejects any allocation,
+//     interface boxing, defer, or map traffic inside their loops.
 //   - Accumulation order: every kernel applies contributions to each output
 //     element one term at a time in ascending-k order — exactly the per-
 //     element operation sequence of the historical unblocked loops — so
@@ -82,6 +85,8 @@ func gemmAcc(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, r
 
 // gemmRows is the serial blocked kernel behind gemmAcc: k-panels of B are
 // streamed once per gemmRowTile output rows, which share each B load.
+//
+//pdn:hot
 func gemmRows(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, rows, cols, kk int, neg bool) {
 	for k0 := 0; k0 < kk; k0 += gemmKBlock {
 		k1 := minInt(k0+gemmKBlock, kk)
@@ -121,6 +126,7 @@ func gemmRows(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, 
 // slower). The reslice to len(b) hoists the bounds checks out of the loop.
 // All four rows must be at least len(b) long.
 //
+//pdn:hot
 //go:noinline
 func axpy4(c0, c1, c2, c3, b []float64, v0, v1, v2, v3 float64) {
 	n := len(b)
@@ -135,6 +141,7 @@ func axpy4(c0, c1, c2, c3, b []float64, v0, v1, v2, v3 float64) {
 
 // axpy1 is the single-row remainder kernel: c[j] += v·b[j].
 //
+//pdn:hot
 //go:noinline
 func axpy1(c, b []float64, v float64) {
 	c = c[:len(b)]
@@ -147,6 +154,8 @@ func axpy1(c, b []float64, v float64) {
 // hides the add latency that serialises a single-accumulator dot product.
 // The partial sums combine pairwise in a fixed order, so the result is
 // deterministic (but differs from a plain left-to-right sum by ulps).
+//
+//pdn:hot
 func dot(row, x []float64) float64 {
 	n := len(row)
 	if len(x) < n {
@@ -172,6 +181,8 @@ func dot(row, x []float64) float64 {
 
 // cdot returns Σ row[j]·x[j] for complex slices with a 2-way unroll (complex
 // multiplies carry enough scalar work to fill the pipeline at two chains).
+//
+//pdn:hot
 func cdot(row, x []complex128) complex128 {
 	n := len(row)
 	if len(x) < n {
@@ -209,6 +220,7 @@ func cgemmAcc(c []complex128, ldc int, a []complex128, lda int, b []complex128, 
 	})
 }
 
+//pdn:hot
 func cgemmRows(c []complex128, ldc int, a []complex128, lda int, b []complex128, ldb int, rows, cols, kk int, neg bool) {
 	for k0 := 0; k0 < kk; k0 += gemmKBlock {
 		k1 := minInt(k0+gemmKBlock, kk)
@@ -243,6 +255,7 @@ func cgemmRows(c []complex128, ldc int, a []complex128, lda int, b []complex128,
 // register-pressure reason as axpy4. No zero-skip: a 0·Inf / 0·NaN term must
 // poison the result (the historical skip masked NaN propagation; see Mul).
 //
+//pdn:hot
 //go:noinline
 func caxpy2(c0, c1, b []complex128, v0, v1 complex128) {
 	n := len(b)
@@ -253,6 +266,7 @@ func caxpy2(c0, c1, b []complex128, v0, v1 complex128) {
 	}
 }
 
+//pdn:hot
 //go:noinline
 func caxpy1(c, b []complex128, v complex128) {
 	c = c[:len(b)]
@@ -264,6 +278,8 @@ func caxpy1(c, b []complex128, v complex128) {
 // syrkSubLower computes C[i][j] -= Σ_k A[i,k]·A[j,k] for the lower triangle
 // (j ≤ i) of C[0:rows, 0:rows], with A of width kk — the symmetric rank-k
 // trailing update of the blocked Cholesky — parallelised over row groups.
+//
+//pdn:hot
 func syrkSubLower(c []float64, ldc int, a []float64, lda int, rows, kk int) {
 	if rows <= 0 || kk <= 0 {
 		return

@@ -209,13 +209,26 @@ type job struct {
 	shardsOutstanding int
 
 	// Sweep point state, guarded by sweepMu — never by Server.mu: shard
-	// merges write results and snapshot files while the status API holds
-	// Server.mu, and the two must not serialise against each other.
+	// merges write results while the status API holds Server.mu, and the
+	// two must not serialise against each other.
 	// Lock order: sweepMu strictly before Server.mu, never the reverse.
 	sweepMu sync.Mutex
 	freqs   []float64
 	results []*mat.CMatrix
 	done    []bool
+
+	// Snapshot write coalescing (guarded by sweepMu; snapCond waits on
+	// it). Snapshot files are written with sweepMu RELEASED — holding a
+	// mutex across an fsync stalls every contender behind disk latency —
+	// so durability is tracked by generation instead: a merge bumps
+	// snapGen, and flushSweepSnapshot returns once snapWritten (the
+	// highest generation a completed write captured) has caught up.
+	// snapWriting admits one writer at a time; merges racing a slow write
+	// coalesce into the next write instead of queueing one fsync each.
+	snapCond    *sync.Cond
+	snapGen     int
+	snapWritten int
+	snapWriting bool
 }
 
 // stamp renders a timestamp for the status API ("" when unset).

@@ -244,6 +244,11 @@ type Server struct {
 	// when opening it failed — service degrades to non-crash-safe).
 	journal *checkpoint.Journal
 
+	// saveSweep writes a sweep snapshot (sparam.SaveSweepCheckpoint in
+	// production; tests substitute a blocking fake to prove the write runs
+	// with sweepMu released). Set once in New, immutable afterwards.
+	saveSweep func(path string, freqs []float64, z0 float64, done []bool, results []*mat.CMatrix) error
+
 	wg      sync.WaitGroup
 	started bool
 }
@@ -292,6 +297,7 @@ func New(cfg Config, hooks Hooks) *Server {
 		jobs:      make(map[string]*job),
 		accepting: true,
 		drained:   make(chan struct{}),
+		saveSweep: sparam.SaveSweepCheckpoint,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.StateDir != "" {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"pdnsim/internal/mat"
@@ -182,8 +183,8 @@ func (s *Server) solveShard(ctx context.Context, jb *job, t *shardTask) (results
 }
 
 // mergeShard folds one dispatch's results into the job — results/done under
-// sweepMu, then a snapshot write (completed points become crash-durable
-// before the shard-done record can be journaled), then statuses under s.mu.
+// sweepMu, statuses under s.mu — then flushes a snapshot so the completed
+// points become crash-durable before the shard-done record can be journaled.
 // Returns how many new points completed.
 func (s *Server) mergeShard(jb *job, t *shardTask, results []*mat.CMatrix, statuses []sparam.PointStatus) int {
 	if results == nil && statuses == nil {
@@ -195,6 +196,7 @@ func (s *Server) mergeShard(jb *job, t *shardTask, results []*mat.CMatrix, statu
 	}
 	var updates []statusUpdate
 	merged := 0
+	gen := 0
 	jb.sweepMu.Lock()
 	for k := range results {
 		i := t.lo + k
@@ -217,12 +219,9 @@ func (s *Server) mergeShard(jb *job, t *shardTask, results []*mat.CMatrix, statu
 			updates = append(updates, statusUpdate{i: i, st: st})
 		}
 	}
-	var snapPath string
-	var saveErr error
 	if merged > 0 {
-		if snapPath = s.snapshotPathFor(jb); snapPath != "" {
-			saveErr = sparam.SaveSweepCheckpoint(snapPath, jb.freqs, jb.sweep.Z0, jb.done, jb.results)
-		}
+		jb.snapGen++
+		gen = jb.snapGen
 	}
 	jb.sweepMu.Unlock()
 
@@ -230,16 +229,69 @@ func (s *Server) mergeShard(jb *job, t *shardTask, results []*mat.CMatrix, statu
 	for _, u := range updates {
 		jb.points[u.i] = u.st
 	}
-	if snapPath != "" {
-		if saveErr == nil {
-			jb.snapshotPath = snapPath
-		} else {
-			jb.diag.Warnf("serve", "sweep snapshot", 0, 0, false,
-				"shard %d snapshot write failed (results held in memory only): %v", t.idx, saveErr)
+	s.mu.Unlock()
+	if merged > 0 {
+		s.flushSweepSnapshot(jb, fmt.Sprintf("shard %d", t.idx), gen)
+	}
+	return merged
+}
+
+// flushSweepSnapshot makes sweep generation gen durable and returns. The
+// snapshot file is written with sweepMu RELEASED: holding a mutex across an
+// fsync would stall every merge and skip-list read behind disk latency
+// (pdnlint's lockhold analyzer flags exactly that shape). Durability is
+// tracked by generation instead — each write claims snapWriting, captures
+// the newest generation plus copies of done/results under the lock, writes
+// outside it, and records what it captured in snapWritten. Concurrent
+// callers racing a slow write wait on snapCond and usually find their
+// generation already covered when it finishes: N merges coalesce into far
+// fewer fsyncs under load, and each caller performs at most one write of
+// its own. A failed write is reported through diag (results stay in memory
+// only), matching the old in-lock behaviour.
+func (s *Server) flushSweepSnapshot(jb *job, what string, gen int) {
+	snapPath := s.snapshotPathFor(jb)
+	if snapPath == "" {
+		return
+	}
+	var saveErr error
+	jb.sweepMu.Lock()
+	if jb.snapCond == nil {
+		jb.snapCond = sync.NewCond(&jb.sweepMu)
+	}
+	for jb.snapWritten < gen {
+		if jb.snapWriting {
+			jb.snapCond.Wait()
+			continue
+		}
+		jb.snapWriting = true
+		g := jb.snapGen
+		freqs := jb.freqs
+		z0 := jb.sweep.Z0
+		done := append([]bool(nil), jb.done...)
+		results := append([]*mat.CMatrix(nil), jb.results...)
+		jb.sweepMu.Unlock()
+		err := s.saveSweep(snapPath, freqs, z0, done, results)
+		jb.sweepMu.Lock()
+		jb.snapWriting = false
+		if err == nil && g > jb.snapWritten {
+			jb.snapWritten = g
+		}
+		jb.snapCond.Broadcast()
+		if err != nil {
+			saveErr = err
+			break
 		}
 	}
+	jb.sweepMu.Unlock()
+
+	s.mu.Lock()
+	if saveErr == nil {
+		jb.snapshotPath = snapPath
+	} else {
+		jb.diag.Warnf("serve", "sweep snapshot", 0, 0, false,
+			"%s snapshot write failed (results held in memory only): %v", what, saveErr)
+	}
 	s.mu.Unlock()
-	return merged
 }
 
 // resolveShard retires a shard from the outstanding count, crediting it as
@@ -337,24 +389,24 @@ func (s *Server) finalizeSweep(jb *job) {
 			sw.Points = append(sw.Points, sparam.Point{Freq: jb.freqs[i], S: jb.results[i]})
 		}
 	}
-	snapSaved := false
+	gen := 0
 	if cancelled && snapPath != "" {
-		if err := sparam.SaveSweepCheckpoint(snapPath, jb.freqs, jb.sweep.Z0, jb.done, jb.results); err == nil {
-			snapSaved = true
-		}
+		jb.snapGen++
+		gen = jb.snapGen
 	}
 	jb.sweepMu.Unlock()
 
 	if cancelled {
+		if gen > 0 {
+			// The drain contract: flush a final resumable snapshot (outside
+			// sweepMu — flushSweepSnapshot sets jb.snapshotPath on success)
+			// so the interrupted sweep lands "snapshotted", not lost.
+			s.flushSweepSnapshot(jb, "final", gen)
+		}
 		cause := context.Canceled
 		if jctx != nil {
 			cause = jctx.Err()
 		}
-		s.mu.Lock()
-		if snapSaved {
-			jb.snapshotPath = snapPath
-		}
-		s.mu.Unlock()
 		s.finalize(jb, &simerr.CancelledError{Op: "serve: sweep", Err: cause})
 		return
 	}

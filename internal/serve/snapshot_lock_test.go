@@ -1,0 +1,158 @@
+package serve
+
+// Internal regression tests for the sweep-snapshot flush path. The defect
+// they pin down — found by pdnlint's lockhold analyzer — was
+// sparam.SaveSweepCheckpoint (an fsync) running while jb.sweepMu was held:
+// every concurrent merge and every solveShard skip-list copy stalled behind
+// disk latency for the duration of the write. The fix (flushSweepSnapshot)
+// runs the write with sweepMu released and coalesces concurrent merges into
+// fewer fsyncs. These tests use the Server.saveSweep seam with a blocking
+// fake writer; they deadlock into their timeouts if the write is ever moved
+// back under the lock.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdnsim/internal/diag"
+	"pdnsim/internal/mat"
+	"pdnsim/internal/sparam"
+)
+
+// snapJob builds the minimal job state mergeShard and flushSweepSnapshot
+// need: a sweep grid of nf points with no results yet.
+func snapJob(nf int) *job {
+	return &job{
+		id:      "snaplock",
+		sweep:   &SweepSpec{FMin: 1e6, FMax: 1e9, NF: nf, Z0: 50},
+		diag:    diag.New(),
+		freqs:   sparam.LinSpace(1e6, 1e9, nf),
+		results: make([]*mat.CMatrix, nf),
+		done:    make([]bool, nf),
+		points:  make([]sparam.PointStatus, nf),
+	}
+}
+
+// TestSnapshotWriteReleasesSweepMu proves the snapshot write runs with
+// sweepMu released: while the (blocked) writer is inside saveSweep, another
+// goroutine must be able to take and release the lock immediately. On the
+// pre-fix code — SaveSweepCheckpoint called between sweepMu.Lock and Unlock
+// in mergeShard — the lock stays held for the whole write and this test
+// fails its 2-second deadline.
+func TestSnapshotWriteReleasesSweepMu(t *testing.T) {
+	s := New(Config{StateDir: t.TempDir()}, Hooks{})
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	s.saveSweep = func(path string, freqs []float64, z0 float64, done []bool, results []*mat.CMatrix) error {
+		close(enter)
+		<-release
+		return nil
+	}
+
+	jb := snapJob(2)
+	merged := make(chan struct{})
+	go func() {
+		defer close(merged)
+		s.mergeShard(jb, &shardTask{jb: jb, idx: 0, lo: 0, hi: 1},
+			[]*mat.CMatrix{mat.CEye(1)}, nil)
+	}()
+
+	<-enter // the snapshot write is in flight
+	acquired := make(chan struct{})
+	go func() {
+		jb.sweepMu.Lock()
+		jb.sweepMu.Unlock() // probe: prove the lock is free mid-write
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sweepMu still held while the snapshot write is in flight; the fsync must run with the lock released")
+	}
+
+	close(release)
+	select {
+	case <-merged:
+	case <-time.After(2 * time.Second):
+		t.Fatal("mergeShard did not return after the snapshot write completed")
+	}
+	if jb.snapshotPath == "" {
+		t.Fatal("snapshotPath not recorded after a successful flush")
+	}
+	jb.sweepMu.Lock()
+	if jb.snapWritten < 1 || jb.snapWriting {
+		t.Fatalf("flush bookkeeping wrong: snapWritten=%d snapWriting=%v", jb.snapWritten, jb.snapWriting)
+	}
+	jb.sweepMu.Unlock()
+}
+
+// TestSnapshotFlushCoalesces proves merges racing a slow write coalesce:
+// three merges land while the first write is blocked, and a single catch-up
+// write — capturing the newest generation — covers all of them. Four
+// generations, exactly two fsyncs.
+func TestSnapshotFlushCoalesces(t *testing.T) {
+	s := New(Config{StateDir: t.TempDir()}, Hooks{})
+	var calls atomic.Int32
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	s.saveSweep = func(path string, freqs []float64, z0 float64, done []bool, results []*mat.CMatrix) error {
+		if calls.Add(1) == 1 {
+			close(enter)
+			<-release
+		}
+		return nil
+	}
+
+	jb := snapJob(4)
+	first := make(chan struct{})
+	go func() {
+		defer close(first)
+		s.mergeShard(jb, &shardTask{jb: jb, idx: 0, lo: 0, hi: 1},
+			[]*mat.CMatrix{mat.CEye(1)}, nil)
+	}()
+	<-enter // write for generation 1 is blocked inside saveSweep
+
+	rest := make(chan struct{}, 3)
+	for i := 1; i < 4; i++ {
+		go func(i int) {
+			s.mergeShard(jb, &shardTask{jb: jb, idx: i, lo: i, hi: i + 1},
+				[]*mat.CMatrix{mat.CEye(1)}, nil)
+			rest <- struct{}{}
+		}(i)
+	}
+	// Wait until all three merges have bumped the generation (they then
+	// block in flushSweepSnapshot behind the in-flight write).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		jb.sweepMu.Lock()
+		gen := jb.snapGen
+		jb.sweepMu.Unlock()
+		if gen == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merges did not reach generation 4 (got %d); are they blocked on sweepMu?", gen)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-rest:
+		case <-time.After(2 * time.Second):
+			t.Fatal("a coalesced merge never returned after the blocked write released")
+		}
+	}
+	<-first
+
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("4 generations flushed with %d writes; want exactly 2 (one blocked, one catch-up)", got)
+	}
+	jb.sweepMu.Lock()
+	defer jb.sweepMu.Unlock()
+	if jb.snapWritten != 4 {
+		t.Fatalf("snapWritten = %d after all merges returned, want 4", jb.snapWritten)
+	}
+}
