@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-smoke check vet race lint pdnlint lint-sarif smoke smoke-serve
+.PHONY: build test bench bench-smoke check vet race lint pdnlint lint-sarif smoke smoke-serve chaos
 
 build:
 	$(GO) build ./...
@@ -56,9 +56,20 @@ smoke:
 
 # smoke-serve SIGTERMs the pdnserve daemon mid-sweep and verifies the drain
 # contract: exit 0, the interrupted job lands "snapshotted", and a restarted
-# daemon resumes its snapshot to completion.
+# daemon resumes its snapshot to completion. A degraded-durability leg
+# injects bounded journal faults via -fault-schedule and verifies the daemon
+# serves honestly (durable:false, readyz "degraded") and re-arms on its own.
 smoke-serve:
 	./scripts/smoke-serve.sh
+
+# chaos runs the storage-fault suites under the race detector: seeded fault
+# schedules injected under the checkpoint filesystem seam (internal/fault),
+# the crash-safety ordering tests (internal/checkpoint), and the daemon's
+# durability state machine + recovery chaos (internal/serve). Short mode
+# skips the subprocess kill-9 legs — CI runs those via smoke-serve; the
+# seeded schedules replay deterministically either way.
+chaos:
+	$(GO) test -race -short ./internal/fault/ ./internal/checkpoint/ ./internal/serve/
 
 # check is the full hygiene gate: static analysis and formatting plus the
 # whole test suite under the race detector (the BEM assembly and S-parameter

@@ -83,6 +83,10 @@ func TestDurable(t *testing.T) {
 	RunFixture(t, Durable, "durable", "pdnsim/internal/durablefix")
 }
 
+func TestDurableSeamRenames(t *testing.T) {
+	RunFixture(t, Durable, "durablefs", "pdnsim/internal/durablefsfix")
+}
+
 func TestDurableExemptsCheckpointPackage(t *testing.T) {
 	// The envelope implementation is the one place raw durable I/O
 	// belongs; under its import path the same fixture is silent. A fresh

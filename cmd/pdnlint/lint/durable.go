@@ -27,9 +27,20 @@ import (
 //     yet: after a crash the new name can point at empty or truncated
 //     data, which is exactly the torn-write class the envelope's
 //     stage → fsync → rename discipline exists to prevent.
+//
+//  3. A rename through the checkpoint filesystem seam ((checkpoint.FS)
+//     .Rename) without a positionally following SyncDir in the same
+//     function leaves the *rename itself* undurable: the file's bytes may
+//     be fsynced, but the directory entry pointing the new name at them is
+//     not, and a crash can roll the publication back. Rule 3 applies
+//     everywhere — including inside internal/checkpoint, which is exempt
+//     from rules 1–2 because it is the envelope but must still close its
+//     own directory barriers. Functions themselves named Rename are exempt:
+//     they are delegating seam implementations (fault injection, spies),
+//     not publications.
 var Durable = &Analyzer{
 	Name: "durable",
-	Doc:  "checkpoint/journal/manifest files must go through internal/checkpoint; no rename without a preceding fsync in the same function",
+	Doc:  "checkpoint/journal/manifest files must go through internal/checkpoint; no rename without a preceding fsync, no seam rename without a following dir sync",
 	Run:  runDurable,
 }
 
@@ -47,9 +58,10 @@ var rawFileCalls = map[string]bool{
 }
 
 func runDurable(p *Package) []RawFinding {
-	if p.Path == "pdnsim/internal/checkpoint" {
-		return nil // the envelope implementation is the one place raw durable I/O belongs
-	}
+	// The envelope implementation is the one place raw durable I/O belongs,
+	// so rules 1–2 skip it; rule 3 polices the seam's own dir barriers
+	// there too.
+	envelope := p.Path == "pdnsim/internal/checkpoint"
 	var out []RawFinding
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
@@ -57,7 +69,58 @@ func runDurable(p *Package) []RawFinding {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			out = append(out, checkDurableFunc(p, fd)...)
+			if !envelope {
+				out = append(out, checkDurableFunc(p, fd)...)
+			}
+			out = append(out, checkSeamRenames(p, fd)...)
+		}
+	}
+	return out
+}
+
+// Rule 3's anchors: the filesystem seam's rename, and the two spellings of
+// a directory barrier that make it durable.
+const (
+	fsRenameFull   = "(pdnsim/internal/checkpoint.FS).Rename"
+	fsSyncDirFull  = "(pdnsim/internal/checkpoint.FS).SyncDir"
+	pkgSyncDirFull = "pdnsim/internal/checkpoint.SyncDir"
+)
+
+// checkSeamRenames enforces rule 3: every (checkpoint.FS).Rename must be
+// positionally followed by a SyncDir call in the same function.
+func checkSeamRenames(p *Package, fd *ast.FuncDecl) []RawFinding {
+	if fd.Name.Name == "Rename" {
+		return nil // delegating seam implementations, not publications
+	}
+	var renames, syncDirs []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch fn.FullName() {
+		case fsRenameFull:
+			renames = append(renames, call)
+		case fsSyncDirFull, pkgSyncDirFull:
+			syncDirs = append(syncDirs, call)
+		}
+		return true
+	})
+	var out []RawFinding
+	for _, r := range renames {
+		followed := false
+		for _, s := range syncDirs {
+			if s.Pos() > r.Pos() {
+				followed = true
+				break
+			}
+		}
+		if !followed {
+			out = append(out, RawFinding{Pos: r.Pos(), Message: "checkpoint FS.Rename without a following SyncDir in the same function: the bytes may be fsynced but the rename is not — sync the parent directory to make the publication survive a crash"})
 		}
 	}
 	return out

@@ -1,0 +1,53 @@
+// Package durablefsfix exercises the durable analyzer's rule 3: a rename
+// through the checkpoint filesystem seam must be followed by a SyncDir in
+// the same function, or a crash can roll the publication back. This fixture
+// lives apart from the main durable fixture because it imports the real
+// internal/checkpoint package (for the FS seam types), which the
+// checkpoint-exemption test could not load under the checkpoint import path
+// without an import cycle.
+package durablefsfix
+
+import (
+	"path/filepath"
+
+	"pdnsim/internal/checkpoint"
+)
+
+// Flagged: the rename publishes, but nothing makes the directory entry
+// durable.
+func badSeamRename(fsys checkpoint.FS, tmp, dst string) error {
+	return fsys.Rename(tmp, dst) // want "FS.Rename without a following SyncDir"
+}
+
+// Flagged: a dir sync *before* the rename covers the staging, not the
+// publication.
+func badSyncBeforeRename(fsys checkpoint.FS, tmp, dst string) error {
+	if err := fsys.SyncDir(filepath.Dir(dst)); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, dst) // want "FS.Rename without a following SyncDir"
+}
+
+// Accepted: rename, then fsync the parent directory through the seam.
+func goodSeamRename(fsys checkpoint.FS, tmp, dst string) error {
+	if err := fsys.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(dst))
+}
+
+// Accepted: the package-level SyncDir helper is the same barrier.
+func goodHelperSync(fsys checkpoint.FS, tmp, dst string) error {
+	if err := fsys.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return checkpoint.SyncDir(filepath.Dir(dst))
+}
+
+// Accepted: a delegating wrapper named Rename implements the seam; the
+// publication discipline is its caller's burden.
+type wrapFS struct{ inner checkpoint.FS }
+
+func (w wrapFS) Rename(oldpath, newpath string) error {
+	return w.inner.Rename(oldpath, newpath)
+}

@@ -10,7 +10,9 @@
 // terminal state; the measured latency is submit-to-terminal, the number a
 // client actually experiences. Shed submissions (429) honour the daemon's
 // Retry-After and are retried — they count in the shed metric, not as
-// failures. The summary is written as a cmd/benchjson-compatible trajectory
+// failures. Terminal statuses carrying durable:false (the daemon in degraded
+// durability) are counted in the non_durable_jobs metric — a load run against
+// a sick disk should say so. The summary is written as a cmd/benchjson-compatible trajectory
 // run (label, date, percentile metrics), so service latency baselines live in
 // the same files and tooling as the kernel benchmarks.
 //
@@ -86,9 +88,10 @@ type File struct {
 
 // jobOutcome is one completed job as the load generator saw it.
 type jobOutcome struct {
-	latency time.Duration
-	state   string
-	shed    int // 429s absorbed before this submission was accepted
+	latency    time.Duration
+	state      string
+	shed       int  // 429s absorbed before this submission was accepted
+	nonDurable bool // terminal status carried durable:false (degraded daemon)
 }
 
 func main() {
@@ -256,6 +259,9 @@ func runJob(ctx context.Context, client *http.Client, addr string, body []byte) 
 		}
 		var st struct {
 			State string `json:"state"`
+			// Pointer: a daemon predating the durability API omits the
+			// field, which must not count as a non-durable response.
+			Durable *bool `json:"durable"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&st)
 		resp.Body.Close()
@@ -265,6 +271,7 @@ func runJob(ctx context.Context, client *http.Client, addr string, body []byte) 
 		switch st.State {
 		case "done", "partial", "failed", "cancelled", "snapshotted", "flushed":
 			oc.state = st.State
+			oc.nonDurable = st.Durable != nil && !*st.Durable
 			oc.latency = time.Since(start)
 			return oc, nil
 		}
@@ -297,12 +304,15 @@ func drain(resp *http.Response) {
 // metrics.
 func summarize(label, benchName string, outcomes []jobOutcome, wall time.Duration) Run {
 	lats := make([]float64, 0, len(outcomes))
-	shed, abnormal := 0, 0
+	shed, abnormal, nonDurable := 0, 0, 0
 	for _, oc := range outcomes {
 		lats = append(lats, float64(oc.latency))
 		shed += oc.shed
 		if oc.state != "done" {
 			abnormal++
+		}
+		if oc.nonDurable {
+			nonDurable++
 		}
 	}
 	sort.Float64s(lats)
@@ -324,6 +334,7 @@ func summarize(label, benchName string, outcomes []jobOutcome, wall time.Duratio
 			"throughput_jobs_per_s": float64(len(lats)) / wall.Seconds(),
 			"shed_429":              float64(shed),
 			"abnormal_jobs":         float64(abnormal),
+			"non_durable_jobs":      float64(nonDurable),
 		},
 	}
 	return Run{

@@ -7,7 +7,8 @@
 //
 //	pdnserve [-addr :8844] [-workers 2] [-queue 16] [-state-dir /var/lib/pdnsim] \
 //	         [-deadline 2m] [-max-deadline 10m] [-drain-grace 30s] \
-//	         [-shard-points 8] [-shard-lease 30s] [-shard-attempts 3] [-no-recover]
+//	         [-shard-points 8] [-shard-lease 30s] [-shard-attempts 3] [-no-recover] \
+//	         [-rearm-probe 2s] [-fault-schedule "seed=7;journal.append:eio{times=3}"]
 //
 // API (see internal/serve):
 //
@@ -32,6 +33,14 @@
 // manifest, automatically resubmitting every accepted-but-unfinished job
 // under its original id — each resumes from its last completed shard. Use
 // -no-recover to start cold and leave the state files in place.
+//
+// Degraded durability: when state-dir writes keep failing after bounded
+// retries, the daemon does not crash or shed jobs — it keeps executing them
+// and marks their statuses durable:false with a last_error, readyz reports
+// "degraded", and a background probe (period -rearm-probe) re-arms full
+// durability once storage answers again. -fault-schedule injects seeded
+// storage faults under the checkpoint filesystem for chaos testing; never
+// set it in production.
 package main
 
 import (
@@ -46,7 +55,9 @@ import (
 	"syscall"
 	"time"
 
+	"pdnsim/internal/checkpoint"
 	"pdnsim/internal/cli"
+	"pdnsim/internal/fault"
 	"pdnsim/internal/serve"
 )
 
@@ -64,11 +75,26 @@ func main() {
 	shardLease := flag.Duration("shard-lease", 0, fmt.Sprintf("per-shard lease: a dispatch exceeding it is cancelled and requeued (0 = %v)", serve.DefaultShardLease))
 	shardAttempts := flag.Int("shard-attempts", 0, fmt.Sprintf("dispatches per shard before quarantine (0 = %d)", serve.DefaultShardAttempts))
 	noRecover := flag.Bool("no-recover", false, "skip replaying the job journal and queue manifest on startup")
+	rearmProbe := flag.Duration("rearm-probe", 0, fmt.Sprintf("how often degraded durability probes storage to re-arm (0 = %v)", serve.DefaultRearmProbe))
+	faultSchedule := flag.String("fault-schedule", "", "TESTING ONLY: seeded storage-fault schedule injected under the checkpoint filesystem, e.g. \"seed=7;journal.append:eio{times=3}\"")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: pdnserve [flags]")
 		flag.PrintDefaults()
 		os.Exit(cli.ExitUsage)
+	}
+
+	if *faultSchedule != "" {
+		sched, err := fault.ParseSchedule(*faultSchedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdnserve: -fault-schedule: %v\n", err)
+			os.Exit(cli.ExitUsage)
+		}
+		// Installed for the process lifetime; the daemon's storage now lies
+		// on purpose. Loud by design — this must never survive into a
+		// production deployment unnoticed.
+		checkpoint.SetFS(fault.WrapFS(checkpoint.OS(), fault.NewInjector(sched)))
+		fmt.Fprintf(os.Stderr, "pdnserve: WARNING: storage-fault injection active (%s)\n", *faultSchedule)
 	}
 
 	srv := serve.New(serve.Config{
@@ -82,6 +108,10 @@ func main() {
 		ShardPoints:     *shardPoints,
 		ShardLease:      *shardLease,
 		ShardAttempts:   *shardAttempts,
+		RearmProbe:      *rearmProbe,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "pdnserve: "+format+"\n", args...)
+		},
 	}, serve.Hooks{})
 
 	// Jobs live under their own lifetime context, not the signal context: a

@@ -28,7 +28,7 @@ import (
 	"hash/crc32"
 	"io/fs"
 	"math"
-	"os"
+	"path/filepath"
 
 	"pdnsim/internal/simerr"
 )
@@ -122,9 +122,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Save atomically writes payload as a snapshot of the given kind: the
 // payload is JSON-encoded, checksummed, framed in the versioned envelope,
-// staged at path+".tmp", synced, and renamed over path. Filesystem failures
-// surface with their *fs.PathError cause preserved (%w) so the CLI layer
-// maps them to its I/O exit code.
+// staged at path+".tmp", synced, renamed over path, and sealed with a parent
+// directory fsync — the rename lives in the directory, and without syncing
+// it a crash can lose the just-published file entirely even though its bytes
+// were durable. Filesystem failures surface with their *fs.PathError cause
+// preserved (%w) so the CLI layer maps them to its I/O exit code.
 func Save(path, kind string, payload any) error {
 	if path == "" {
 		return simerr.BadInput("checkpoint: save", "empty snapshot path")
@@ -144,29 +146,36 @@ func Save(path, kind string, payload any) error {
 	if err != nil {
 		return &simerr.BadInputError{Op: "checkpoint: save", Detail: "envelope not serialisable", Err: err}
 	}
+	fsys := filesystem()
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, osWriteFlags, 0o644)
 	if err != nil {
 		return fmt.Errorf("checkpoint: save: %w", err)
 	}
 	if _, err := f.Write(blob); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: save: %w", err)
 	}
 	// Sync before rename: the rename must never become visible ahead of the
 	// data it points at, or a crash window could expose a torn snapshot.
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: save: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: save: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		// The file content is durable but its directory entry may not be: a
+		// crash here could resurface the old snapshot. Callers treating Save
+		// as a durability barrier must see the failure.
 		return fmt.Errorf("checkpoint: save: %w", err)
 	}
 	return nil
@@ -179,7 +188,7 @@ func Save(path, kind string, payload any) error {
 // or silently continue from garbage. Filesystem failures (missing file,
 // permissions) keep their *fs.PathError cause.
 func Load(path, kind string, payload any) error {
-	blob, err := os.ReadFile(path)
+	blob, err := filesystem().ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("checkpoint: load: %w", err)
 	}

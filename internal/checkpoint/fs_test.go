@@ -1,0 +1,290 @@
+package checkpoint
+
+import (
+	"errors"
+	iofs "io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// spyFS records every operation (with the file's base name) in order while
+// delegating to the real filesystem, and can fail chosen operations.
+type spyFS struct {
+	inner FS
+
+	mu  sync.Mutex
+	ops []string
+	// fail maps an op label ("sync jobs.journal.tmp") to the error its next
+	// occurrence returns instead of delegating.
+	fail map[string]error
+}
+
+func newSpyFS() *spyFS { return &spyFS{inner: OS(), fail: make(map[string]error)} }
+
+func (s *spyFS) record(op, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	label := op + " " + filepath.Base(name)
+	s.ops = append(s.ops, label)
+	if err, ok := s.fail[label]; ok {
+		delete(s.fail, label)
+		return err
+	}
+	return nil
+}
+
+func (s *spyFS) failNext(label string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fail[label] = err
+}
+
+func (s *spyFS) log() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.ops...)
+}
+
+func (s *spyFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	if err := s.record("open", name); err != nil {
+		return nil, err
+	}
+	f, err := s.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &spyFile{inner: f, fs: s, name: name}, nil
+}
+
+func (s *spyFS) Open(name string) (File, error) {
+	if err := s.record("openr", name); err != nil {
+		return nil, err
+	}
+	return s.inner.Open(name)
+}
+
+func (s *spyFS) ReadFile(name string) ([]byte, error) {
+	if err := s.record("read", name); err != nil {
+		return nil, err
+	}
+	return s.inner.ReadFile(name)
+}
+
+func (s *spyFS) Rename(oldpath, newpath string) error {
+	if err := s.record("rename", newpath); err != nil {
+		return err
+	}
+	return s.inner.Rename(oldpath, newpath)
+}
+
+func (s *spyFS) Remove(name string) error {
+	if err := s.record("remove", name); err != nil {
+		return err
+	}
+	return s.inner.Remove(name)
+}
+
+func (s *spyFS) Stat(name string) (iofs.FileInfo, error) { return s.inner.Stat(name) }
+
+func (s *spyFS) SyncDir(dir string) error {
+	if err := s.record("dirsync", dir); err != nil {
+		return err
+	}
+	return s.inner.SyncDir(dir)
+}
+
+type spyFile struct {
+	inner File
+	fs    *spyFS
+	name  string
+}
+
+func (f *spyFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *spyFile) Write(p []byte) (int, error) {
+	if err := f.fs.record("write", f.name); err != nil {
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *spyFile) Sync() error {
+	if err := f.fs.record("sync", f.name); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *spyFile) Truncate(size int64) error {
+	if err := f.fs.record("truncate", f.name); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *spyFile) Close() error { return f.inner.Close() }
+
+// assertSubsequence checks that want appears in got, in order (other ops may
+// interleave).
+func assertSubsequence(t *testing.T, got, want []string) {
+	t.Helper()
+	i := 0
+	for _, op := range got {
+		if i < len(want) && op == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("operation log missing ordered subsequence.\n got: %s\nwant: %s",
+			strings.Join(got, ", "), strings.Join(want, ", "))
+	}
+}
+
+func TestSaveOrdersWriteSyncRenameDirsync(t *testing.T) {
+	dir := t.TempDir()
+	spy := newSpyFS()
+	defer SetFS(spy)()
+	path := filepath.Join(dir, "board.ckpt")
+	if err := Save(path, "k", map[string]int{"n": 1}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// The crash-safety discipline, in order: stage the temp file, fsync its
+	// bytes, publish by rename, then fsync the parent directory so the
+	// rename itself survives a crash.
+	assertSubsequence(t, spy.log(), []string{
+		"write board.ckpt.tmp",
+		"sync board.ckpt.tmp",
+		"rename board.ckpt",
+		"dirsync " + filepath.Base(dir),
+	})
+}
+
+func TestSaveDirSyncFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	spy := newSpyFS()
+	defer SetFS(spy)()
+	boom := errors.New("dirsync refused")
+	spy.failNext("dirsync "+filepath.Base(dir), boom)
+	err := Save(filepath.Join(dir, "b.ckpt"), "k", map[string]int{"n": 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Save with failing dir sync = %v, want the dirsync error", err)
+	}
+}
+
+func TestSaveFailureLeavesOldSnapshotIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.ckpt")
+	if err := Save(path, "k", map[string]int{"n": 1}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	spy := newSpyFS()
+	defer SetFS(spy)()
+	spy.failNext("sync b.ckpt.tmp", errors.New("fsync lost power"))
+	if err := Save(path, "k", map[string]int{"n": 2}); err == nil {
+		t.Fatalf("Save with failing fsync succeeded, want error")
+	}
+	var out map[string]int
+	if err := Load(path, "k", &out); err != nil || out["n"] != 1 {
+		t.Fatalf("old snapshot = %v, %v; want n=1 untouched", out, err)
+	}
+}
+
+func TestJournalRewriteOrdersWriteSyncRenameDirsync(t *testing.T) {
+	dir := t.TempDir()
+	spy := newSpyFS()
+	defer SetFS(spy)()
+	j, err := OpenJournal(filepath.Join(dir, "jobs.journal"))
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer j.Close()
+	if err := j.Append("k", map[string]int{"n": 1}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Rewrite(nil); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	assertSubsequence(t, spy.log(), []string{
+		"write jobs.journal.tmp",
+		"sync jobs.journal.tmp",
+		"rename jobs.journal",
+		"dirsync " + filepath.Base(dir),
+	})
+}
+
+func TestJournalAppendHealsFailedAppend(t *testing.T) {
+	dir := t.TempDir()
+	spy := newSpyFS()
+	defer SetFS(spy)()
+	path := filepath.Join(dir, "jobs.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer j.Close()
+	if err := j.Append("k", map[string]int{"n": 1}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Fail the next append's fsync: the written line must be truncated away
+	// so the journal stays replayable past a later successful append.
+	spy.failNext("sync jobs.journal", errors.New("fsync eio"))
+	if err := j.Append("k", map[string]int{"n": 2}); err == nil {
+		t.Fatalf("Append with failing fsync succeeded, want error")
+	}
+	assertSubsequence(t, spy.log(), []string{
+		"sync jobs.journal",     // the failed barrier...
+		"truncate jobs.journal", // ...healed by truncating back to the last durable offset
+	})
+	if err := j.Append("k", map[string]int{"n": 3}); err != nil {
+		t.Fatalf("Append after heal: %v", err)
+	}
+	recs, truncated, err := ReplayJournal(path)
+	if err != nil || truncated {
+		t.Fatalf("ReplayJournal: truncated=%v err=%v", truncated, err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (the failed append fully healed away)", len(recs))
+	}
+}
+
+func TestJournalUnhealedTailFailsFastUntilRewrite(t *testing.T) {
+	dir := t.TempDir()
+	spy := newSpyFS()
+	defer SetFS(spy)()
+	path := filepath.Join(dir, "jobs.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer j.Close()
+	// Fail the append's write AND the healing truncate: the tail stays
+	// dirty and the journal must refuse further appends.
+	spy.failNext("write jobs.journal", errors.New("write eio"))
+	spy.failNext("truncate jobs.journal", errors.New("truncate eio"))
+	if err := j.Append("k", map[string]int{"n": 1}); err == nil {
+		t.Fatalf("Append with failing write succeeded, want error")
+	}
+	if err := j.Append("k", map[string]int{"n": 2}); !errors.Is(err, ErrTailUnhealed) {
+		t.Fatalf("Append on dirty tail = %v, want ErrTailUnhealed", err)
+	}
+	if err := j.Rewrite(nil); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if err := j.Append("k", map[string]int{"n": 3}); err != nil {
+		t.Fatalf("Append after Rewrite cleared the tail: %v", err)
+	}
+}
+
+func TestSetFSRestores(t *testing.T) {
+	spy := newSpyFS()
+	restore := SetFS(spy)
+	if filesystem() != FS(spy) {
+		t.Fatalf("filesystem() did not return the injected FS")
+	}
+	restore()
+	if _, ok := filesystem().(osFS); !ok {
+		t.Fatalf("restore did not reinstate the process filesystem")
+	}
+}

@@ -4,13 +4,21 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
+	"path/filepath"
 	"sync"
 
 	"pdnsim/internal/simerr"
 )
+
+// ErrTailUnhealed classifies an Append refused because an earlier failed
+// append left a partial line that could not be truncated away. Callers that
+// can run a Rewrite (which rebuilds the file and clears the condition) match
+// it with errors.Is to decide that a rewrite — not another append — is the
+// way forward.
+var ErrTailUnhealed = errors.New("checkpoint: journal tail unhealed")
 
 // A Journal is an append-only write-ahead log built from the same framed
 // envelope as snapshots: one JSON envelope per line, each carrying a Kind,
@@ -22,13 +30,29 @@ import (
 // replay at the last good record, because records after a damaged one may
 // depend on state the damaged one carried.
 //
+// A *failed* append (ENOSPC, EIO, a failed fsync) may leave a partial line
+// at the tail; left in place it would swallow every later record at replay
+// (the torn line and its successor parse as one corrupt line). Append
+// therefore self-heals by truncating the file back to the last
+// known-durable offset before reporting the failure. If the truncate itself
+// fails the journal marks its tail unhealed and fails every further Append
+// fast — only Rewrite, which rebuilds the whole file, clears the condition.
+//
 // The journal grows without bound under pure appends; Rewrite compacts it by
 // atomically replacing the file with a caller-chosen record set (the
-// still-live records), using the same stage+sync+rename discipline as Save.
+// still-live records), using the same stage+sync+rename+dir-sync discipline
+// as Save.
 type Journal struct {
 	mu   sync.Mutex
 	path string
-	f    *os.File
+	f    File
+	// good is the byte offset of the last record whose write+fsync both
+	// succeeded; the truncation target of the torn-tail self-heal.
+	good int64
+	// tailErr, when non-nil, records a failed append whose partial line
+	// could not be truncated away: the tail is unhealed, appends would land
+	// after garbage, and only a Rewrite restores consistency.
+	tailErr error
 }
 
 // JournalRecord is one replayed (or to-be-compacted) journal record: the
@@ -48,16 +72,27 @@ func OpenJournal(path string) (*Journal, error) {
 	if path == "" {
 		return nil, simerr.BadInput("checkpoint: journal", "empty journal path")
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	fsys := filesystem()
+	f, err := fsys.OpenFile(path, osAppendFlags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: journal open: %w", err)
 	}
-	return &Journal{path: path, f: f}, nil
+	// The existing size is the last durable offset: every byte present was
+	// either fsynced by a previous incarnation or survived its crash (a torn
+	// crash tail is tolerated by replay, unlike a torn *failed-append* tail
+	// which Append heals as it happens).
+	var size int64
+	if fi, err := fsys.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	return &Journal{path: path, f: f, good: size}, nil
 }
 
 // Append frames payload in a checksummed envelope of the given kind and
 // appends it as one line, syncing before returning: when Append returns nil
-// the record survives a crash. Safe for concurrent use.
+// the record survives a crash. On failure the partial line is truncated away
+// (see the type comment) so a later successful Append stays replayable. Safe
+// for concurrent use.
 //
 //pdnlint:ignore lockhold single-writer WAL: the mutex exists to serialise write+fsync on one descriptor; every contender is another appender that must wait for this record's durability anyway, and nothing else nests inside it
 func (j *Journal) Append(kind string, payload any) error {
@@ -70,20 +105,36 @@ func (j *Journal) Append(kind string, payload any) error {
 	if j.f == nil {
 		return simerr.BadInput("checkpoint: journal append", "journal is closed")
 	}
+	if j.tailErr != nil {
+		return fmt.Errorf("checkpoint: journal append: %w (rewrite required): %v", ErrTailUnhealed, j.tailErr)
+	}
 	if _, err := j.f.Write(line); err != nil {
+		j.healTailLocked(err)
 		return fmt.Errorf("checkpoint: journal append: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
+		j.healTailLocked(err)
 		return fmt.Errorf("checkpoint: journal append: %w", err)
 	}
+	j.good += int64(len(line))
 	return nil
 }
 
+// healTailLocked truncates a failed append's partial line back to the last
+// durable offset, or marks the tail unhealed when even that fails. Caller
+// holds j.mu and reports cause to its own caller.
+func (j *Journal) healTailLocked(cause error) {
+	if terr := j.f.Truncate(j.good); terr != nil {
+		j.tailErr = fmt.Errorf("checkpoint: journal tail heal: truncate to %d failed: %w (after append failure: %v)", j.good, terr, cause)
+	}
+}
+
 // Rewrite atomically replaces the journal's contents with recs (stage, sync,
-// rename — a crash mid-rewrite leaves the old journal intact) and reopens
-// the handle for appending. This is the compaction step: the caller replays,
-// decides which records are still live, and rewrites the journal down to
-// them.
+// rename, parent-dir sync — a crash mid-rewrite leaves the old journal
+// intact) and reopens the handle for appending. This is the compaction step:
+// the caller replays, decides which records are still live, and rewrites the
+// journal down to them. It also clears an unhealed-tail condition — the torn
+// bytes are gone with the old file.
 //
 //pdnlint:ignore lockhold single-writer WAL: compaction must exclude appenders for the whole stage+sync+rename swap or a record could land on the unlinked old inode; the mutex guards exactly that window
 func (j *Journal) Rewrite(recs []JournalRecord) error {
@@ -100,31 +151,57 @@ func (j *Journal) Rewrite(recs []JournalRecord) error {
 	if j.f == nil {
 		return simerr.BadInput("checkpoint: journal rewrite", "journal is closed")
 	}
+	fsys := filesystem()
 	tmp := j.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, osWriteFlags, 0o644)
 	if err != nil {
 		return fmt.Errorf("checkpoint: journal rewrite: %w", err)
 	}
 	if _, err := f.Write(buf.Bytes()); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: journal rewrite: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: journal rewrite: %w", err)
 	}
-	if err := os.Rename(tmp, j.path); err != nil {
+	if err := fsys.Rename(tmp, j.path); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: journal rewrite: %w", err)
 	}
-	// Keep appending to the renamed file, not the unlinked old inode.
-	old := j.f
-	j.f = f
-	old.Close()
+	if err := fsys.SyncDir(filepath.Dir(j.path)); err != nil {
+		// The rename happened but may not be durable; keep appending to the
+		// new file (it is the live one) and surface the failure so the
+		// caller treats the rewrite as not-yet-durable.
+		j.swapHandleLocked(fsys, f, int64(buf.Len()))
+		return fmt.Errorf("checkpoint: journal rewrite: %w", err)
+	}
+	j.swapHandleLocked(fsys, f, int64(buf.Len()))
 	return nil
+}
+
+// swapHandleLocked retires the pre-rewrite handle and continues appending to
+// the freshly published file. It prefers a handle re-opened at the journal's
+// own path over the staging handle: the staging handle was opened under the
+// .tmp name, and path-classifying interposers (the fault-injection layer)
+// would keep attributing every later append to the rewrite. The staging
+// handle is the fallback when the re-open fails — it is the same inode as
+// the published file, so appends still land in the live journal. Caller
+// holds j.mu.
+func (j *Journal) swapHandleLocked(fsys FS, staged File, size int64) {
+	old := j.f
+	if nf, err := fsys.OpenFile(j.path, osAppendFlags, 0o644); err == nil {
+		staged.Close()
+		j.f = nf
+	} else {
+		j.f = staged
+	}
+	j.good = size
+	j.tailErr = nil
+	old.Close()
 }
 
 // Close syncs and closes the journal. Further Appends fail.
@@ -178,7 +255,7 @@ func encodeJournalLine(kind string, payload any) ([]byte, error) {
 // surfaces with its *fs.PathError cause preserved — callers distinguish "no
 // journal yet" (errors.Is(err, fs.ErrNotExist)) from real I/O failures.
 func ReplayJournal(path string) (recs []JournalRecord, truncated bool, err error) {
-	f, err := os.Open(path)
+	f, err := filesystem().Open(path)
 	if err != nil {
 		return nil, false, fmt.Errorf("checkpoint: journal replay: %w", err)
 	}

@@ -67,6 +67,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "stats": st})
 		return
 	}
+	// Degraded durability is still 200 — the daemon accepts and executes
+	// jobs — but the status tells load balancers and operators that
+	// durable:true cannot currently be promised.
+	if st.Durability == string(DurabilityDegraded) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "degraded", "stats": st})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "stats": st})
 }
 

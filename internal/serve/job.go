@@ -159,6 +159,16 @@ type JobStatus struct {
 	ShardsTotal int `json:"shards_total,omitempty"`
 	ShardsDone  int `json:"shards_done,omitempty"`
 	Quarantined int `json:"quarantined,omitempty"`
+
+	// Durable reports whether the job's crash-recovery records are durably
+	// on disk (write-ahead accept record journaled, snapshots and manifest
+	// writes succeeding). Always false without a state directory. Never
+	// omitted: clients must be able to distinguish an explicit false from
+	// an old server that does not report durability.
+	Durable bool `json:"durable"`
+	// LastError is the most recent storage failure that touched this job
+	// (journal append, sweep snapshot, queue manifest); empty when none.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // job is the server-side record. Fields are guarded by Server.mu after
@@ -199,6 +209,13 @@ type job struct {
 	points       []sparam.PointStatus
 	snapshotPath string
 	diag         *diag.Diagnostics
+
+	// durable and lastErr back JobStatus.Durable/LastError (Server.mu):
+	// durable flips true when the accept record is durably journaled, and
+	// false again on any storage failure touching this job; lastErr keeps
+	// the most recent cause.
+	durable bool
+	lastErr string
 
 	// Shard bookkeeping (Server.mu). outstanding counts shards not yet
 	// resolved — done, cancelled, or quarantined; the worker that resolves

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -84,24 +85,40 @@ type jobFinishRec struct {
 	Class string `json:"class,omitempty"`
 }
 
-// journalAppend writes one record to the job journal, if one is open. A
-// failed append degrades crash-recovery coverage for this job, never
-// service: the error is counted and attached to the job's diagnostics. Call
-// without holding s.mu — the append fsyncs.
-func (s *Server) journalAppend(jb *job, kind string, payload any) {
+// journalAppend writes one record to the job journal under the storage
+// retry policy (Config.StoragePolicy), returning true when the record is
+// durably on disk. Degraded durability skips the append outright — the
+// storage is known sick and the re-arm probe owns recovery — and an append
+// that exhausts its retries degrades durability. In both cases the job is
+// marked durable:false with the cause, and service continues: a failed
+// append costs crash-recovery coverage, never the job. Call without holding
+// s.mu — the append fsyncs and the retries sleep.
+func (s *Server) journalAppend(jb *job, kind string, payload any) bool {
 	s.mu.Lock()
 	j := s.journal
+	degraded := s.durState == DurabilityDegraded
 	s.mu.Unlock()
-	if j == nil {
-		return
-	}
-	if err := j.Append(kind, payload); err != nil {
+	if degraded {
 		s.mu.Lock()
-		s.stats.JournalErrors++
-		jb.diag.Warnf("serve", "job journal", 0, 0, false,
-			"journal append (%s) failed; crash recovery may not cover this transition: %v", kind, err)
+		s.markNonDurableLocked(jb, fmt.Sprintf("degraded durability: %s record not journaled", kind))
 		s.mu.Unlock()
+		return false
 	}
+	if j == nil {
+		return false
+	}
+	err := s.storageRetry(func() error { return j.Append(kind, payload) })
+	if err == nil {
+		return true
+	}
+	s.mu.Lock()
+	s.stats.JournalErrors++
+	s.markNonDurableLocked(jb, fmt.Sprintf("journal append (%s) failed: %v", kind, err))
+	jb.diag.Warnf("serve", "job journal", 0, 0, false,
+		"journal append (%s) failed; crash recovery may not cover this transition: %v", kind, err)
+	s.mu.Unlock()
+	s.degradeOn("journal append ("+kind+")", err)
+	return false
 }
 
 // RecoverReport summarises a Recover pass.
@@ -254,6 +271,8 @@ func (s *Server) Recover() (RecoverReport, error) {
 	}
 	j := s.journal
 	s.mu.Unlock()
+	rewriteOK := false
+	var rewriteErr error
 	if j != nil {
 		var keep []checkpoint.JournalRecord
 		for _, p := range live {
@@ -261,10 +280,14 @@ func (s *Server) Recover() (RecoverReport, error) {
 				keep = append(keep, checkpoint.JournalRecord{Kind: journalKindAccept, Payload: b})
 			}
 		}
-		if rerr := j.Rewrite(keep); rerr != nil {
+		rewriteErr = s.storageRetry(func() error { return j.Rewrite(keep) })
+		if rewriteErr != nil {
 			s.mu.Lock()
 			s.stats.JournalErrors++
 			s.mu.Unlock()
+			s.degradeOn("journal rewrite (recover)", rewriteErr)
+		} else {
+			rewriteOK = true
 		}
 	}
 
@@ -280,6 +303,13 @@ func (s *Server) Recover() (RecoverReport, error) {
 			submitted:   p.submitted,
 			state:       StateQueued,
 			diag:        diag.New(),
+			// The compacted journal's accept record is the recovered job's
+			// durability: if the rewrite failed, the job still runs but may
+			// not survive another crash.
+			durable: rewriteOK,
+		}
+		if !rewriteOK && j != nil {
+			jb.lastErr = fmt.Sprintf("journal rewrite failed during recovery: %v", rewriteErr)
 		}
 		s.mu.Lock()
 		admitted := false

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pdnsim/internal/checkpoint"
+	"pdnsim/internal/fault"
 	"pdnsim/internal/mat"
 	"pdnsim/internal/serve"
 	"pdnsim/internal/simerr"
@@ -33,6 +34,11 @@ var noWaitPolicy = supervise.Policy{Backoff: -1}
 // daemon process it can SIGKILL.
 const helperDaemonEnv = "PDNSIM_SERVE_HELPER_DIR"
 
+// helperFaultsEnv optionally carries a fault schedule spec the helper
+// daemon installs on its checkpoint filesystem before starting — so kill-9
+// tests can crash a daemon whose storage was already misbehaving.
+const helperFaultsEnv = "PDNSIM_SERVE_HELPER_FAULTS"
+
 // TestHelperServeDaemon is not a test: it is the subprocess body of the
 // kill-9 chaos test. It starts a daemon over the given state directory,
 // submits one slow sweep job, and waits to be killed.
@@ -40,6 +46,14 @@ func TestHelperServeDaemon(t *testing.T) {
 	dir := os.Getenv(helperDaemonEnv)
 	if dir == "" {
 		t.Skip("helper process body; driven by TestKill9RecoveryResumesBitwiseIdentical")
+	}
+	if spec := os.Getenv(helperFaultsEnv); spec != "" {
+		sched, err := fault.ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("helper fault schedule %q: %v", spec, err)
+		}
+		// No restore: the helper dies by SIGKILL, never by cleanup.
+		checkpoint.SetFS(fault.WrapFS(checkpoint.OS(), fault.NewInjector(sched)))
 	}
 	s := serve.New(serve.Config{Workers: 2, StateDir: dir, CheckpointEvery: 2},
 		serve.Hooks{Sweep: slowSweep(50 * time.Millisecond)})

@@ -161,6 +161,20 @@ type Config struct {
 	// ShardAttempts bounds dispatches of one shard before it is quarantined
 	// as a poison shard. Zero selects DefaultShardAttempts.
 	ShardAttempts int
+	// StoragePolicy bounds the retries of one recovery-critical storage
+	// write (journal append, sweep snapshot, drain manifest, cache entry)
+	// before the daemon degrades durability. Only MaxAttempts and Backoff
+	// are honoured — RetryOn is fixed to the storage-failure class and
+	// perturbation does not apply. Zeros select DefaultStorageAttempts and
+	// DefaultStorageBackoff; a negative Backoff retries without waiting
+	// (tests).
+	StoragePolicy supervise.Policy
+	// RearmProbe is the degraded-durability probe cadence. Zero selects
+	// DefaultRearmProbe.
+	RearmProbe time.Duration
+	// Logf, when set, receives durability transition logs (degrade, re-arm).
+	// cmd/pdnserve routes it to stderr; nil is silent.
+	Logf func(format string, args ...any)
 }
 
 // Hooks are the solver entry points the worker calls, injectable so the
@@ -201,8 +215,18 @@ type Stats struct {
 	// (service continues; crash-recovery coverage degrades).
 	Recovered     int64 `json:"recovered"`
 	JournalErrors int64 `json:"journal_errors"`
-	Queued        int   `json:"queued"`
-	Running       int   `json:"running"`
+	// Durability is the current durability posture (armed | degraded |
+	// disabled); DegradeEvents and RearmEvents count its transitions;
+	// StorageRetries counts storage-write retries under StoragePolicy;
+	// NonDurable counts jobs that reached a terminal state with
+	// durable:false.
+	Durability     string `json:"durability"`
+	DegradeEvents  int64  `json:"degrade_events"`
+	RearmEvents    int64  `json:"rearm_events"`
+	StorageRetries int64  `json:"storage_retries"`
+	NonDurable     int64  `json:"non_durable"`
+	Queued         int    `json:"queued"`
+	Running        int    `json:"running"`
 }
 
 // DrainReport summarises a completed drain.
@@ -241,8 +265,20 @@ type Server struct {
 	queueClosed bool
 
 	// journal is the write-ahead job journal (nil without a StateDir, or
-	// when opening it failed — service degrades to non-crash-safe).
+	// when opening it failed — the re-arm probe keeps trying to open one).
 	journal *checkpoint.Journal
+
+	// Durability state machine (see durability.go). runCtx is the pool
+	// context Start received — the cancellation parent of storage retries
+	// and the probe. probeStop ends the probe goroutine at drain;
+	// probeStopped guards its single close.
+	runCtx       context.Context
+	durState     DurabilityState
+	durLastErr   string
+	probeStop    chan struct{}
+	probeStopped bool
+	// storagePol is the normalised StoragePolicy (set once in New).
+	storagePol supervise.Policy
 
 	// saveSweep writes a sweep snapshot (sparam.SaveSweepCheckpoint in
 	// production; tests substitute a blocking fake to prove the write runs
@@ -290,14 +326,29 @@ func New(cfg Config, hooks Hooks) *Server {
 	if cfg.ShardAttempts <= 0 {
 		cfg.ShardAttempts = DefaultShardAttempts
 	}
+	if cfg.RearmProbe <= 0 {
+		cfg.RearmProbe = DefaultRearmProbe
+	}
+	pol := cfg.StoragePolicy
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = DefaultStorageAttempts
+	}
+	if pol.Backoff == 0 {
+		pol.Backoff = DefaultStorageBackoff
+	}
+	pol.PerturbRel = -1 // perturbation is a solver concept, not a storage one
+	pol.RetryOn = storageFailure
 	s := &Server{
-		cfg:       cfg,
-		hooks:     hooks,
-		queue:     make(chan *job, cfg.QueueCap),
-		jobs:      make(map[string]*job),
-		accepting: true,
-		drained:   make(chan struct{}),
-		saveSweep: sparam.SaveSweepCheckpoint,
+		cfg:        cfg,
+		hooks:      hooks,
+		queue:      make(chan *job, cfg.QueueCap),
+		jobs:       make(map[string]*job),
+		accepting:  true,
+		drained:    make(chan struct{}),
+		saveSweep:  sparam.SaveSweepCheckpoint,
+		durState:   DurabilityDisabled,
+		probeStop:  make(chan struct{}),
+		storagePol: pol,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.StateDir != "" {
@@ -316,18 +367,31 @@ func (s *Server) Start(ctx context.Context) {
 		return
 	}
 	s.started = true
+	s.runCtx = ctx
 	workers := s.cfg.Workers
 	s.mu.Unlock()
 	if s.cfg.StateDir != "" {
 		// Best-effort: persistence degrades to in-memory service if the
 		// directory cannot be created; the daemon must come up regardless.
 		_ = os.MkdirAll(s.cfg.StateDir, 0o755)
-		if j, err := checkpoint.OpenJournal(filepath.Join(s.cfg.StateDir, journalFile)); err == nil {
-			s.mu.Lock()
+		j, err := checkpoint.OpenJournal(filepath.Join(s.cfg.StateDir, journalFile))
+		s.mu.Lock()
+		if err == nil {
 			s.journal = j
-			s.mu.Unlock()
+			s.durState = DurabilityArmed
+		} else if s.durState == DurabilityDisabled {
+			// An unopenable journal degrades durability, never service; the
+			// probe goroutine keeps retrying the open.
+			s.durState = DurabilityDegraded
+			s.durLastErr = fmt.Sprintf("journal open: %v", err)
+			s.stats.DegradeEvents++
 		}
-		// An unopenable journal degrades crash recovery, never service.
+		s.mu.Unlock()
+		if err != nil {
+			s.logf("durability degraded (journal open): %v — jobs run with durable:false; re-arm probe every %v", err, s.cfg.RearmProbe)
+		}
+		s.wg.Add(1)
+		go s.rearmProbe()
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -401,12 +465,22 @@ func (s *Server) Submit(ctx context.Context, req *JobRequest) (string, error) {
 	// Write-ahead accept record, before the 202 reaches the client: a crash
 	// from here on replays the job. (A worker may complete the job before
 	// this lands — the replay treats a finish record as terminal regardless
-	// of record order, so the race is harmless.)
-	s.journalAppend(jb, journalKindAccept, jobAcceptRec{
+	// of record order, so the race is harmless.) Only a durably journaled
+	// accept record lets the job claim durable:true.
+	if s.journalAppend(jb, journalKindAccept, jobAcceptRec{
 		ID: jb.id, Board: jb.rawBoard, Sweep: jb.sweep,
 		DeadlineMS: jb.deadline.Milliseconds(), Fingerprint: jb.fingerprint,
 		Accepted: stamp(jb.submitted),
-	})
+	}) {
+		s.mu.Lock()
+		// A later storage failure may already have stripped the claim (a
+		// fast worker can finish the job before this lands); never
+		// resurrect it over a recorded error.
+		if jb.lastErr == "" {
+			jb.durable = true
+		}
+		s.mu.Unlock()
+	}
 	return jb.id, nil
 }
 
@@ -433,6 +507,7 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
+	st.Durability = string(s.durState)
 	st.Queued = len(s.queue)
 	st.Running = s.running
 	return st
@@ -510,6 +585,8 @@ func (s *Server) statusLocked(jb *job) JobStatus {
 		Ports:           jb.ports,
 		CTotal:          jb.ctotal,
 		SnapshotPath:    jb.snapshotPath,
+		Durable:         jb.durable,
+		LastError:       jb.lastErr,
 	}
 	if jb.err != nil {
 		st.ErrorClass = cli.ErrClass(jb.err)
@@ -714,6 +791,13 @@ func (s *Server) finalize(jb *job, err error) {
 	}
 	s.journalAppend(jb, journalKindFinish, jobFinishRec{
 		ID: jb.id, State: string(state), Class: cli.ErrClass(err)})
+	// The job's durability claim is final only after the finish record's
+	// fate is known (a failed finish append strips it above).
+	s.mu.Lock()
+	if s.durState != DurabilityDisabled && !jb.durable {
+		s.stats.NonDurable++
+	}
+	s.mu.Unlock()
 }
 
 // extract runs the cache-aware extraction half of a job and stores the
@@ -748,12 +832,20 @@ func (s *Server) extract(ctx context.Context, jb *job) error {
 			return err
 		}
 		nw = res.Network
-		if perr := s.cache.put(fp, nw); perr != nil {
+		if s.degraded() {
+			// Degraded durability skips cache writes: serve from memory
+			// rather than hammer a sick volume per extraction.
+			s.mu.Lock()
+			jb.diag.Warnf("serve", "operator cache", 0, 0, false,
+				"degraded durability: cache write skipped (serving uncached)")
+			s.mu.Unlock()
+		} else if perr := s.storageRetry(func() error { return s.cache.put(fp, nw) }); perr != nil {
 			// A cache write failure degrades future latency, not this job.
 			s.mu.Lock()
 			jb.diag.Warnf("serve", "operator cache", 0, 0, false,
 				"cache write failed (serving uncached): %v", perr)
 			s.mu.Unlock()
+			s.degradeOn("operator cache write", perr)
 		}
 	}
 
@@ -787,6 +879,10 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 	}
 	s.draining = true
 	s.accepting = false
+	if !s.probeStopped {
+		s.probeStopped = true
+		close(s.probeStop)
+	}
 	s.mu.Unlock()
 
 	flushed := s.flushQueued()
@@ -878,13 +974,27 @@ func (s *Server) writeManifest(flushed []*job) {
 			ID: jb.id, Board: jb.rawBoard, Sweep: jb.sweep, DeadlineMS: jb.deadline.Milliseconds()})
 	}
 	path := filepath.Join(s.cfg.StateDir, "queue.manifest")
-	if err := checkpoint.Save(path, manifestKind, &m); err != nil {
-		s.mu.Lock()
-		for _, jb := range flushed {
+	// The manifest is the last chance to persist these jobs, so it is
+	// attempted (with retries) even while durability is degraded.
+	err := s.storageRetry(func() error { return checkpoint.Save(path, manifestKind, &m) })
+	s.mu.Lock()
+	for _, jb := range flushed {
+		if err != nil {
 			jb.diag.Warnf("serve", "queue manifest", 0, 0, false,
 				"drain could not persist the queued job: %v", err)
+			s.markNonDurableLocked(jb, fmt.Sprintf("queue manifest write failed: %v", err))
+			s.stats.NonDurable++
+			continue
 		}
-		s.mu.Unlock()
+		// The manifest alone re-admits a flushed job on restart, so a
+		// durable manifest makes the job durable even if its accept record
+		// never reached the journal.
+		jb.durable = true
+		jb.lastErr = ""
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.degradeOn("queue manifest write", err)
 	}
 }
 

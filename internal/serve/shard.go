@@ -270,7 +270,7 @@ func (s *Server) flushSweepSnapshot(jb *job, what string, gen int) {
 		done := append([]bool(nil), jb.done...)
 		results := append([]*mat.CMatrix(nil), jb.results...)
 		jb.sweepMu.Unlock()
-		err := s.saveSweep(snapPath, freqs, z0, done, results)
+		err := s.storageRetry(func() error { return s.saveSweep(snapPath, freqs, z0, done, results) })
 		jb.sweepMu.Lock()
 		jb.snapWriting = false
 		if err == nil && g > jb.snapWritten {
@@ -290,8 +290,12 @@ func (s *Server) flushSweepSnapshot(jb *job, what string, gen int) {
 	} else {
 		jb.diag.Warnf("serve", "sweep snapshot", 0, 0, false,
 			"%s snapshot write failed (results held in memory only): %v", what, saveErr)
+		s.markNonDurableLocked(jb, fmt.Sprintf("sweep snapshot write failed: %v", saveErr))
 	}
 	s.mu.Unlock()
+	if saveErr != nil {
+		s.degradeOn("sweep snapshot write", saveErr)
+	}
 }
 
 // resolveShard retires a shard from the outstanding count, crediting it as

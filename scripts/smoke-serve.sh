@@ -15,6 +15,12 @@
 # Startup recovery must resubmit the job under its original id with no
 # operator action, and its touchstone must be byte-identical to an
 # uninterrupted run of the same sweep.
+#
+# A third leg covers degraded durability: a daemon started with a bounded
+# -fault-schedule (journal appends fail N times) must keep serving — the job
+# completes with "durable":false and readyz says "degraded" — and once the
+# schedule exhausts, the background probe must re-arm durability on its own:
+# readyz returns to "ready" and the next job is "durable":true.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -177,8 +183,60 @@ cmp -s "$tmp/ref.s2p" "$tmp/rec.s2p" || {
   echo "smoke-serve: crash-recovered touchstone differs from the uninterrupted run"; exit 1; }
 echo "smoke-serve: crash recovery verified bitwise against the uninterrupted run"
 
+echo "smoke-serve: graceful drain before the degraded-durability leg"
+kill -TERM "$pid"
+wait "$pid" || { echo "smoke-serve: drain before degraded leg failed"; exit 1; }
+pid=""
+
+echo "smoke-serve: degraded-durability leg (bounded journal faults injected)"
+state2="$tmp/state2"
+# 9 failures at the default 3 storage attempts: the first job's accept
+# append exhausts its retries and degrades the daemon; the 500ms re-arm
+# probe burns through the rest (at most 3 per tick), so full durability is
+# back within a few seconds — but not before a small job finishes. The job
+# must reach its terminal state while still degraded: a re-arm restores
+# durability only on jobs that are still live (their accepts are re-journaled
+# by the compacting rewrite), so a terminal durable:false is sticky.
+dboard='{"name":"degraded leg","shape":{"type":"rect","w_mm":50,"h_mm":40},
+"plane_sep_mm":0.4,"eps_r":4.5,"sheet_res_ohm_sq":0.0006,
+"mesh_nx":8,"mesh_ny":8,
+"ports":[{"name":"U1","x_mm":40,"y_mm":30},{"name":"VRM","x_mm":5,"y_mm":5}]}'
+"$tmp/pdnserve" -addr "$addr" -state-dir "$state2" -workers 1 \
+  -rearm-probe 500ms -fault-schedule "seed=5;journal.append:eio{times=9}" \
+  2>> "$tmp/serve-degraded.err" &
+pid=$!
+for _ in $(seq 1 100); do
+  if curl -sf "$base/healthz" > /dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+grep -q "storage-fault injection active" "$tmp/serve-degraded.err" || {
+  echo "smoke-serve: fault injection did not announce itself"; cat "$tmp/serve-degraded.err"; exit 1; }
+
+did=$(submit "{\"board\":$dboard,\"deadline_ms\":600000}")
+wait_state "$did" done 1200
+curl -sf "$base/jobs/$did" | grep -q '"durable":false' || {
+  echo "smoke-serve: job under journal faults not marked durable:false"
+  curl -sf "$base/jobs/$did"; exit 1; }
+curl -sf "$base/readyz" | grep -q '"status":"degraded"' || {
+  echo "smoke-serve: readyz does not report degraded"; curl -sf "$base/readyz"; exit 1; }
+
+echo "smoke-serve: waiting for the probe to re-arm durability"
+rearmed=0
+for _ in $(seq 1 100); do
+  if curl -sf "$base/readyz" | grep -q '"status":"ready"'; then rearmed=1; break; fi
+  sleep 0.1
+done
+[ "$rearmed" = 1 ] || {
+  echo "smoke-serve: durability never re-armed after the schedule exhausted"
+  curl -sf "$base/readyz"; cat "$tmp/serve-degraded.err"; exit 1; }
+did2=$(submit "{\"board\":$dboard,\"deadline_ms\":600000}")
+wait_state "$did2" done 1200
+curl -sf "$base/jobs/$did2" | grep -q '"durable":true' || {
+  echo "smoke-serve: post-re-arm job not durable:true"; curl -sf "$base/jobs/$did2"; exit 1; }
+echo "smoke-serve: degraded mode served honestly and re-armed on its own"
+
 echo "smoke-serve: final graceful drain"
 kill -TERM "$pid"
 wait "$pid" || { echo "smoke-serve: final drain failed"; exit 1; }
 pid=""
-echo "smoke-serve: drained mid-sweep with exit 0; snapshot resumed to done with restored points"
+echo "smoke-serve: drained mid-sweep with exit 0; snapshot resumed to done with restored points; degraded durability re-armed"
