@@ -29,10 +29,18 @@ import (
 //     stage → fsync → rename discipline exists to prevent.
 //
 //  3. A rename through the checkpoint filesystem seam ((checkpoint.FS)
-//     .Rename) without a positionally following SyncDir in the same
-//     function leaves the *rename itself* undurable: the file's bytes may
-//     be fsynced, but the directory entry pointing the new name at them is
-//     not, and a crash can roll the publication back. Rule 3 applies
+//     .Rename) without a positionally following SyncDir *of the
+//     destination's parent directory* in the same function leaves the
+//     *rename itself* undurable: the file's bytes may be fsynced, but the
+//     directory entry pointing the new name at them is not, and a crash
+//     can roll the publication back. The SyncDir argument must be tied to
+//     the rename's destination — filepath.Dir(dst), or a directory
+//     expression the destination is built from, each chased one hop
+//     through local initializers — so a SyncDir of an unrelated directory
+//     cannot silence the rule. The check remains control-flow-insensitive:
+//     a matching SyncDir anywhere after the rename satisfies it, even on a
+//     branch the rename's path never reaches — position and argument
+//     identity are a heuristic, not a dominator analysis. Rule 3 applies
 //     everywhere — including inside internal/checkpoint, which is exempt
 //     from rules 1–2 because it is the envelope but must still close its
 //     own directory barriers. Functions themselves named Rename are exempt:
@@ -87,7 +95,8 @@ const (
 )
 
 // checkSeamRenames enforces rule 3: every (checkpoint.FS).Rename must be
-// positionally followed by a SyncDir call in the same function.
+// positionally followed by a SyncDir call, in the same function, whose
+// directory argument is tied to the rename's destination.
 func checkSeamRenames(p *Package, fd *ast.FuncDecl) []RawFinding {
 	if fd.Name.Name == "Rename" {
 		return nil // delegating seam implementations, not publications
@@ -110,26 +119,100 @@ func checkSeamRenames(p *Package, fd *ast.FuncDecl) []RawFinding {
 		}
 		return true
 	})
+	if len(renames) == 0 {
+		return nil
+	}
+	inits := collectInits(p, fd)
 	var out []RawFinding
 	for _, r := range renames {
 		followed := false
 		for _, s := range syncDirs {
-			if s.Pos() > r.Pos() {
+			if s.Pos() > r.Pos() && syncDirCoversRename(p, inits, s, r) {
 				followed = true
 				break
 			}
 		}
 		if !followed {
-			out = append(out, RawFinding{Pos: r.Pos(), Message: "checkpoint FS.Rename without a following SyncDir in the same function: the bytes may be fsynced but the rename is not — sync the parent directory to make the publication survive a crash"})
+			out = append(out, RawFinding{Pos: r.Pos(), Message: "checkpoint FS.Rename without a following SyncDir of the destination's parent directory in the same function: the bytes may be fsynced but the rename is not — sync the renamed file's parent directory to make the publication survive a crash"})
 		}
 	}
 	return out
 }
 
-func checkDurableFunc(p *Package, fd *ast.FuncDecl) []RawFinding {
-	// Single-assignment map from local variables to their initializer
-	// expressions, so a marker constant reaches the os call through
-	// `path := filepath.Join(dir, "x.journal")`.
+// syncDirCoversRename reports whether the SyncDir call sd plausibly makes
+// the rename r's publication durable: its directory argument resolves to
+// the destination's parent. Two shapes are recognised, each chased one hop
+// through local initializers — filepath.Dir(X) where X is (or appears in)
+// the rename's destination expression, and a bare directory expression the
+// destination is built from (filepath.Join(dir, name) synced via
+// SyncDir(dir)). An argument matching neither shape does not count: a
+// SyncDir of some unrelated directory must not silence the rule.
+func syncDirCoversRename(p *Package, inits map[types.Object][]ast.Expr, sd, r *ast.CallExpr) bool {
+	if len(r.Args) < 2 || len(sd.Args) < 1 {
+		return true // malformed call; the type checker owns this
+	}
+	dest := r.Args[1]
+	for _, dir := range expandExpr(p.Info, inits, sd.Args[0]) {
+		if call, ok := dir.(*ast.CallExpr); ok {
+			if fn := calleeFunc(p.Info, call); fn != nil && fn.FullName() == "path/filepath.Dir" && len(call.Args) == 1 {
+				for _, x := range expandExpr(p.Info, inits, call.Args[0]) {
+					if exprMentions(p.Info, inits, dest, x) {
+						return true
+					}
+				}
+				continue
+			}
+		}
+		if exprMentions(p.Info, inits, dest, dir) {
+			return true
+		}
+	}
+	return false
+}
+
+// expandExpr returns e plus, when e is a local identifier, the initializer
+// expressions it was assigned from — one hop, enough for the
+// `dir := filepath.Dir(path)` spelling without risking cycles.
+func expandExpr(info *types.Info, inits map[types.Object][]ast.Expr, e ast.Expr) []ast.Expr {
+	out := []ast.Expr{e}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			out = append(out, inits[obj]...)
+		}
+	}
+	return out
+}
+
+// exprMentions reports whether the destination expression — or, one hop
+// deep, an initializer it was assigned from — contains a subexpression
+// textually identical to target. Textual identity (types.ExprString on
+// both sides) compares j.path with j.path and dir with dir without needing
+// resolvable objects for selector chains.
+func exprMentions(info *types.Info, inits map[types.Object][]ast.Expr, dest, target ast.Expr) bool {
+	want := types.ExprString(target)
+	for _, d := range expandExpr(info, inits, dest) {
+		found := false
+		ast.Inspect(d, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok && types.ExprString(e) == want {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// collectInits builds the map from local variables to their initializer
+// expressions within fd, so a marker constant or directory expression can
+// be chased through `path := filepath.Join(dir, "x.journal")`.
+func collectInits(p *Package, fd *ast.FuncDecl) map[types.Object][]ast.Expr {
 	inits := map[types.Object][]ast.Expr{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch s := n.(type) {
@@ -156,6 +239,11 @@ func checkDurableFunc(p *Package, fd *ast.FuncDecl) []RawFinding {
 		}
 		return true
 	})
+	return inits
+}
+
+func checkDurableFunc(p *Package, fd *ast.FuncDecl) []RawFinding {
+	inits := collectInits(p, fd)
 
 	var out []RawFinding
 	var syncs, renames []*ast.CallExpr

@@ -44,6 +44,36 @@ func goodHelperSync(fsys checkpoint.FS, tmp, dst string) error {
 	return checkpoint.SyncDir(filepath.Dir(dst))
 }
 
+// Flagged: the following SyncDir targets an *unrelated* directory — it
+// cannot make this rename's publication durable, so it must not silence
+// the rule.
+func badUnrelatedSyncDir(fsys checkpoint.FS, tmp, dst, other string) error {
+	if err := fsys.Rename(tmp, dst); err != nil { // want "FS.Rename without a following SyncDir"
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(other))
+}
+
+// Accepted: the destination is built from dir, and dir itself is what gets
+// synced — the filepath.Join spelling of the same barrier.
+func goodJoinedDest(fsys checkpoint.FS, dir string) error {
+	dst := filepath.Join(dir, "segments.bin")
+	if err := fsys.Rename(dst+".tmp", dst); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// Accepted: the destination's parent reaches SyncDir through a local
+// variable (one initializer hop).
+func goodDirViaLocal(fsys checkpoint.FS, tmp, dst string) error {
+	if err := fsys.Rename(tmp, dst); err != nil {
+		return err
+	}
+	dir := filepath.Dir(dst)
+	return fsys.SyncDir(dir)
+}
+
 // Accepted: a delegating wrapper named Rename implements the seam; the
 // publication discipline is its caller's burden.
 type wrapFS struct{ inner checkpoint.FS }

@@ -136,7 +136,14 @@ func (f *faultFile) Write(p []byte) (int, error) {
 	d := f.fs.decide(f.path, "write")
 	switch {
 	case d.Torn:
-		n, _ := f.inner.Write(p[:len(p)/2])
+		n, werr := f.inner.Write(p[:len(p)/2])
+		if werr != nil {
+			// The real write failed: nothing (or less than the torn half)
+			// reached the file, so reporting the torn contract would assert
+			// bytes that do not exist. Surface the genuine error instead and
+			// leave the handle unpoisoned.
+			return n, werr
+		}
 		f.truncPoison.Store(&d.Err)
 		return n, d.Err
 	case d.Err != nil:

@@ -181,14 +181,20 @@ func (s *Server) rearmProbe() {
 //     per live (non-terminal) job, in acceptance order. This erases torn
 //     bytes, probe records, and the staleness accumulated while appends
 //     were skipped. Only after the rewrite lands is durability claimed.
-//  3. Restore live jobs' durable flag and re-flush any sweep snapshot
-//     generation that failed or was skipped while degraded, so
-//     durable:true is true in substance when it reappears.
+//  3. Restore the durable flag for exactly the jobs whose accept records
+//     the rewrite captured, and re-flush any sweep snapshot generation
+//     that failed or was skipped while degraded, so durable:true is true
+//     in substance when it reappears. A job admitted between the live-set
+//     capture and the rewrite landing skipped its degraded-mode append and
+//     is absent from the new WAL — it is caught up with its own append
+//     after the flip, and claims durability only once that append lands.
 //
 // A job that finalises between the live-set capture and the rewrite keeps an
 // accept record without a finish; a crash then replays a finished job, which
 // re-executes deterministically under its original id — wasteful, never
-// wrong.
+// wrong. (Replay treats a finished id as settled regardless of record
+// order, so a catch-up accept landing after the job's finish record is
+// equally harmless.)
 func (s *Server) tryRearm() {
 	s.mu.Lock()
 	if s.durState != DurabilityDegraded || s.draining {
@@ -224,14 +230,29 @@ func (s *Server) tryRearm() {
 	}
 
 	s.mu.Lock()
-	keep := s.liveAcceptRecordsLocked()
+	keep, captured := s.liveAcceptRecordsLocked()
 	s.mu.Unlock()
 	if err := j.Rewrite(keep); err != nil {
 		s.noteProbeFailure(err)
 		return
 	}
 
+	// The rewrite proved the write path, but it vouches only for the jobs it
+	// captured: one submitted while the rewrite's fsyncs were in flight had
+	// its degraded-mode append skipped and is in neither the old nor the new
+	// WAL. Restoring durable:true for it would be exactly the silent
+	// non-durability this state machine exists to prevent — such jobs are
+	// collected for a catch-up append below and keep durable:false until it
+	// lands.
+	type catchup struct {
+		jb  *job
+		rec jobAcceptRec
+		// lastErr at collection time: the restore after a successful append
+		// must not paper over a storage failure recorded since.
+		lastErr string
+	}
 	var reflush []*job
+	var missed []catchup
 	s.mu.Lock()
 	s.durState = DurabilityArmed
 	s.durLastErr = ""
@@ -241,6 +262,18 @@ func (s *Server) tryRearm() {
 		if !ok || jb.state.Terminal() {
 			continue
 		}
+		if !captured[id] {
+			missed = append(missed, catchup{
+				jb: jb,
+				rec: jobAcceptRec{
+					ID: jb.id, Board: jb.rawBoard, Sweep: jb.sweep,
+					DeadlineMS: jb.deadline.Milliseconds(), Fingerprint: jb.fingerprint,
+					Accepted: stamp(jb.submitted),
+				},
+				lastErr: jb.lastErr,
+			})
+			continue
+		}
 		jb.durable = true
 		jb.lastErr = ""
 		if jb.sweep != nil {
@@ -248,6 +281,26 @@ func (s *Server) tryRearm() {
 		}
 	}
 	s.mu.Unlock()
+
+	for _, c := range missed {
+		err := s.storageRetry(func() error { return j.Append(journalKindAccept, c.rec) })
+		s.mu.Lock()
+		if err == nil {
+			if c.jb.lastErr == c.lastErr {
+				c.jb.durable = true
+				c.jb.lastErr = ""
+				if c.jb.sweep != nil && !c.jb.state.Terminal() {
+					reflush = append(reflush, c.jb)
+				}
+			}
+			s.mu.Unlock()
+			continue
+		}
+		s.stats.JournalErrors++
+		s.markNonDurableLocked(c.jb, fmt.Sprintf("journal append (%s) failed: %v", journalKindAccept, err))
+		s.mu.Unlock()
+		s.degradeOn("journal append (re-arm catch-up)", err)
+	}
 
 	for _, jb := range reflush {
 		jb.sweepMu.Lock()
@@ -272,10 +325,12 @@ func (s *Server) noteProbeFailure(err error) {
 }
 
 // liveAcceptRecordsLocked renders one fresh accept record per non-terminal
-// job, in acceptance order — the compaction set for Rewrite. Caller holds
-// s.mu.
-func (s *Server) liveAcceptRecordsLocked() []checkpoint.JournalRecord {
+// job, in acceptance order — the compaction set for Rewrite — plus the id
+// set of the jobs actually captured, so the caller can restore durability
+// claims for exactly those and no others. Caller holds s.mu.
+func (s *Server) liveAcceptRecordsLocked() ([]checkpoint.JournalRecord, map[string]bool) {
 	var keep []checkpoint.JournalRecord
+	captured := make(map[string]bool)
 	for _, id := range s.order {
 		jb, ok := s.jobs[id]
 		if !ok || jb.state.Terminal() {
@@ -288,9 +343,10 @@ func (s *Server) liveAcceptRecordsLocked() []checkpoint.JournalRecord {
 		}
 		if b, err := json.Marshal(rec); err == nil {
 			keep = append(keep, checkpoint.JournalRecord{Kind: journalKindAccept, Payload: b})
+			captured[jb.id] = true
 		}
 	}
-	return keep
+	return keep, captured
 }
 
 // logf reports a durability event through Config.Logf when the operator

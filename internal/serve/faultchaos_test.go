@@ -25,8 +25,10 @@ import (
 	"time"
 
 	"pdnsim/internal/checkpoint"
+	"pdnsim/internal/core"
 	"pdnsim/internal/fault"
 	"pdnsim/internal/serve"
+	"pdnsim/internal/simerr"
 	"pdnsim/internal/supervise"
 )
 
@@ -219,6 +221,141 @@ func TestDegradedDurabilityRearm(t *testing.T) {
 	}
 	srv.Client().CloseIdleConnections()
 	srv.Close()
+	check()
+}
+
+// gatedExtract blocks every extraction on the gate channel (context-aware),
+// then runs the real supervised extraction — it keeps jobs non-terminal for
+// as long as a test needs, without faking results.
+func gatedExtract(gate <-chan struct{}) func(context.Context, *core.BoardSpec, supervise.Policy) (*core.Result, supervise.Status, error) {
+	return func(ctx context.Context, spec *core.BoardSpec, pol supervise.Policy) (*core.Result, supervise.Status, error) {
+		select {
+		case <-ctx.Done():
+			return nil, supervise.Status{}, &simerr.CancelledError{Op: "chaos: gated extract", Err: ctx.Err()}
+		case <-gate:
+		}
+		return spec.ExtractSupervisedCtx(ctx, pol)
+	}
+}
+
+// TestRearmWindowSubmitStaysHonest pins the capture→rewrite race in the
+// re-arm probe: a job admitted *after* the probe captures the live set but
+// *before* the armed flip had its degraded-mode journal append skipped and
+// is in neither the old nor the rewritten WAL. The flip must not hand it
+// durable:true until a catch-up append has actually landed — otherwise a
+// crash would silently lose a job whose status claimed durability. Injected
+// latency on the rewrite's staging fsync stretches the window so the
+// submission loop reliably lands inside it, and the gated extract keeps
+// every job non-terminal so a finish record cannot vouch for anyone.
+func TestRearmWindowSubmitStaysHonest(t *testing.T) {
+	check := noLeaks(t)
+	// The first accept append burns the three eio faults (fastStorage: three
+	// attempts) and degrades durability; every later append succeeds. The
+	// re-arm rewrite is stretched by 250 ms, spanning many submit-loop
+	// iterations.
+	installFaults(t, "journal.append:eio{times=3};journal.rewrite:latency{delay=250ms,times=4}")
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	s := startServer(t, serve.Config{
+		Workers: 1, StateDir: dir,
+		StoragePolicy: fastStorage, RearmProbe: 20 * time.Millisecond,
+	}, serve.Hooks{Extract: gatedExtract(gate)})
+
+	ids := []string{}
+	id1, err := s.Submit(context.Background(), &serve.JobRequest{Board: []byte(testBoard)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ids = append(ids, id1)
+	waitDurability(t, s, serve.DurabilityDegraded, 10*time.Second)
+
+	// Submit while the probe re-arms. A submission that starts and ends
+	// with durability still degraded was admitted with its append skipped;
+	// the ones after the capture are the race the fix covers.
+	var whileDegraded []string
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Durability() != serve.DurabilityArmed {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never re-armed")
+		}
+		before := s.Durability()
+		id, serr := s.Submit(context.Background(), &serve.JobRequest{Board: []byte(testBoard)})
+		if serr == nil {
+			ids = append(ids, id)
+			if before == serve.DurabilityDegraded && s.Durability() == serve.DurabilityDegraded {
+				whileDegraded = append(whileDegraded, id)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(whileDegraded) == 0 {
+		t.Fatalf("no submission landed while degraded; the race window was never exercised")
+	}
+
+	// Every degraded-admission job must regain durable:true — via the
+	// rewrite capture or the catch-up append — within a probe cycle or two.
+	for _, id := range whileDegraded {
+		waitFor := time.Now().Add(5 * time.Second)
+		for {
+			st, jerr := s.JobStatus(id)
+			if jerr != nil {
+				t.Fatalf("JobStatus(%s): %v", id, jerr)
+			}
+			if st.Durable {
+				break
+			}
+			if st.LastError == "" {
+				t.Fatalf("job %s is durable:false with no last_error — silent non-durability", id)
+			}
+			if time.Now().After(waitFor) {
+				t.Fatalf("job %s never regained durability after re-arm (last_error %q)", id, st.LastError)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// The honesty invariant: a durable:true claim is only ever made after
+	// the job's accept record is durably in the WAL, so reading the journal
+	// *after* the status reads must show a record for every claimant. All
+	// jobs are still non-terminal (the extract gate is closed), so no
+	// finish record can satisfy this.
+	durable := make(map[string]bool)
+	for _, id := range ids {
+		st, jerr := s.JobStatus(id)
+		if jerr != nil {
+			t.Fatalf("JobStatus(%s): %v", id, jerr)
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %q with the extract gate closed", id, st.State)
+		}
+		durable[id] = st.Durable
+	}
+	recs, _, rerr := checkpoint.ReplayJournal(filepath.Join(dir, "jobs.journal"))
+	if rerr != nil {
+		t.Fatalf("ReplayJournal: %v", rerr)
+	}
+	journaled := make(map[string]bool)
+	for _, r := range recs {
+		if r.Kind != "serve-accept" {
+			continue
+		}
+		var a struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(r.Payload, &a) == nil && a.ID != "" {
+			journaled[a.ID] = true
+		}
+	}
+	for _, id := range ids {
+		if durable[id] && !journaled[id] {
+			t.Fatalf("job %s claims durable:true but has no accept record in the WAL — a crash would silently lose it", id)
+		}
+	}
+
+	close(gate)
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	s.Drain(dctx)
 	check()
 }
 

@@ -789,11 +789,18 @@ func (s *Server) finalize(jb *job, err error) {
 	if cancel != nil {
 		cancel()
 	}
-	s.journalAppend(jb, journalKindFinish, jobFinishRec{
+	finOK := s.journalAppend(jb, journalKindFinish, jobFinishRec{
 		ID: jb.id, State: string(state), Class: cli.ErrClass(err)})
 	// The job's durability claim is final only after the finish record's
-	// fate is known (a failed finish append strips it above).
+	// fate is known: a failed append strips it (in journalAppend), and a
+	// durable finish record establishes it on its own — replay treats a
+	// finished id as settled regardless of record order, so a fast worker
+	// finalising before Submit's accept append returns must not report the
+	// job non-durable over a claim the accept path simply has not made yet.
 	s.mu.Lock()
+	if finOK && jb.lastErr == "" {
+		jb.durable = true
+	}
 	if s.durState != DurabilityDisabled && !jb.durable {
 		s.stats.NonDurable++
 	}
