@@ -10,8 +10,12 @@
 package pdnsim
 
 import (
+	"math"
+	"os"
 	"testing"
+	"time"
 
+	"pdnsim/internal/core"
 	"pdnsim/internal/experiments"
 )
 
@@ -168,6 +172,55 @@ func BenchmarkFosterMOR(b *testing.B) {
 		b.ReportMetric(float64(r.TruncOrder), "trunc_order")
 		b.ReportMetric(100*r.MaxErrBelowHalf, "err_below_fmax/2_%")
 	}
+}
+
+// BenchmarkExtractLargeMesh — DESIGN.md §5l: the FFT-accelerated operator
+// solve path (Toeplitz matvec + projected CG) against the dense LU reduction
+// at a 32×32-cell plane, past the auto-mode crossover. The dense baseline is
+// extracted once outside the timed loop; dense_over_cg_x is its wall time
+// over the operator path's per-op time, and cap_dev_rel is the relative
+// total-capacitance disagreement between the two paths. Skipped in smoke
+// runs: the dense baseline alone takes several seconds.
+func BenchmarkExtractLargeMesh(b *testing.B) {
+	if os.Getenv("BENCH_SMOKE") == "1" {
+		b.Skip("multi-second dense baseline; full bench runs only")
+	}
+	spec := func(operator string) *core.BoardSpec {
+		return &core.BoardSpec{
+			Name:       "large plane " + operator,
+			Shape:      core.ShapeSpec{Type: "rect", W: 50, H: 40},
+			PlaneSepMM: 0.4,
+			EpsR:       4.5,
+			SheetRes:   0.0006,
+			Operator:   operator,
+			MeshNx:     32,
+			MeshNy:     32,
+			ExtraNodes: 8,
+			Ports: []core.PortSpec{
+				{Name: "U1", X: 40, Y: 30},
+				{Name: "U2", X: 12, Y: 8},
+				{Name: "VRM", X: 5, Y: 35},
+			},
+		}
+	}
+	t0 := time.Now()
+	dense, err := spec("dense").Extract()
+	if err != nil {
+		b.Fatal(err)
+	}
+	denseSec := time.Since(t0).Seconds()
+	var capDev float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := spec("toeplitz").Extract()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cd, ct := dense.Network.TotalCapacitance(), res.Network.TotalCapacitance()
+		capDev = math.Abs(ct-cd) / math.Abs(cd)
+	}
+	b.ReportMetric(denseSec/(b.Elapsed().Seconds()/float64(b.N)), "dense_over_cg_x")
+	b.ReportMetric(capDev, "cap_dev_rel")
 }
 
 // BenchmarkAblationMesh — DESIGN.md §5: mesh-density convergence of the

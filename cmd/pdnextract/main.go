@@ -57,6 +57,7 @@ func main() {
 	nf := flag.Int("nf", 100, "sweep points")
 	z0 := flag.Float64("z0", 50, "S-parameter reference impedance (Ω)")
 	irdrop := flag.String("irdrop", "", "DC IR-drop analysis: comma-separated PORT=amps load currents plus optional ref=PORT supply entry (default: first port)")
+	operator := flag.String("operator", "", "override the board's solve-path operator mode: auto, dense or toeplitz")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for extraction and sweeps (0 = none); exceeding it exits 6")
 	diagVerbose := flag.Bool("diag", false, "print the full numerical-trust trail (healthy margins included), not just warnings")
 	ckptPath := flag.String("checkpoint", "", "snapshot completed sweep points to this file periodically and on interruption")
@@ -89,6 +90,12 @@ func main() {
 	spec, err := core.ParseBoard(data)
 	if err != nil {
 		cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitParse)
+	}
+	if *operator != "" {
+		spec.Operator = *operator
+		if err := spec.Validate(); err != nil {
+			cli.Fatal(os.Stderr, "pdnextract", err, cli.ExitUsage)
+		}
 	}
 	res, supSt, err := spec.ExtractSupervisedCtx(ctx, supervise.Policy{})
 	if err != nil {

@@ -29,7 +29,9 @@ import (
 
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"pdnsim/internal/diag"
 	"pdnsim/internal/greens"
 	"pdnsim/internal/mat"
 	"pdnsim/internal/mesh"
@@ -55,11 +57,44 @@ func (s TestingScheme) String() string {
 	return "galerkin"
 }
 
+// OperatorMode selects whether the assembly emits structure-preserving
+// Toeplitz operators alongside the dense fill.
+type OperatorMode int
+
+const (
+	// OpAuto emits ToeplitzOp operators whenever the mesh passes the
+	// uniform-grid validation and Toeplitz caching is on; otherwise the
+	// assembly silently stays dense-only. The default.
+	OpAuto OperatorMode = iota
+	// OpDense never emits operators: downstream solves always densify.
+	OpDense
+	// OpToeplitz requires operators: a mesh that fails the uniform-grid
+	// validation is an error instead of a silent dense fallback.
+	OpToeplitz
+)
+
+func (m OperatorMode) String() string {
+	switch m {
+	case OpDense:
+		return "dense"
+	case OpToeplitz:
+		return "toeplitz"
+	default:
+		return "auto"
+	}
+}
+
 // Options configure an assembly.
 type Options struct {
 	Testing    TestingScheme
 	GaussOrder int  // Galerkin quadrature order per axis (default 2)
 	Toeplitz   bool // cache kernel integrals by grid offset (default on via DefaultOptions)
+
+	// Operator controls emission of FFT-applicable ToeplitzOp operators for
+	// P and the per-direction L blocks (the superlinear solve path in
+	// internal/extract). Requires Toeplitz caching and a validated uniform
+	// grid; see OperatorMode.
+	Operator OperatorMode
 
 	// SheetResistance is the resistance per square of the meshed plane (Ω/sq).
 	SheetResistance float64
@@ -83,9 +118,27 @@ type Assembly struct {
 	L *mat.Matrix // links×links partial inductances (H)
 	R []float64   // per-link series resistance (Ω)
 
+	// POp, when non-nil, is the block-Toeplitz form of P: the same matrix as
+	// an O(n log n) operator (emitted on validated uniform grids unless
+	// Opts.Operator is OpDense). LOps likewise holds the per-direction
+	// partial-inductance blocks, indexed by mesh.Direction and ordered by
+	// link index within each direction; an entry is nil when the mesh has no
+	// links in that direction.
+	POp  *mat.ToeplitzOp
+	LOps [2]*mat.ToeplitzOp
+
+	// Diag records assembly-stage warnings: currently the uniform-grid
+	// fallback (Toeplitz caching requested on a non-uniform mesh).
+	Diag *diag.Diagnostics
+
 	// KernelEvals counts distinct panel-integral evaluations performed
-	// (used by the Toeplitz ablation benchmark).
+	// (used by the Toeplitz ablation benchmark). Under cancellation it
+	// counts only evaluations that actually completed.
 	KernelEvals int
+
+	// gridNX, gridNY are the validated uniform-grid dimensions (0 when the
+	// mesh failed validation or Toeplitz caching is off).
+	gridNX, gridNY int
 }
 
 // Assemble fills P, L and R for the given mesh and Green's function kernel.
@@ -116,7 +169,28 @@ func AssembleCtx(ctx context.Context, m *mesh.Mesh, k *greens.Kernel, opts Optio
 		return nil, simerr.BadInput("bem: assemble", "sheet resistances must be non-negative, got %g and %g",
 			opts.SheetResistance, opts.ReturnSheetResistance)
 	}
-	a = &Assembly{Mesh: m, Kernel: k, Opts: opts}
+	a = &Assembly{Mesh: m, Kernel: k, Opts: opts, Diag: diag.New()}
+	if a.Opts.Operator == OpToeplitz && !a.Opts.Toeplitz {
+		// Operator emission reads the offset cache; forcing the operator
+		// implies the cache.
+		a.Opts.Toeplitz = true
+	}
+	if a.Opts.Toeplitz {
+		// The offset cache (and the ToeplitzOp built from it) assumes the
+		// kernel is translation invariant across cells, which holds only on a
+		// uniform grid — validate instead of silently filling a wrong matrix.
+		nx, ny, dev, err := uniformGrid(m)
+		if err != nil {
+			if a.Opts.Operator == OpToeplitz {
+				return nil, simerr.BadInput("bem: assemble", "Operator: toeplitz requires a uniform grid: %v", err)
+			}
+			a.Opts.Toeplitz = false
+			a.Diag.Warnf("bem", "grid uniformity", dev, gridUniformRelTol, true,
+				"Toeplitz offset cache disabled, direct fill used: %v", err)
+		} else {
+			a.gridNX, a.gridNY = nx, ny
+		}
+	}
 	if err := a.assembleP(ctx); err != nil {
 		return nil, err
 	}
@@ -170,27 +244,41 @@ func (a *Assembly) assembleP(ctx context.Context) error {
 			jobs = append(jobs, jb)
 		}
 		vals := make([]float64, len(jobs))
+		var done atomic.Int64
 		parallelFor(len(jobs), func(k int) {
 			if ctx != nil && ctx.Err() != nil {
 				return // abandon remaining integrals once cancelled
 			}
 			vals[k] = a.scalarEntryNoCount(cells[jobs[k].i], cells[jobs[k].j])
+			done.Add(1)
 		})
+		// Count completed evaluations before the cancellation check so the
+		// ablation numbers stay honest under timeout.
+		a.KernelEvals += int(done.Load())
 		if err := simerr.CheckCtx(ctx, "bem: assemble P"); err != nil {
 			return err
 		}
 		for k, jb := range jobs {
 			cache[jb.key] = vals[k]
 		}
-		a.KernelEvals += len(jobs)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				key := [2]int{abs(cells[i].IX - cells[j].IX), abs(cells[i].IY - cells[j].IY)}
 				a.P.Set(i, j, cache[key])
 			}
 		}
+		if a.Opts.Operator != OpDense {
+			op, err := a.toeplitzFromCache(func(dx, dy int) (float64, bool) {
+				v, ok := cache[[2]int{dx, dy}]
+				return v, ok
+			}, cellCoords(cells))
+			if err != nil {
+				return err
+			}
+			a.POp = op
+		}
 	} else {
-		a.KernelEvals += n * n
+		var done atomic.Int64
 		parallelFor(n, func(i int) {
 			if ctx != nil && ctx.Err() != nil {
 				return
@@ -198,7 +286,9 @@ func (a *Assembly) assembleP(ctx context.Context) error {
 			for j := 0; j < n; j++ {
 				a.P.Set(i, j, a.scalarEntryNoCount(cells[i], cells[j]))
 			}
+			done.Add(int64(n))
 		})
+		a.KernelEvals += int(done.Load())
 		if err := simerr.CheckCtx(ctx, "bem: assemble P"); err != nil {
 			return err
 		}
@@ -258,12 +348,15 @@ func (a *Assembly) assembleL(ctx context.Context) error {
 			jobs = append(jobs, jb)
 		}
 		vals := make([]float64, len(jobs))
+		var done atomic.Int64
 		parallelFor(len(jobs), func(k int) {
 			if ctx != nil && ctx.Err() != nil {
 				return
 			}
 			vals[k] = a.vectorEntryNoCount(links[jobs[k].i], links[jobs[k].j])
+			done.Add(1)
 		})
+		a.KernelEvals += int(done.Load())
 		if err := simerr.CheckCtx(ctx, "bem: assemble L"); err != nil {
 			return err
 		}
@@ -271,7 +364,6 @@ func (a *Assembly) assembleL(ctx context.Context) error {
 		for k, jb := range jobs {
 			cache[jb.kk] = vals[k]
 		}
-		a.KernelEvals += len(jobs)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				if links[i].Dir != links[j].Dir {
@@ -280,31 +372,80 @@ func (a *Assembly) assembleL(ctx context.Context) error {
 				a.L.Set(i, j, cache[linkKey(i, j)])
 			}
 		}
+		if a.Opts.Operator != OpDense {
+			for _, dir := range []mesh.Direction{mesh.DirX, mesh.DirY} {
+				var coords [][2]int
+				for i := range links {
+					if links[i].Dir == dir {
+						c := a.Mesh.Cells[links[i].From]
+						coords = append(coords, [2]int{c.IX, c.IY})
+					}
+				}
+				if len(coords) == 0 {
+					continue
+				}
+				op, err := a.toeplitzFromCache(func(dx, dy int) (float64, bool) {
+					v, ok := cache[key{dir, dx, dy}]
+					return v, ok
+				}, coords)
+				if err != nil {
+					return err
+				}
+				a.LOps[dir] = op
+			}
+		}
 	} else {
+		var done atomic.Int64
 		parallelFor(n, func(i int) {
 			if ctx != nil && ctx.Err() != nil {
 				return
 			}
+			row := 0
 			for j := 0; j < n; j++ {
 				if links[i].Dir != links[j].Dir {
 					continue
 				}
 				a.L.Set(i, j, a.vectorEntryNoCount(links[i], links[j]))
+				row++
 			}
+			done.Add(int64(row))
 		})
+		a.KernelEvals += int(done.Load())
 		if err := simerr.CheckCtx(ctx, "bem: assemble L"); err != nil {
 			return err
-		}
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if links[i].Dir == links[j].Dir {
-					a.KernelEvals++
-				}
-			}
 		}
 	}
 	a.L.Symmetrize()
 	return nil
+}
+
+// cellCoords returns the integer grid coordinate of every cell, in cell
+// order — the unknown ordering of the P operator.
+func cellCoords(cells []mesh.Cell) [][2]int {
+	coords := make([][2]int, len(cells))
+	for i := range cells {
+		coords[i] = [2]int{cells[i].IX, cells[i].IY}
+	}
+	return coords
+}
+
+// toeplitzFromCache assembles a ToeplitzOp over the validated uniform grid
+// from the offset cache just used for the dense fill. Offsets absent from
+// the cache never occur between two unknowns (a partial plane does not
+// realise every offset of its bounding grid), so their table entries are
+// never read by the operator's scatter/gather product and zero is a safe
+// placeholder.
+func (a *Assembly) toeplitzFromCache(lookup func(dx, dy int) (float64, bool), coords [][2]int) (*mat.ToeplitzOp, error) {
+	nx, ny := a.gridNX, a.gridNY
+	table := make([]float64, nx*ny)
+	for dy := 0; dy < ny; dy++ {
+		for dx := 0; dx < nx; dx++ {
+			if v, ok := lookup(dx, dy); ok {
+				table[dy*nx+dx] = v
+			}
+		}
+	}
+	return mat.NewToeplitzOp(nx, ny, table, coords)
 }
 
 func (a *Assembly) assembleR() {
@@ -545,6 +686,55 @@ func WorstIRDrop(v []float64) float64 {
 		}
 	}
 	return worst
+}
+
+// gridUniformRelTol is the relative tolerance within which every cell's
+// width and height must match the first cell's for the mesh to count as a
+// uniform grid. mesh.Grid computes cell edges as cumulative sums of one
+// float step, so legitimate uniform grids agree to a few ulps; a genuinely
+// graded mesh differs at the percent level. 1e-9 sits comfortably between
+// the two regimes.
+const gridUniformRelTol = 1e-9
+
+// uniformGrid validates the Toeplitz cache's translation-invariance
+// precondition: all cells share one width and height (within
+// gridUniformRelTol relative) and carry consistent non-negative integer
+// grid coordinates. Returns the bounding grid dimensions and the largest
+// relative size deviation observed; a non-nil error describes the first
+// violation.
+func uniformGrid(m *mesh.Mesh) (nx, ny int, dev float64, err error) {
+	if len(m.Cells) == 0 {
+		return 0, 0, 0, simerr.Tagf(simerr.ErrBadInput, "empty mesh")
+	}
+	w0, h0 := m.Cells[0].Rect.W(), m.Cells[0].Rect.H()
+	if w0 <= 0 || h0 <= 0 {
+		return 0, 0, 0, simerr.Tagf(simerr.ErrBadInput, "cell 0 has non-positive size %g×%g", w0, h0)
+	}
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		if c.IX < 0 || c.IY < 0 {
+			return 0, 0, dev, simerr.Tagf(simerr.ErrBadInput, "cell %d has negative grid coordinate (%d,%d)", i, c.IX, c.IY)
+		}
+		if c.IX+1 > nx {
+			nx = c.IX + 1
+		}
+		if c.IY+1 > ny {
+			ny = c.IY + 1
+		}
+		dw := math.Abs(c.Rect.W()-w0) / w0
+		dh := math.Abs(c.Rect.H()-h0) / h0
+		if dw > dev {
+			dev = dw
+		}
+		if dh > dev {
+			dev = dh
+		}
+		if dw > gridUniformRelTol || dh > gridUniformRelTol {
+			return 0, 0, dev, simerr.Tagf(simerr.ErrBadInput, "cell %d is %g×%g, cell 0 is %g×%g (relative deviation %.3g > %g)",
+				i, c.Rect.W(), c.Rect.H(), w0, h0, dev, gridUniformRelTol)
+		}
+	}
+	return nx, ny, dev, nil
 }
 
 func abs(x int) int {

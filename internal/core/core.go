@@ -50,9 +50,10 @@ type BoardSpec struct {
 	Shape      ShapeSpec  `json:"shape"`
 	PlaneSepMM float64    `json:"plane_sep_mm"`
 	EpsR       float64    `json:"eps_r"`
-	SheetRes   float64    `json:"sheet_res_ohm_sq"`  // per plane
-	Kernel     string     `json:"kernel,omitempty"`  // "over-ground" (default) or "microstrip"
-	Testing    string     `json:"testing,omitempty"` // "collocation" (default) or "galerkin"
+	SheetRes   float64    `json:"sheet_res_ohm_sq"`   // per plane
+	Kernel     string     `json:"kernel,omitempty"`   // "over-ground" (default) or "microstrip"
+	Testing    string     `json:"testing,omitempty"`  // "collocation" (default) or "galerkin"
+	Operator   string     `json:"operator,omitempty"` // "auto" (default), "dense" or "toeplitz"
 	MeshNx     int        `json:"mesh_nx"`
 	MeshNy     int        `json:"mesh_ny"`
 	ExtraNodes int        `json:"extra_nodes"`
@@ -151,6 +152,11 @@ func (b *BoardSpec) Validate() error {
 	case "", "collocation", "galerkin":
 	default:
 		return bad("unknown testing scheme %q", b.Testing)
+	}
+	switch b.Operator {
+	case "", "auto", "dense", "toeplitz":
+	default:
+		return bad("unknown operator mode %q", b.Operator)
 	}
 	return nil
 }
@@ -301,6 +307,12 @@ func (b *BoardSpec) buildAssembly(ctx context.Context) (*mesh.Mesh, *bem.Assembl
 	opts := bem.DefaultOptions()
 	if b.Testing == "galerkin" {
 		opts.Testing = bem.Galerkin
+	}
+	switch b.Operator {
+	case "dense":
+		opts.Operator = bem.OpDense
+	case "toeplitz":
+		opts.Operator = bem.OpToeplitz
 	}
 	opts.SheetResistance = b.SheetRes
 	opts.ReturnSheetResistance = b.SheetRes

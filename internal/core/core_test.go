@@ -66,6 +66,7 @@ func TestValidateErrors(t *testing.T) {
 		{"bad rect", func(b *BoardSpec) { b.Shape.W = 0 }},
 		{"bad kernel", func(b *BoardSpec) { b.Kernel = "full-wave" }},
 		{"bad testing", func(b *BoardSpec) { b.Testing = "nystrom" }},
+		{"bad operator", func(b *BoardSpec) { b.Operator = "fmm" }},
 	}
 	for _, c := range cases {
 		if err := mk(c.mut); err == nil {
@@ -155,6 +156,41 @@ func TestExtractGalerkinAndMicrostrip(t *testing.T) {
 	}
 	if res.Network.TotalCapacitance() <= 0 {
 		t.Fatal("no capacitance extracted")
+	}
+}
+
+func TestExtractOperatorModes(t *testing.T) {
+	// Each operator mode must survive the full pipeline, and forcing the
+	// Toeplitz path on a small mesh must reproduce the dense extraction's
+	// total capacitance (the agreement contract lives in internal/extract;
+	// this is the plumbing check that the JSON field reaches the assembly).
+	extractWith := func(mode string) *Result {
+		t.Helper()
+		b, err := ParseBoard([]byte(validBoard))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Operator = mode
+		res, err := b.Extract()
+		if err != nil {
+			t.Fatalf("operator %q: %v", mode, err)
+		}
+		return res
+	}
+	dense := extractWith("dense")
+	if dense.Assembly.POp != nil {
+		t.Fatal("dense mode must not emit a Toeplitz operator")
+	}
+	toep := extractWith("toeplitz")
+	if toep.Assembly.POp == nil {
+		t.Fatal("toeplitz mode must emit the P operator")
+	}
+	cd, ct := dense.Network.TotalCapacitance(), toep.Network.TotalCapacitance()
+	if math.Abs(ct-cd) > 1e-6*math.Abs(cd) {
+		t.Fatalf("total capacitance: toeplitz %g vs dense %g", ct, cd)
+	}
+	if auto := extractWith("auto"); auto.Assembly.POp == nil {
+		t.Fatal("auto mode must emit operators on a uniform grid")
 	}
 }
 

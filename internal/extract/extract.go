@@ -21,6 +21,7 @@ package extract
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -154,61 +155,89 @@ func ExtractCtx(ctx context.Context, a *bem.Assembly, opts Options) (nw *Network
 	internal := mat.Complement(len(a.Mesh.Cells), nodeCells)
 
 	d := diag.New()
-	if err := simerr.CheckCtx(ctx, "extract: inductance system"); err != nil {
-		return nil, err
-	}
-	gamma, err := a.InverseInductanceLaplacian()
-	if err != nil {
-		return nil, fmt.Errorf("extract: inductance system: %w", err)
-	}
-	if opts.Regularize > 0 {
-		loadDiagonal(gamma, opts.Regularize)
-		d.Warnf("extract", "regularization", opts.Regularize, 0, true,
-			"diagonal loading %.3g applied to Γ and C before reduction (supervised retry or explicit request)",
-			opts.Regularize)
-	}
-	gammaRed, err := mat.SchurReduce(gamma, nodeCells, internal)
-	if err != nil {
-		return nil, fmt.Errorf("extract: inductance reduction: %w", err)
-	}
-	if err := simerr.CheckCtx(ctx, "extract: capacitance system"); err != nil {
-		return nil, err
-	}
-	cFull, err := a.CellCapacitance()
-	if err != nil {
-		return nil, fmt.Errorf("extract: capacitance system: %w", err)
-	}
-	if opts.Regularize > 0 {
-		loadDiagonal(cFull, opts.Regularize)
-	}
-	// Capacitance is reduced by Guyan congruence, C_red = Wᵀ·C·W, where W
-	// interpolates eliminated cells from the kept nodes through the
-	// inductive network (W_i = −Γ_ii⁻¹·Γ_ik). A plain Schur complement of C
-	// would treat eliminated cells as electrically floating and lose their
-	// charge; physically they are tied to the kept nodes through the plane's
-	// inductive links, which are shorts at low frequency. Guyan reduction
-	// preserves the total plane capacitance exactly (W maps the all-ones
-	// vector to the all-ones vector because Γ·1 = 0).
-	cRed, err := guyanReduce(cFull, gamma, nodeCells, internal)
-	if err != nil {
-		return nil, fmt.Errorf("extract: capacitance reduction: %w", err)
-	}
-	if err := simerr.CheckCtx(ctx, "extract: resistance system"); err != nil {
-		return nil, err
-	}
-	var gRed *mat.Matrix
-	if g := a.ConductanceLaplacian(); g != nil {
-		gRed, err = mat.SchurReduce(g, nodeCells, internal)
-		if err != nil {
-			return nil, fmt.Errorf("extract: resistance reduction: %w", err)
+	var gammaRed, cRed, gRed *mat.Matrix
+	var gammaScale float64
+	done := false
+
+	// Operator path: when the assembly carries Toeplitz operators, the whole
+	// reduction runs through FFT-applied CG solves (operator.go) instead of
+	// the O(n³) dense factorisations. Auto mode engages it above a size gate;
+	// Operator: toeplitz forces it. Regularisation perturbs the assembled
+	// operators, which the structure-preserving product cannot represent, so
+	// it pins the dense path. Failures (projection not SPD, CG
+	// non-convergence) are recorded and fall through to the dense path.
+	if opts.Regularize == 0 && len(internal) > 0 && operatorsAvailable(a) &&
+		(a.Opts.Operator == bem.OpToeplitz || len(a.Mesh.Cells) >= operatorPathMinCells) {
+		gammaRed, cRed, gRed, gammaScale, err = operatorReduce(ctx, a, nodeCells, internal)
+		switch {
+		case err == nil:
+			done = true
+		case errors.Is(err, simerr.ErrCancelled):
+			return nil, err
+		default:
+			d.Warnf("extract", "operator path", 0, 0, true,
+				"Toeplitz+CG reduction failed, dense fallback used: %v", err)
 		}
+	}
+
+	if !done {
+		if err := simerr.CheckCtx(ctx, "extract: inductance system"); err != nil {
+			return nil, err
+		}
+		gamma, err := a.InverseInductanceLaplacian()
+		if err != nil {
+			return nil, fmt.Errorf("extract: inductance system: %w", err)
+		}
+		if opts.Regularize > 0 {
+			loadDiagonal(gamma, opts.Regularize)
+			d.Warnf("extract", "regularization", opts.Regularize, 0, true,
+				"diagonal loading %.3g applied to Γ and C before reduction (supervised retry or explicit request)",
+				opts.Regularize)
+		}
+		gammaRed, err = mat.SchurReduce(gamma, nodeCells, internal)
+		if err != nil {
+			return nil, fmt.Errorf("extract: inductance reduction: %w", err)
+		}
+		if err := simerr.CheckCtx(ctx, "extract: capacitance system"); err != nil {
+			return nil, err
+		}
+		cFull, err := a.CellCapacitance()
+		if err != nil {
+			return nil, fmt.Errorf("extract: capacitance system: %w", err)
+		}
+		if opts.Regularize > 0 {
+			loadDiagonal(cFull, opts.Regularize)
+		}
+		// Capacitance is reduced by Guyan congruence, C_red = Wᵀ·C·W, where W
+		// interpolates eliminated cells from the kept nodes through the
+		// inductive network (W_i = −Γ_ii⁻¹·Γ_ik). A plain Schur complement of C
+		// would treat eliminated cells as electrically floating and lose their
+		// charge; physically they are tied to the kept nodes through the plane's
+		// inductive links, which are shorts at low frequency. Guyan reduction
+		// preserves the total plane capacitance exactly (W maps the all-ones
+		// vector to the all-ones vector because Γ·1 = 0).
+		cRed, err = guyanReduce(cFull, gamma, nodeCells, internal)
+		if err != nil {
+			return nil, fmt.Errorf("extract: capacitance reduction: %w", err)
+		}
+		if err := simerr.CheckCtx(ctx, "extract: resistance system"); err != nil {
+			return nil, err
+		}
+		if g := a.ConductanceLaplacian(); g != nil {
+			gRed, err = mat.SchurReduce(g, nodeCells, internal)
+			if err != nil {
+				return nil, fmt.Errorf("extract: resistance reduction: %w", err)
+			}
+		}
+		gammaScale = mat.NormInf(gamma)
 	}
 
 	// Physics-invariant guards on the reduced operators (small matrices, so
 	// the eigen/condition checks cost nothing next to the O(n³) reductions).
 	// Tiny violations are repaired in place and recorded; gross ones abort
-	// with simerr.ErrIllConditioned carrying the measured margin.
-	if err := checkReduced(d, gammaRed, cRed, gRed, mat.NormInf(gamma)); err != nil {
+	// with simerr.ErrIllConditioned carrying the measured margin. They run
+	// identically on both reduction paths.
+	if err := checkReduced(d, gammaRed, cRed, gRed, gammaScale); err != nil {
 		return nil, err
 	}
 

@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -68,6 +69,41 @@ func BenchmarkCholesky400(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkToeplitzMatvec times the FFT-accelerated block-Toeplitz matvec at
+// a 64×64 grid (n = 4096 — a dense matrix of this size would hold 16.8M
+// entries). The allocs/op column is part of the contract: MulVecTo is
+// //pdn:hot and must stay allocation-free.
+func BenchmarkToeplitzMatvec(b *testing.B) {
+	const nx, ny = 64, 64
+	table := make([]float64, nx*ny)
+	for dy := 0; dy < ny; dy++ {
+		for dx := 0; dx < nx; dx++ {
+			table[dy*nx+dx] = 1 / (1 + math.Hypot(float64(dx), float64(dy)))
+		}
+	}
+	coords := make([][2]int, 0, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			coords = append(coords, [2]int{x, y})
+		}
+	}
+	op, err := NewToeplitzOp(nx, ny, table, coords)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, op.Size())
+	dst := make([]float64, op.Size())
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.MulVecTo(dst, x)
+	}
+	b.ReportMetric(float64(op.Size()), "n")
 }
 
 func BenchmarkMulVec400(b *testing.B) {

@@ -150,6 +150,11 @@ func axpy1(c, b []float64, v float64) {
 	}
 }
 
+// Dot returns Σ a[j]·b[j] over the shorter length — the multi-accumulator
+// kernel shared with the dense solvers, exported for the operator-path
+// iterations in internal/extract.
+func Dot(a, b []float64) float64 { return dot(a, b) }
+
 // dot returns Σ row[j]·x[j] accumulated over eight independent chains, which
 // hides the add latency that serialises a single-accumulator dot product.
 // The partial sums combine pairwise in a fixed order, so the result is

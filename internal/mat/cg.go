@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"context"
 	"math"
 
 	"pdnsim/internal/simerr"
@@ -12,6 +13,50 @@ import (
 // it serves, and well inside every downstream trust limit.
 const DefaultCGTol = 1e-10
 
+// cgCtxCheckEvery is how many CG iterations run between context checks: one
+// check per iteration would be noise next to the O(n²) dense matvec, but
+// the operator path's matvecs can be fast enough that a small batch keeps
+// cancellation latency bounded without measurable cost.
+const cgCtxCheckEvery = 8
+
+// LinearOperator is a square linear operator usable by the iterative
+// solvers: anything that can apply itself to a vector. Dense matrices,
+// FFT-backed Toeplitz operators and matrix-free compositions (the extract
+// package's reduction operators) all implement it.
+type LinearOperator interface {
+	// Size returns the operator dimension n (the operator maps R^n → R^n).
+	Size() int
+	// MulVecTo computes dst = A·x; len(dst) == len(x) == Size().
+	MulVecTo(dst, x []float64)
+}
+
+// Preconditioner applies an SPD approximation of A⁻¹ to a residual.
+type Preconditioner interface {
+	// PrecondTo computes dst = M⁻¹·r; len(dst) == len(r).
+	PrecondTo(dst, r []float64)
+}
+
+// denseOp adapts a dense square matrix to the LinearOperator interface.
+type denseOp struct{ m *Matrix }
+
+func (d denseOp) Size() int { return d.m.Rows }
+
+func (d denseOp) MulVecTo(dst, x []float64) {
+	n := d.m.Rows
+	for i := 0; i < n; i++ {
+		dst[i] = dot(d.m.Data[i*n:(i+1)*n], x)
+	}
+}
+
+// jacobiPre is the diagonal (Jacobi) preconditioner.
+type jacobiPre struct{ dinv []float64 }
+
+func (j jacobiPre) PrecondTo(dst, r []float64) {
+	for i := range r {
+		dst[i] = j.dinv[i] * r[i]
+	}
+}
+
 // ConjugateGradient solves A·x = b for a symmetric positive-definite A with
 // the Jacobi-preconditioned conjugate gradient method. It is the large-mesh
 // alternative to the dense Cholesky factorisation: each iteration is O(n²)
@@ -22,24 +67,28 @@ const DefaultCGTol = 1e-10
 // tol is the relative residual target (DefaultCGTol when <= 0); maxIter
 // defaults to 10·n. Returns an error if A is not usable or convergence
 // fails.
+//
+// ConjugateGradient is the documented non-Ctx compatibility shim kept for
+// callers outside the cancellable solve chain; cancellable callers use
+// ConjugateGradientCtx.
 func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]float64, error) {
+	return ConjugateGradientCtx(context.Background(), a, b, tol, maxIter) //pdnlint:ignore ctxflow documented non-Ctx compatibility shim; cancellable callers use ConjugateGradientCtx
+}
+
+// ConjugateGradientCtx is ConjugateGradient with cancellation: the
+// iteration loop checks ctx periodically (every cgCtxCheckEvery iterations)
+// and abandons the solve with a simerr.ErrCancelled-class error once the
+// context is done, so a large-mesh solve inside a timed-out extraction
+// stops within a few matvecs instead of running to convergence.
+//
+//pdnlint:ignore ctxflow the only loop in this body is the O(n) Jacobi setup; the unbounded iteration loop lives in ConjugateGradientOp, which checks ctx every cgCtxCheckEvery iterations
+func ConjugateGradientCtx(ctx context.Context, a *Matrix, b []float64, tol float64, maxIter int) ([]float64, error) {
 	n := a.Rows
 	if a.Cols != n {
 		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: CG requires a square matrix")
 	}
 	if len(b) != n {
 		return nil, simerr.Tagf(simerr.ErrBadInput, "mat: CG rhs length mismatch")
-	}
-	for i, v := range b {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, simerr.Tagf(simerr.ErrBadInput, "mat: CG rhs has non-finite entry %g at index %d", v, i)
-		}
-	}
-	if tol <= 0 {
-		tol = DefaultCGTol
-	}
-	if maxIter <= 0 {
-		maxIter = 10 * n
 	}
 	// Jacobi preconditioner.
 	dinv := make([]float64, n)
@@ -50,28 +99,63 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 		}
 		dinv[i] = 1 / d
 	}
+	x, _, err := ConjugateGradientOp(ctx, denseOp{a}, jacobiPre{dinv}, b, tol, maxIter)
+	return x, err
+}
+
+// ConjugateGradientOp solves A·x = b for a symmetric positive-definite
+// operator with preconditioned CG, without ever materialising A: each
+// iteration costs one operator apply plus one preconditioner apply. This is
+// the solver behind the FFT-accelerated Toeplitz path (an O(n log n) apply
+// makes the whole solve superlinear instead of cubic). pre may be nil
+// (unpreconditioned CG). Returns the solution and the number of iterations
+// performed.
+//
+// tol is the relative residual target ‖b − A·x‖/‖b‖ (DefaultCGTol when
+// <= 0); maxIter defaults to 10·n. The context is checked every
+// cgCtxCheckEvery iterations.
+func ConjugateGradientOp(ctx context.Context, op LinearOperator, pre Preconditioner, b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	n := op.Size()
+	if len(b) != n {
+		return nil, 0, simerr.Tagf(simerr.ErrBadInput, "mat: CG rhs has %d entries, operator size %d", len(b), n)
+	}
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, 0, simerr.Tagf(simerr.ErrBadInput, "mat: CG rhs has non-finite entry %g at index %d", v, i)
+		}
+	}
+	if tol <= 0 {
+		tol = DefaultCGTol
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
 	x := make([]float64, n)
 	r := append([]float64{}, b...)
 	z := make([]float64, n)
 	p := make([]float64, n)
-	for i := range r {
-		z[i] = dinv[i] * r[i]
+	if pre != nil {
+		pre.PrecondTo(z, r)
+	} else {
+		copy(z, r)
 	}
 	copy(p, z)
 	rz := dot(r, z)
 	bnorm := math.Sqrt(dot(b, b))
 	if bnorm == 0 {
-		return x, nil
+		return x, 0, nil
 	}
 	ap := make([]float64, n)
 	for iter := 0; iter < maxIter; iter++ {
-		// ap = A·p
-		for i := 0; i < n; i++ {
-			ap[i] = dot(a.Data[i*n:(i+1)*n], p)
+		if iter%cgCtxCheckEvery == 0 {
+			if err := simerr.CheckCtx(ctx, "mat: conjugate gradient"); err != nil {
+				return nil, iter, err
+			}
 		}
+		op.MulVecTo(ap, p)
 		pap := dot(p, ap)
 		if pap <= 0 {
-			return nil, simerr.Tagf(simerr.ErrSingular, "mat: CG breakdown (matrix not positive definite?)")
+			return nil, iter, simerr.Tagf(simerr.ErrSingular, "mat: CG breakdown (operator not positive definite?)")
 		}
 		alpha := rz / pap
 		for i := 0; i < n; i++ {
@@ -79,10 +163,12 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 			r[i] -= alpha * ap[i]
 		}
 		if math.Sqrt(dot(r, r)) <= tol*bnorm {
-			return x, nil
+			return x, iter + 1, nil
 		}
-		for i := range r {
-			z[i] = dinv[i] * r[i]
+		if pre != nil {
+			pre.PrecondTo(z, r)
+		} else {
+			copy(z, r)
 		}
 		rzNew := dot(r, z)
 		if rz == 0 {
@@ -92,9 +178,9 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 			// best available, so return it if it meets tolerance, otherwise
 			// report the stall instead of fabricating NaNs.
 			if math.Sqrt(dot(r, r)) <= tol*bnorm {
-				return x, nil
+				return x, iter + 1, nil
 			}
-			return nil, simerr.Tagf(simerr.ErrSingular, "mat: CG breakdown (rᵀ·M⁻¹·r vanished before convergence)")
+			return nil, iter, simerr.Tagf(simerr.ErrSingular, "mat: CG breakdown (rᵀ·M⁻¹·r vanished before convergence)")
 		}
 		beta := rzNew / rz
 		rz = rzNew
@@ -102,5 +188,5 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return nil, simerr.Tagf(simerr.ErrNonConvergence, "mat: CG did not converge in %d iterations", maxIter)
+	return nil, maxIter, simerr.Tagf(simerr.ErrNonConvergence, "mat: CG did not converge in %d iterations", maxIter)
 }

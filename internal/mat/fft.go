@@ -1,0 +1,143 @@
+// Iterative radix-2 complex FFT used by the block-Toeplitz fast matvec
+// (toeplitz.go). The transform is preplanned: twiddle factors and the
+// bit-reversal permutation are computed once per size, so the hot transform
+// itself performs no allocation, no trigonometry, and no data-dependent
+// branching — for a fixed size the sequence of floating-point operations is
+// identical on every call, which makes the Toeplitz matvec bitwise
+// deterministic (the serial≡parallel and resume contracts both lean on
+// this).
+//
+// Only power-of-two sizes are supported; the circulant embedding in
+// toeplitz.go always pads to a power of two, so no general-size (Bluestein)
+// fallback is needed.
+package mat
+
+import "math"
+
+// fftPlan holds the precomputed tables for a radix-2 complex FFT of one
+// fixed power-of-two size.
+type fftPlan struct {
+	n   int          // transform size, power of two
+	rev []int32      // bit-reversal permutation
+	tw  []complex128 // forward twiddles, grouped by stage (n-1 entries)
+	itw []complex128 // inverse twiddles (conjugates, same layout)
+}
+
+// newFFTPlan builds the tables for size n (must be a power of two ≥ 1).
+func newFFTPlan(n int) *fftPlan {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("mat: FFT size must be a power of two")
+	}
+	p := &fftPlan{n: n}
+	p.rev = make([]int32, n)
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < logn; b++ {
+			r = r<<1 | (i>>b)&1
+		}
+		p.rev[i] = int32(r)
+	}
+	// Twiddles stage by stage: stage with half-size h uses h roots
+	// exp(-2πi·j/(2h)), j = 0..h-1, laid out contiguously.
+	p.tw = make([]complex128, 0, n)
+	p.itw = make([]complex128, 0, n)
+	for h := 1; h < n; h <<= 1 {
+		for j := 0; j < h; j++ {
+			ang := -math.Pi * float64(j) / float64(h)
+			w := complex(math.Cos(ang), math.Sin(ang))
+			p.tw = append(p.tw, w)
+			p.itw = append(p.itw, complex(real(w), -imag(w)))
+		}
+	}
+	return p
+}
+
+// transform runs the in-place decimation-in-time FFT over data[off],
+// data[off+stride], …, data[off+(n-1)·stride] with the given twiddle table
+// (tw for forward, itw for inverse). The caller scales an inverse transform
+// by 1/n itself — the Toeplitz matvec folds that factor into its spectrum so
+// the hot path never needs a separate normalisation pass.
+//
+//pdn:hot
+func (p *fftPlan) transform(data []complex128, off, stride int, tw []complex128) {
+	n := p.n
+	rev := p.rev
+	for i := 0; i < n; i++ {
+		j := int(rev[i])
+		if i < j {
+			ii, jj := off+i*stride, off+j*stride
+			data[ii], data[jj] = data[jj], data[ii]
+		}
+	}
+	twBase := 0
+	for h := 1; h < n; h <<= 1 {
+		step := h << 1
+		for s := 0; s < n; s += step {
+			base := off + s*stride
+			for j := 0; j < h; j++ {
+				w := tw[twBase+j]
+				lo := base + j*stride
+				hi := lo + h*stride
+				t := w * data[hi]
+				data[hi] = data[lo] - t
+				data[lo] += t
+			}
+		}
+		twBase += h
+	}
+}
+
+// fftPlan2D is a row-column 2D FFT over an ny×nx row-major complex grid
+// (both dimensions powers of two).
+type fftPlan2D struct {
+	nx, ny int
+	px, py *fftPlan
+}
+
+func newFFTPlan2D(nx, ny int) *fftPlan2D {
+	p := &fftPlan2D{nx: nx, ny: ny, px: newFFTPlan(nx)}
+	if ny == nx {
+		p.py = p.px
+	} else {
+		p.py = newFFTPlan(ny)
+	}
+	return p
+}
+
+// forward transforms the grid in place (rows then columns).
+//
+//pdn:hot
+func (p *fftPlan2D) forward(data []complex128) {
+	for r := 0; r < p.ny; r++ {
+		p.px.transform(data, r*p.nx, 1, p.px.tw)
+	}
+	for c := 0; c < p.nx; c++ {
+		p.py.transform(data, c, p.nx, p.py.tw)
+	}
+}
+
+// inverse transforms the grid in place without the 1/(nx·ny) scaling — the
+// caller folds it into whatever pointwise factor it applies in between.
+//
+//pdn:hot
+func (p *fftPlan2D) inverse(data []complex128) {
+	for r := 0; r < p.ny; r++ {
+		p.px.transform(data, r*p.nx, 1, p.px.itw)
+	}
+	for c := 0; c < p.nx; c++ {
+		p.py.transform(data, c, p.nx, p.py.itw)
+	}
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

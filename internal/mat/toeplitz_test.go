@@ -1,0 +1,260 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// fftAgainstDFTTol bounds the relative error between the planned FFT and a
+// naive O(n²) DFT: both accumulate roundoff, so machine epsilon times a
+// modest log-factor headroom.
+const fftAgainstDFTTol = 1e-12
+
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -2 * math.Pi
+	if inverse {
+		sign = 2 * math.Pi
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := sign * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		p := newFFTPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := append([]complex128(nil), x...)
+		p.transform(got, 0, 1, p.tw)
+		want := naiveDFT(x, false)
+		var scale float64
+		for _, w := range want {
+			if a := cmplx.Abs(w); a > scale {
+				scale = a
+			}
+		}
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > fftAgainstDFTTol*scale {
+				t.Fatalf("n=%d: FFT[%d]=%v, DFT=%v", n, i, got[i], want[i])
+			}
+		}
+		// Inverse (unscaled) round-trips to n·x.
+		p.transform(got, 0, 1, p.itw)
+		for i := range got {
+			if cmplx.Abs(got[i]-complex(float64(n), 0)*x[i]) > fftAgainstDFTTol*float64(n)*(1+cmplx.Abs(x[i])) {
+				t.Fatalf("n=%d: inverse round-trip[%d]=%v, want %v", n, i, got[i], complex(float64(n), 0)*x[i])
+			}
+		}
+	}
+}
+
+func TestFFTStridedMatchesContiguous(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, stride := 16, 3
+	p := newFFTPlan(n)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	cont := append([]complex128(nil), x...)
+	p.transform(cont, 0, 1, p.tw)
+	spread := make([]complex128, n*stride+2)
+	for i := range x {
+		spread[1+i*stride] = x[i]
+	}
+	p.transform(spread, 1, stride, p.tw)
+	for i := range x {
+		if spread[1+i*stride] != cont[i] {
+			t.Fatalf("strided FFT differs at %d: %v vs %v", i, spread[1+i*stride], cont[i])
+		}
+	}
+}
+
+// toeplitzMulVecRelTol is the agreement contract between the FFT-based
+// matvec and the dense product: both are exact up to roundoff, so 1e-13
+// relative (ISSUE 10's property-test bound).
+const toeplitzMulVecRelTol = 1e-13
+
+// randomKernelTable builds a decaying positive kernel table resembling the
+// BEM panel integrals (self term largest, smooth 1/r-style decay).
+func randomKernelTable(nx, ny int, rng *rand.Rand) []float64 {
+	tb := make([]float64, nx*ny)
+	for dy := 0; dy < ny; dy++ {
+		for dx := 0; dx < nx; dx++ {
+			r := math.Hypot(float64(dx), float64(dy))
+			tb[dy*nx+dx] = 1/(1+r) + 0.01*rng.Float64()/(1+r*r)
+		}
+	}
+	return tb
+}
+
+func fullGridCoords(nx, ny int) [][2]int {
+	coords := make([][2]int, 0, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			coords = append(coords, [2]int{ix, iy})
+		}
+	}
+	return coords
+}
+
+func TestToeplitzMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct{ nx, ny int }{
+		{1, 1}, {2, 1}, {1, 5}, {3, 3}, {4, 4}, {5, 7}, {8, 8}, {9, 6}, {16, 16}, {13, 17},
+	}
+	for _, c := range cases {
+		tb := randomKernelTable(c.nx, c.ny, rng)
+		op, err := NewToeplitzOp(c.nx, c.ny, tb, fullGridCoords(c.nx, c.ny))
+		if err != nil {
+			t.Fatalf("%dx%d: %v", c.nx, c.ny, err)
+		}
+		dense := op.Dense()
+		x := make([]float64, op.Size())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := op.MulVec(x)
+		want := dense.MulVec(x)
+		var scale float64
+		for _, w := range want {
+			if a := math.Abs(w); a > scale {
+				scale = a
+			}
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > toeplitzMulVecRelTol*scale {
+				t.Fatalf("%dx%d: MulVec[%d]=%.17g, dense %.17g (scale %g)", c.nx, c.ny, i, got[i], want[i], scale)
+			}
+		}
+	}
+}
+
+func TestToeplitzSubsetGridMatchesDenseSubmatrix(t *testing.T) {
+	// An L-shaped subset of a 9x7 grid: the scatter/gather path must
+	// reproduce the principal submatrix product exactly.
+	rng := rand.New(rand.NewSource(43))
+	nx, ny := 9, 7
+	tb := randomKernelTable(nx, ny, rng)
+	var coords [][2]int
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			if ix >= 5 && iy >= 4 {
+				continue // notch
+			}
+			coords = append(coords, [2]int{ix, iy})
+		}
+	}
+	op, err := NewToeplitzOp(nx, ny, tb, coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := op.Dense()
+	// Dense() must agree with the table definition entry by entry.
+	for i, ci := range coords {
+		for j, cj := range coords {
+			dx, dy := absInt(ci[0]-cj[0]), absInt(ci[1]-cj[1])
+			if dense.At(i, j) != tb[dy*nx+dx] {
+				t.Fatalf("Dense[%d][%d] = %g, want table %g", i, j, dense.At(i, j), tb[dy*nx+dx])
+			}
+		}
+	}
+	x := make([]float64, op.Size())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := op.MulVec(x)
+	want := dense.MulVec(x)
+	var scale float64
+	for _, w := range want {
+		if a := math.Abs(w); a > scale {
+			scale = a
+		}
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > toeplitzMulVecRelTol*scale {
+			t.Fatalf("subset MulVec[%d]=%.17g, dense %.17g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestToeplitzMulVecDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	tb := randomKernelTable(12, 10, rng)
+	op, err := NewToeplitzOp(12, 10, tb, fullGridCoords(12, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, op.Size())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	first := op.MulVec(x)
+	clone := op.Clone()
+	for rep := 0; rep < 5; rep++ {
+		again := op.MulVec(x)
+		cloned := clone.MulVec(x)
+		for i := range first {
+			if again[i] != first[i] || cloned[i] != first[i] {
+				t.Fatalf("matvec not bitwise deterministic at %d (rep %d): %v %v vs %v",
+					i, rep, again[i], cloned[i], first[i])
+			}
+		}
+	}
+}
+
+func TestToeplitzPreconditionerIsSPDApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	tb := randomKernelTable(8, 8, rng)
+	op, err := NewToeplitzOp(8, 8, tb, fullGridCoords(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.HasPreconditioner() {
+		t.Skip("embedding spectrum not positive for this kernel; preconditioner legitimately disabled")
+	}
+	// M⁻¹ must be symmetric positive definite: check xᵀM⁻¹x > 0 and
+	// symmetry via random vectors.
+	n := op.Size()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	mx := make([]float64, n)
+	my := make([]float64, n)
+	for trial := 0; trial < 5; trial++ {
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		op.PrecondTo(mx, x)
+		op.PrecondTo(my, y)
+		if dot(x, mx) <= 0 {
+			t.Fatalf("preconditioner not positive definite: xᵀM⁻¹x = %g", dot(x, mx))
+		}
+		// yᵀ(M⁻¹x) == xᵀ(M⁻¹y) up to roundoff.
+		a, b := dot(y, mx), dot(x, my)
+		if math.Abs(a-b) > 1e-10*(math.Abs(a)+math.Abs(b)+1) {
+			t.Fatalf("preconditioner asymmetric: %g vs %g", a, b)
+		}
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
